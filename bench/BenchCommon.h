@@ -1,0 +1,52 @@
+//===- bench/BenchCommon.h - Shared bench harness helpers ------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_BENCH_BENCHCOMMON_H
+#define TAJ_BENCH_BENCHCOMMON_H
+
+#include "benchgen/Generator.h"
+#include "core/TaintAnalysis.h"
+
+#include <cstdio>
+#include <string>
+
+namespace taj {
+namespace bench {
+
+/// The call-graph node budget standing in for the paper's 20,000 nodes
+/// (the suite is scaled down by roughly the same factor).
+inline constexpr uint32_t ScaledCgBudget = 400;
+
+/// The five Table 1 configurations at bench scale.
+inline AnalysisConfig configByName(const std::string &Name) {
+  if (Name == "hybrid-unbounded")
+    return AnalysisConfig::hybridUnbounded();
+  if (Name == "hybrid-prioritized")
+    return AnalysisConfig::hybridPrioritized(ScaledCgBudget);
+  if (Name == "hybrid-optimized")
+    return AnalysisConfig::hybridOptimized(ScaledCgBudget,
+                                           /*HeapTransitions=*/20000,
+                                           /*FlowLength=*/14,
+                                           /*NestedDepth=*/2);
+  if (Name == "cs")
+    return AnalysisConfig::cs();
+  return AnalysisConfig::ci();
+}
+
+inline const char *const AllConfigs[] = {
+    "hybrid-unbounded", "hybrid-prioritized", "hybrid-optimized", "cs",
+    "ci"};
+
+/// Runs one configuration on one generated app.
+inline AnalysisResult runConfig(GeneratedApp &App, const std::string &Name) {
+  TaintAnalysis TA(*App.P, configByName(Name));
+  return TA.run({App.Root});
+}
+
+} // namespace bench
+} // namespace taj
+
+#endif // TAJ_BENCH_BENCHCOMMON_H

@@ -1,0 +1,65 @@
+//===- bench/ablation_bounds.cpp - §6.2 claims ---------------------------===//
+//
+// Sweeps the three §6.2 bounds — heap store->load transitions, flow
+// length, nested-taint depth — on accuracy-study applications and prints
+// TP/FP per setting, confirming: tighter bounds trade recall for
+// precision, longer flows are likelier false positives, and depth 2
+// suffices for nested taint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace taj;
+
+static void runWith(const AppSpec &S, const char *Label,
+                    AnalysisConfig C) {
+  GeneratedApp App = generateApp(S);
+  TaintAnalysis TA(*App.P, std::move(C));
+  AnalysisResult R = TA.run({App.Root});
+  Classification Cl = classify(*App.P, App.Truth, R.Issues);
+  std::printf("  %-28s TP=%-4u FP=%-4u FN=%u\n", Label, Cl.TruePositives,
+              Cl.FalsePositives, App.Truth.numReal() - Cl.RealFound);
+}
+
+int main() {
+  std::printf("Ablation (§6.2): bounds on analysis dimensions\n");
+  for (const AppSpec &S : benchmarkSuite()) {
+    if (S.Name != "BlueBlog" && S.Name != "Friki" && S.Name != "SBM")
+      continue;
+    std::printf("\n%s:\n", S.Name.c_str());
+
+    std::printf(" flow-length filter (§6.2.2):\n");
+    for (uint32_t Len : {4u, 8u, 14u, 0u}) {
+      AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+      C.MaxFlowLength = Len;
+      char Label[32];
+      std::snprintf(Label, sizeof(Label), "  maxFlowLength=%s",
+                    Len ? std::to_string(Len).c_str() : "inf");
+      runWith(S, Label, std::move(C));
+    }
+
+    std::printf(" nested-taint depth (§6.2.3):\n");
+    for (uint32_t D : {0u, 1u, 2u, 4u, 32u}) {
+      AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+      C.NestedTaintDepth = D;
+      char Label[32];
+      std::snprintf(Label, sizeof(Label), "  nestedDepth=%u", D);
+      runWith(S, Label, std::move(C));
+    }
+
+    std::printf(" heap store->load transitions (§6.2.1):\n");
+    for (uint32_t H : {1u, 4u, 16u, 0u}) {
+      AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+      C.MaxHeapTransitions = H;
+      char Label[40];
+      std::snprintf(Label, sizeof(Label), "  maxHeapTransitions=%s",
+                    H ? std::to_string(H).c_str() : "inf");
+      runWith(S, Label, std::move(C));
+    }
+  }
+  std::printf("\nExpected shape: depth 2 keeps every planted carrier flow "
+              "(paper: 2 levels suffice); the length filter trims "
+              "long decoys before it costs true positives.\n");
+  return 0;
+}

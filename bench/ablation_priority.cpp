@@ -1,0 +1,53 @@
+//===- bench/ablation_priority.cpp - §6.1 claim --------------------------===//
+//
+// "Priority-driven call-graph construction enables the detection of a
+// significantly larger number of taint vulnerabilities than chaotic
+// iteration when TAJ runs in a constrained time or memory budget."
+//
+// Sweeps the call-graph node budget on two large applications and prints
+// true positives found under the priority policy vs chaotic iteration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace taj;
+
+int main() {
+  std::printf("Ablation (§6.1): priority-driven vs chaotic call-graph "
+              "construction under a node budget\n");
+  std::printf("%-12s %-8s | %-22s | %-22s\n", "Application", "Budget",
+              "prioritized TP/issues", "chaotic TP/issues");
+  const uint32_t Budgets[] = {50, 100, 200, 400, 800, 0};
+  for (const AppSpec &S : benchmarkSuite()) {
+    if (S.Name != "Roller" && S.Name != "VQWiki" && S.Name != "S")
+      continue;
+    for (uint32_t Budget : Budgets) {
+      char Row[2][32];
+      for (int Mode = 0; Mode < 2; ++Mode) {
+        GeneratedApp App = generateApp(S);
+        AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+        C.MaxCallGraphNodes = Budget;
+        C.Prioritized = Mode == 0;
+        TaintAnalysis TA(*App.P, std::move(C));
+        AnalysisResult R = TA.run({App.Root});
+        Classification Cl = classify(*App.P, App.Truth, R.Issues);
+        std::snprintf(Row[Mode], sizeof(Row[Mode]), "%u/%u (of %u real)",
+                      Cl.RealFound, distinctIssueCount(R.Issues),
+                      App.Truth.numReal());
+      }
+      char BudgetStr[16];
+      if (Budget)
+        std::snprintf(BudgetStr, sizeof(BudgetStr), "%u", Budget);
+      else
+        std::snprintf(BudgetStr, sizeof(BudgetStr), "inf");
+      std::printf("%-12s %-8s | %-22s | %-22s\n", S.Name.c_str(), BudgetStr,
+                  Row[0], Row[1]);
+    }
+  }
+  std::printf("\nExpected shape: at small budgets the prioritized policy "
+              "finds more of the planted real flows than chaotic "
+              "iteration; both converge when the budget covers the "
+              "program.\n");
+  return 0;
+}

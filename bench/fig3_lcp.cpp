@@ -1,0 +1,77 @@
+//===- bench/fig3_lcp.cpp - Reproduces Figure 3 / §5 ---------------------===//
+//
+// Demonstrates library-call-point report grouping: two flows that enter
+// the library at the same call (the paper's n4) and end in two sinks of
+// the same issue type collapse into one report; a flow entering at a
+// different call point, and a flow of a different issue type, stay
+// separate — the p1..p5 scenario of Figure 3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "frontend/Parser.h"
+#include "model/BuiltinLibrary.h"
+#include "model/Entrypoints.h"
+#include "report/ReportGenerator.h"
+
+#include <cstdio>
+
+using namespace taj;
+
+static const char *Source = R"(
+class LibHelper extends Object [library] {
+  method process(this: LibHelper, s: String, w: Writer): void {
+    this.emitA(s, w);
+    this.emitB(s, w);
+  }
+  method emitA(this: LibHelper, s: String, w: Writer): void {
+    w.println(s);
+  }
+  method emitB(this: LibHelper, s: String, w: Writer): void {
+    w.println(s);
+  }
+  method other(this: LibHelper, s: String, w: Writer): void {
+    w.println(s);
+  }
+}
+class App extends Servlet {
+  method doGet(this: App, req: Request, resp: Response, db: Database,
+               lib: LibHelper): void [entry] {
+    t = req.getParameter("name");
+    w = resp.getWriter();
+    lib.process(t, w);
+    lib.other(t, w);
+    q = db.executeQuery(t);
+  }
+}
+)";
+
+int main() {
+  Program P;
+  installBuiltinLibrary(P);
+  std::vector<std::string> Errors;
+  if (!parseTaj(P, Source, &Errors)) {
+    std::printf("parse error: %s\n", Errors.front().c_str());
+    return 1;
+  }
+  MethodId Root = synthesizeEntrypointDriver(P);
+  P.indexStatements();
+  TaintAnalysis TA(P, AnalysisConfig::hybridUnbounded());
+  AnalysisResult R = TA.run({Root});
+
+  std::printf("Figure 3 / Section 5: LCP-based redundancy elimination\n\n");
+  std::printf("Raw flows reported by the analysis: %zu\n", R.Issues.size());
+  for (const Issue &I : R.Issues)
+    std::printf("  %s: %s -> %s (length %u)\n", rules::ruleName(I.Rule),
+                describeStmt(P, I.Source).c_str(),
+                describeStmt(P, I.Sink).c_str(), I.Length);
+
+  std::vector<Report> Reports = generateReports(P, R.Issues);
+  std::printf("\nAfter grouping by (LCP, remediation action): %zu reports\n",
+              Reports.size());
+  std::printf("%s", renderReports(P, Reports).c_str());
+  std::printf("\nThe two sinks reached through lib.process share one LCP and"
+              " one remediation action:\nsanitizing at that call point fixes"
+              " both flows, so only a representative is shown.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- bench/fig4_accuracy.cpp - Reproduces Figure 4 ---------------------===//
+//
+// Classification of reported issues into true and false positives on the
+// nine benchmarks of the paper's accuracy study, plus the per-algorithm
+// accuracy scores of §7.2 (paper: hybrid 0.35, CS 0.54, CI 0.22) and the
+// CS false negatives (2/1/2 on BlueBlog/I/SBM).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace taj;
+
+int main() {
+  std::printf("Figure 4: Classification of Reported Issues into True and "
+              "False Positives\n");
+  std::printf("%-12s | %-12s %-12s %-12s %-12s %-12s   (cells: TP/FP, FN)\n",
+              "Application", "HybridUnb", "HybridPri", "HybridOpt", "CS",
+              "CI");
+  uint64_t Tp[5] = {0}, Fp[5] = {0};
+  for (const AppSpec &S : benchmarkSuite()) {
+    if (!S.InAccuracyStudy)
+      continue;
+    std::printf("%-12s |", S.Name.c_str());
+    for (int C = 0; C < 5; ++C) {
+      GeneratedApp App = generateApp(S);
+      AnalysisResult R = bench::runConfig(App, bench::AllConfigs[C]);
+      char Cell[48];
+      if (!R.Completed) {
+        std::snprintf(Cell, sizeof(Cell), "-");
+      } else {
+        Classification Cl = classify(*App.P, App.Truth, R.Issues);
+        uint32_t Fn = App.Truth.numReal() - Cl.RealFound;
+        std::snprintf(Cell, sizeof(Cell), "%u/%u,%u", Cl.TruePositives,
+                      Cl.FalsePositives, Fn);
+        Tp[C] += Cl.TruePositives;
+        Fp[C] += Cl.FalsePositives;
+      }
+      std::printf(" %-12s", Cell);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nAccuracy scores (TP / (TP+FP)); paper: hybrid-unbounded "
+              "0.35, CS 0.54, CI 0.22:\n");
+  for (int C = 0; C < 5; ++C) {
+    double Acc = Tp[C] + Fp[C] ? double(Tp[C]) / double(Tp[C] + Fp[C]) : 0;
+    std::printf("  %-18s TP=%llu FP=%llu accuracy=%.2f\n",
+                bench::AllConfigs[C], static_cast<unsigned long long>(Tp[C]),
+                static_cast<unsigned long long>(Fp[C]), Acc);
+  }
+  return 0;
+}

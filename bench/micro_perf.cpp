@@ -1,0 +1,98 @@
+//===- bench/micro_perf.cpp - google-benchmark micro suite ---------------===//
+//
+// Scaling microbenchmarks of the core engines: pointer analysis +
+// call-graph construction, hybrid slicing (RHS tabulation), CI slicing,
+// and SDG construction, over generated applications of increasing size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "sdg/SDG.h"
+#include "slicer/Slicer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace taj;
+
+namespace {
+
+/// Picks suite apps by size class.
+const AppSpec &appByIndex(int64_t Idx) {
+  static std::vector<AppSpec> Suite = benchmarkSuite();
+  static const char *Names[] = {"I", "BlueBlog", "A", "Friki", "SBM"};
+  for (const AppSpec &S : Suite)
+    if (S.Name == Names[Idx])
+      return S;
+  return Suite[0];
+}
+
+void BM_PointerAnalysis(benchmark::State &State) {
+  const AppSpec &Spec = appByIndex(State.range(0));
+  GeneratedApp App = generateApp(Spec);
+  ClassHierarchy CHA(*App.P);
+  for (auto _ : State) {
+    PointsToSolver Solver(*App.P, CHA);
+    Solver.solve({App.Root});
+    benchmark::DoNotOptimize(Solver.callGraph().numProcessed());
+  }
+  State.SetLabel(Spec.Name);
+}
+BENCHMARK(BM_PointerAnalysis)->DenseRange(0, 4);
+
+void BM_HybridSlicing(benchmark::State &State) {
+  const AppSpec &Spec = appByIndex(State.range(0));
+  GeneratedApp App = generateApp(Spec);
+  ClassHierarchy CHA(*App.P);
+  PointsToSolver Solver(*App.P, CHA);
+  Solver.solve({App.Root});
+  for (auto _ : State) {
+    SliceRunResult R = runHybridSlicer(*App.P, CHA, Solver, {});
+    benchmark::DoNotOptimize(R.Issues.size());
+  }
+  State.SetLabel(Spec.Name);
+}
+BENCHMARK(BM_HybridSlicing)->DenseRange(0, 4);
+
+void BM_CiSlicing(benchmark::State &State) {
+  const AppSpec &Spec = appByIndex(State.range(0));
+  GeneratedApp App = generateApp(Spec);
+  ClassHierarchy CHA(*App.P);
+  PointsToSolver Solver(*App.P, CHA);
+  Solver.solve({App.Root});
+  for (auto _ : State) {
+    SliceRunResult R = runCiSlicer(*App.P, CHA, Solver, {});
+    benchmark::DoNotOptimize(R.Issues.size());
+  }
+  State.SetLabel(Spec.Name);
+}
+BENCHMARK(BM_CiSlicing)->DenseRange(0, 4);
+
+void BM_SdgConstruction(benchmark::State &State) {
+  const AppSpec &Spec = appByIndex(State.range(0));
+  GeneratedApp App = generateApp(Spec);
+  ClassHierarchy CHA(*App.P);
+  PointsToSolver Solver(*App.P, CHA);
+  Solver.solve({App.Root});
+  for (auto _ : State) {
+    SDGOptions SO;
+    SO.ContextExpanded = true;
+    SDG G(*App.P, CHA, Solver, SO);
+    benchmark::DoNotOptimize(G.numNodes());
+  }
+  State.SetLabel(Spec.Name);
+}
+BENCHMARK(BM_SdgConstruction)->DenseRange(0, 4);
+
+void BM_Generation(benchmark::State &State) {
+  const AppSpec &Spec = appByIndex(State.range(0));
+  for (auto _ : State) {
+    GeneratedApp App = generateApp(Spec);
+    benchmark::DoNotOptimize(App.GenStmts);
+  }
+  State.SetLabel(Spec.Name);
+}
+BENCHMARK(BM_Generation)->DenseRange(0, 4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+//===- bench/table3_comparison.cpp - Reproduces Table 3 ------------------===//
+//
+// Runs the five configurations on every benchmark application and prints
+// issues + running time per cell, side by side with the paper's numbers.
+// "-" marks CS thin slicing failing to complete (memory budget), as in the
+// paper's empty Table 3 entries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace taj;
+
+int main() {
+  std::printf("Table 3: Issues and Time per Configuration "
+              "(ours: issues/ms, paper: issues/s in parentheses)\n");
+  std::printf("%-14s | %-18s %-18s %-18s %-18s %-18s\n", "Application",
+              "HybridUnbounded", "HybridPrioritized", "HybridOptimized",
+              "CS", "CI");
+  double TotalMs[5] = {0, 0, 0, 0, 0};
+  uint64_t TotalIssues[5] = {0, 0, 0, 0, 0};
+  for (const AppSpec &S : benchmarkSuite()) {
+    std::printf("%-14s |", S.Name.c_str());
+    const PaperStats &P = S.Paper;
+    uint32_t PaperIssues[5] = {P.HybridUnbounded, P.HybridPrioritized,
+                               P.HybridOptimized, P.Cs, P.Ci};
+    for (int C = 0; C < 5; ++C) {
+      GeneratedApp App = generateApp(S);
+      AnalysisResult R = bench::runConfig(App, bench::AllConfigs[C]);
+      char Cell[64];
+      if (!R.Completed) {
+        std::snprintf(Cell, sizeof(Cell), "- (-)");
+      } else {
+        uint32_t N = distinctIssueCount(R.Issues);
+        TotalIssues[C] += N;
+        TotalMs[C] += R.Millis;
+        std::snprintf(Cell, sizeof(Cell), "%u/%.0fms (%u)", N, R.Millis,
+                      PaperIssues[C]);
+      }
+      std::printf(" %-18s", Cell);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-14s |", "TOTAL");
+  for (int C = 0; C < 5; ++C)
+    std::printf(" %llu/%.0fms%9s",
+                static_cast<unsigned long long>(TotalIssues[C]), TotalMs[C],
+                "");
+  std::printf("\n\nPaper trends to compare: CS completes on 6 of 22 apps;"
+              " prioritized reports far fewer issues than unbounded;\n"
+              "optimized recovers Webgoat issues lost by prioritized and"
+              " trims long-flow false positives.\n");
+  return 0;
+}

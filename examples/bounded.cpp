@@ -1,0 +1,54 @@
+//===- examples/bounded.cpp - Bounded analysis under a budget (§6) -------===//
+//
+// Runs one of the larger generated benchmark applications under shrinking
+// call-graph node budgets, comparing priority-driven construction with
+// chaotic iteration — the interactive version of the §6.1 experiment.
+//
+// Run: build/examples/bounded [appName]
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Generator.h"
+#include "core/TaintAnalysis.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace taj;
+
+int main(int Argc, char **Argv) {
+  const char *Want = Argc > 1 ? Argv[1] : "VQWiki";
+  for (const AppSpec &S : benchmarkSuite()) {
+    if (S.Name != Want)
+      continue;
+    std::printf("Bounded analysis of %s (%u planted real flows)\n\n",
+                S.Name.c_str(), generateApp(S).Truth.numReal());
+    std::printf("%-8s | %-28s | %-28s\n", "budget",
+                "priority-driven (TP, issues, ms)",
+                "chaotic (TP, issues, ms)");
+    for (uint32_t Budget : {50u, 100u, 200u, 400u, 0u}) {
+      char Cells[2][40];
+      for (int Mode = 0; Mode < 2; ++Mode) {
+        GeneratedApp App = generateApp(S);
+        AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+        C.MaxCallGraphNodes = Budget;
+        C.Prioritized = Mode == 0;
+        TaintAnalysis TA(*App.P, std::move(C));
+        AnalysisResult R = TA.run({App.Root});
+        Classification Cl = classify(*App.P, App.Truth, R.Issues);
+        std::snprintf(Cells[Mode], sizeof(Cells[Mode]), "%u TP, %u, %.0fms",
+                      Cl.RealFound, distinctIssueCount(R.Issues), R.Millis);
+      }
+      if (Budget)
+        std::printf("%-8u | %-28s | %-28s\n", Budget, Cells[0], Cells[1]);
+      else
+        std::printf("%-8s | %-28s | %-28s\n", "inf", Cells[0], Cells[1]);
+    }
+    std::printf("\nThe locality-of-taint priority finds most real flows "
+                "even when the budget covers a\nfraction of the program; "
+                "chaotic iteration wastes the budget on benign code.\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown app '%s'\n", Want);
+  return 1;
+}

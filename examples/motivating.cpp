@@ -1,0 +1,99 @@
+//===- examples/motivating.cpp - The paper's Figure 1 program ------------===//
+//
+// The motivating example of TAJ (PLDI'09, Figure 1): tainted servlet
+// parameters flow through a HashMap, reflective method invocation, and a
+// wrapper object's internal state. Of three println calls only the first
+// is vulnerable; this example runs all three algorithm families and shows
+// which ones can tell.
+//
+// Run: build/examples/motivating
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TaintAnalysis.h"
+#include "frontend/Parser.h"
+#include "model/BuiltinLibrary.h"
+#include "model/Entrypoints.h"
+#include "report/ReportGenerator.h"
+
+#include <cstdio>
+
+using namespace taj;
+
+static const char *Fig1 = R"(
+class Internal extends Object {
+  field s: String;
+  method init(this: Internal, s: String): void { this.s = s; }
+  method toString(this: Internal): String { r = this.s; return r; }
+}
+class Motivating extends Object {
+  method doGet(this: Motivating, req: Request, resp: Response): void [entry] {
+    t1 = req.getParameter("fName");          // tainted
+    t2 = req.getParameter("lName");          // tainted
+    w = resp.getWriter();
+    k = Class.forName("Motivating");         // reflection (line 18)
+    idm = k.getMethod("id");                 // (lines 19-26)
+    m = new HashMap;
+    m.put("fName", t1);
+    m.put("lName", t2);
+    d = "2009-06-15";
+    m.put("date", d);
+    a1 = new Object[];
+    v1 = m.get("fName");
+    a1[] = v1;
+    s1 = idm.invoke(this, a1);               // tainted argument
+    a2 = new Object[];
+    v2 = m.get("lName");
+    e2 = Encoder.encode(v2);                 // sanitized (URLEncoder.encode)
+    a2[] = e2;
+    s2 = idm.invoke(this, a2);
+    a3 = new Object[];
+    v3 = m.get("date");
+    a3[] = v3;
+    s3 = idm.invoke(this, a3);               // never tainted
+    i1 = new Internal(s1);
+    i2 = new Internal(s2);
+    i3 = new Internal(s3);
+    w.println(i1);                           // BAD
+    w.println(i2);                           // OK
+    w.println(i3);                           // OK
+  }
+  method id(this: Motivating, s: String): String { return s; }
+}
+)";
+
+int main() {
+  std::printf("TAJ motivating example (Figure 1): one of three println "
+              "calls is vulnerable.\n\n");
+  for (const char *Cfg : {"hybrid", "cs", "ci"}) {
+    Program P;
+    installBuiltinLibrary(P);
+    std::vector<std::string> Errors;
+    if (!parseTaj(P, Fig1, &Errors)) {
+      std::fprintf(stderr, "parse error: %s\n", Errors.front().c_str());
+      return 1;
+    }
+    MethodId Root = synthesizeEntrypointDriver(P);
+    AnalysisConfig C = Cfg == std::string("hybrid")
+                           ? AnalysisConfig::hybridUnbounded()
+                       : Cfg == std::string("cs") ? AnalysisConfig::cs()
+                                                  : AnalysisConfig::ci();
+    TaintAnalysis TA(P, std::move(C));
+    AnalysisResult R = TA.run({Root});
+    int Xss = 0;
+    for (const Issue &I : R.Issues)
+      Xss += (I.Rule & rules::XSS) != 0;
+    std::printf("%-8s: %d XSS flow(s) reported%s\n", Cfg, Xss,
+                Xss == 1 ? "  <- exactly the BAD call" : "");
+    for (const Issue &I : R.Issues)
+      if (I.Rule & rules::XSS)
+        std::printf("          %s -> %s\n",
+                    describeStmt(P, I.Source).c_str(),
+                    describeStmt(P, I.Sink).c_str());
+  }
+  std::printf("\nThe hybrid algorithm tracks the tainted value through the"
+              " constant-key map,\nthe reflective invocation and the"
+              " wrapper's internal state, while still\ndistinguishing the"
+              " sanitized and untainted siblings.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- examples/quickstart.cpp - Minimal end-to-end TAJ usage ------------===//
+//
+// Builds a tiny web application from .taj source text, runs the default
+// (hybrid, unbounded) analysis, and prints the LCP-grouped report — the
+// five-minute tour of the public API.
+//
+// Run: build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TaintAnalysis.h"
+#include "frontend/Parser.h"
+#include "model/BuiltinLibrary.h"
+#include "model/Entrypoints.h"
+#include "report/ReportGenerator.h"
+
+#include <cstdio>
+
+using namespace taj;
+
+static const char *AppSource = R"(
+// A servlet with one vulnerable and one sanitized flow.
+class Greeter extends Servlet {
+  method doGet(this: Greeter, req: Request, resp: Response): void [entry] {
+    name = req.getParameter("name");
+    w = resp.getWriter();
+    w.println(name);                 // XSS: unsanitized echo
+
+    safe = Encoder.encodeHtml(name);
+    w.println(safe);                 // fine: endorsed for XSS
+  }
+}
+)";
+
+int main() {
+  // 1. A Program starts from the built-in model library (string carriers,
+  //    servlet API, sinks, sanitizers, collections, reflection, ...).
+  Program P;
+  installBuiltinLibrary(P);
+
+  // 2. Add application code — parsed from text here; the Builder API works
+  //    just as well.
+  std::vector<std::string> Errors;
+  if (!parseTaj(P, AppSource, &Errors)) {
+    std::fprintf(stderr, "parse error: %s\n", Errors.front().c_str());
+    return 1;
+  }
+
+  // 3. Synthesize the analysis root that drives every [entry] method.
+  MethodId Root = synthesizeEntrypointDriver(P);
+
+  // 4. Run the two-phase analysis: pointer analysis + hybrid thin slicing.
+  TaintAnalysis TA(P, AnalysisConfig::hybridUnbounded());
+  AnalysisResult R = TA.run({Root});
+
+  // 5. Consume the results.
+  std::printf("analysis %s in %.1f ms; %zu raw flows\n",
+              R.Completed ? "completed" : "failed", R.Millis,
+              R.Issues.size());
+  for (const Issue &I : R.Issues)
+    std::printf("  %-12s %s -> %s (flow length %u)\n",
+                rules::ruleName(I.Rule), describeStmt(P, I.Source).c_str(),
+                describeStmt(P, I.Sink).c_str(), I.Length);
+
+  std::printf("\nLCP-grouped report:\n%s",
+              renderReports(P, generateReports(P, R.Issues)).c_str());
+  return 0;
+}

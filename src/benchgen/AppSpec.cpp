@@ -1,0 +1,164 @@
+//===- benchgen/AppSpec.cpp ------------------------------------*- C++ -*-===//
+
+#include "benchgen/AppSpec.h"
+
+#include <algorithm>
+
+using namespace taj;
+
+namespace {
+
+/// Raw Table 2 + Table 3 rows (paper order). -1 in the Cs column encodes
+/// "did not complete" (out of memory).
+struct Row {
+  const char *Name;
+  const char *Version;
+  uint32_t Files, Lines, ClsApp, MethApp, ClsTot, MethTot;
+  uint32_t HU, HUs, HP, HPs, HO, HOs;
+  int32_t CS, CSs;
+  uint32_t CI, CIs;
+  bool Accuracy;
+  uint32_t ThreadFlows; ///< paper-reported CS false negatives
+};
+
+const Row Rows[] = {
+    // name, ver, files, lines, clsA, methA, clsT, methT,
+    //   HU, HUs, HP, HPs, HO, HOs, CS, CSs, CI, CIs, acc, thr
+    {"A", "1.0", 121, 746, 43, 2057, 4272, 150339,
+     54, 43, 33, 54, 37, 23, 51, 554, 73, 88, true, 0},
+    {"B", "-", 314, 1680, 246, 9252, 14552, 328941,
+     25, 1160, 7, 242, 1, 217, -1, 0, 67, 564, true, 0},
+    {"Blojsom", "3.1", 225, 19984, 254, 7216, 10688, 354114,
+     238, 783, 162, 222, 123, 207, -1, 0, 504, 275, false, 0},
+    {"BlueBlog", "1.0", 32, 650, 38, 1044, 7628, 269056,
+     19, 5, 19, 5, 12, 6, 14, 376, 30, 7, true, 2},
+    {"Dlog", "3.0-BETA-2", 240, 17229, 268, 12957, 7790, 284808,
+     21, 873, 11, 243, 6, 221, -1, 0, 168, 602, false, 0},
+    {"Friki", "2.1.1-58", 40, 2339, 35, 1133, 3848, 116480,
+     60, 11, 60, 10, 7, 9, 14, 1392, 125, 11, true, 0},
+    {"GestCV", "1.0", 159, 107494, 124, 5139, 13673, 473574,
+     21, 2461, 20, 182, 7, 209, -1, 0, 255, 760, true, 0},
+    {"Ginp", "1.0", 121, 387, 73, 2941, 8076, 277680,
+     67, 40, 67, 45, 49, 28, 43, 1028, 309, 75, false, 0},
+    {"GridSphere", "2.2.10", 698, 44767, 676, 32134, 10671, 385609,
+     803, 6505, 116, 735, 261, 2467, -1, 0, 853, 1281, false, 0},
+    {"I", "1.0", 30, 281, 25, 996, 4254, 149278,
+     3, 8, 3, 8, 3, 8, 2, 16, 17, 15, true, 1},
+    {"JSPWiki", "2.6", 724, 27000, 429, 13087, 9863, 335828,
+     68, 159, 67, 270, 26, 118, -1, 0, 381, 192, false, 0},
+    {"Lutece", "1.0", 1039, 3065, 467, 12398, 7606, 237137,
+     3, 824, 2, 28, 4, 59, -1, 0, 41, 99, false, 0},
+    {"MVNForum", "1.0.2", 969, 8860, 608, 19722, 8979, 315527,
+     260, 313, 100, 228, 293, 205, -1, 0, 374, 213, false, 0},
+    {"PersonalBlog", "1.2.6", 135, 47007, 38, 1644, 4951, 157794,
+     454, 3708, 108, 386, 48, 740, -1, 0, 1854, 604, false, 0},
+    {"Roller", "0.9.9", 325, 4865, 251, 9786, 7200, 246390,
+     650, 1495, 87, 175, 230, 268, -1, 0, 3171, 794, false, 0},
+    {"S", "-", 168, 2064, 100, 10965, 6219, 393204,
+     395, 602, 25, 398, 24, 263, -1, 0, 697, 729, true, 0},
+    {"SBM", "1.08", 125, 5165, 143, 6506, 8047, 283069,
+     154, 9, 154, 7, 159, 6, 125, 26, 161, 10, true, 2},
+    {"SnipSnap", "1.0-BETA-1", 828, 85325, 571, 17960, 12493, 455410,
+     91, 279, 89, 167, 94, 153, -1, 0, 397, 291, false, 0},
+    {"SPLC", "1.0", 106, 12447, 69, 3526, 6538, 229417,
+     40, 188, 37, 279, 36, 116, -1, 0, 103, 272, false, 0},
+    {"ST", "-", 1451, 594, 5956, 31309, 24221, 822362,
+     731, 933, 369, 207, 347, 277, -1, 0, 1830, 565, false, 0},
+    {"VQWiki", "1.0", 280, 31325, 185, 6164, 4803, 152341,
+     888, 2450, 303, 383, 545, 565, -1, 0, 2284, 784, false, 0},
+    {"Webgoat", "5.1-20080213", 245, 17656, 192, 14309, 6663, 254726,
+     48, 276, 27, 180, 39, 193, -1, 0, 102, 485, true, 0},
+};
+
+uint32_t scaled(uint32_t V, uint32_t Scale) {
+  if (V == 0)
+    return 0;
+  return std::max<uint32_t>(1, V / Scale);
+}
+
+} // namespace
+
+std::vector<AppSpec> taj::benchmarkSuite(uint32_t Scale) {
+  std::vector<AppSpec> Out;
+  uint64_t Seed = 0x5eed;
+  for (const Row &R : Rows) {
+    AppSpec S;
+    S.Name = R.Name;
+    S.Version = R.Version;
+    S.InAccuracyStudy = R.Accuracy;
+    S.Seed = Seed++;
+    PaperStats &PS = S.Paper;
+    PS.Files = R.Files;
+    PS.Lines = R.Lines;
+    PS.ClassesApp = R.ClsApp;
+    PS.MethodsApp = R.MethApp;
+    PS.ClassesTotal = R.ClsTot;
+    PS.MethodsTotal = R.MethTot;
+    PS.HybridUnbounded = R.HU;
+    PS.HybridUnboundedSec = R.HUs;
+    PS.HybridPrioritized = R.HP;
+    PS.HybridPrioritizedSec = R.HPs;
+    PS.HybridOptimized = R.HO;
+    PS.HybridOptimizedSec = R.HOs;
+    PS.CsCompleted = R.CS >= 0;
+    PS.Cs = R.CS >= 0 ? static_cast<uint32_t>(R.CS) : 0;
+    PS.CsSec = R.CSs;
+    PS.Ci = R.CI;
+    PS.CiSec = R.CIs;
+
+    // Derive plant counts from the paper's issue relations:
+    //   CS      = TP - threadFN + aliasFP
+    //   HybridU = TP + aliasFP + heapFP (+ long)
+    //   CI      = HybridU + ctxFP
+    uint32_t U = scaled(R.HU, Scale);
+    uint32_t Ci = scaled(R.CI, Scale);
+    uint32_t Thread = R.ThreadFlows;
+    uint32_t Tp;
+    uint32_t Alias;
+    if (R.CS >= 0) {
+      uint32_t Cs = scaled(static_cast<uint32_t>(R.CS), Scale);
+      // Split CS issues between true positives and alias FPs using the
+      // paper's overall CS accuracy of 0.54.
+      Tp = std::max<uint32_t>(1, Cs * 54 / 100) + Thread;
+      Alias = Cs > (Tp - Thread) ? Cs - (Tp - Thread) : 0;
+    } else {
+      // Overall hybrid accuracy ~0.35 (paper §7.2).
+      Tp = std::max<uint32_t>(1, U * 35 / 100) + Thread;
+      Alias = std::max<uint32_t>(0, U / 10);
+    }
+    uint32_t Heap = U > Tp + Alias ? U - Tp - Alias : 0;
+    uint32_t Ctx = Ci > U ? Ci - U : 0;
+
+    PlantCounts &PC = S.Plants;
+    PC.TpThread = Thread;
+    uint32_t Rest = Tp - Thread;
+    PC.TpDirect = Rest - Rest / 2 - Rest / 4 - Rest / 8;
+    PC.TpWrapped = Rest / 2;
+    PC.TpMap = Rest / 4;
+    PC.TpReflective = Rest / 8;
+    // BlueBlog plants one long true positive (the optimized config's one
+    // new false negative, §7.2).
+    if (S.Name == "BlueBlog" && PC.TpDirect > 0) {
+      PC.TpLong = 1;
+      --PC.TpDirect;
+    }
+    PC.FpAlias = Alias;
+    PC.FpHeapLong = Heap / 3;
+    PC.FpHeap = Heap - PC.FpHeapLong;
+    PC.FpCtx = Ctx;
+    PC.Sanitized = std::max<uint32_t>(1, Tp / 3);
+    // Chan-heavy apps need enough filler mass that the CS channel closure
+    // exceeds its memory budget (the paper's CS out-of-memory failures).
+    uint32_t FillerFloor = PS.CsCompleted ? 10 : 220;
+    PC.FillerMethods = std::min<uint32_t>(
+        400, std::max<uint32_t>(FillerFloor, R.MethApp / 40));
+    PC.LibFillerMethods = std::min<uint32_t>(
+        200, std::max<uint32_t>(10, (R.MethTot - R.MethApp) / 2000));
+    // Webgoat: a benign cluster adjacent to taint consumes the prioritized
+    // budget; the optimized whitelist reclaims it (§7.2).
+    if (S.Name == "Webgoat")
+      PC.BallastMethods = 500;
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}

@@ -1,0 +1,70 @@
+//===- benchgen/Generator.h - Synthetic application generator --*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates one synthetic benchmark application per AppSpec, planting the
+/// taint-flow patterns whose interplay reproduces the shape of TAJ's
+/// evaluation: true flows (direct / wrapped / dictionary / reflective /
+/// inter-thread / overlong), decoys (alias conflation, heap-ordering,
+/// shared-helper context confusion), sanitized flows, a whitelisted benign
+/// cluster, and taint-free filler mass. Ground truth is tracked via source
+/// line tags, so reported issues classify mechanically into true/false
+/// positives (Figure 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_BENCHGEN_GENERATOR_H
+#define TAJ_BENCHGEN_GENERATOR_H
+
+#include "benchgen/AppSpec.h"
+#include "model/BuiltinLibrary.h"
+#include "slicer/Issue.h"
+
+#include <memory>
+#include <set>
+
+namespace taj {
+
+/// Ground truth of one generated application: the set of real flows as
+/// (source line tag, sink line tag) pairs.
+struct GroundTruth {
+  std::set<std::pair<uint32_t, uint32_t>> RealPairs;
+  uint32_t numReal() const { return static_cast<uint32_t>(RealPairs.size()); }
+};
+
+/// A generated application ready for analysis.
+struct GeneratedApp {
+  std::unique_ptr<Program> P;
+  BuiltinLibrary Lib;
+  MethodId Root = InvalidId;
+  GroundTruth Truth;
+  // Generated-code statistics (our Table 2 columns).
+  uint32_t GenClasses = 0;
+  uint32_t GenMethods = 0;
+  uint32_t GenStmts = 0;
+};
+
+/// Generates the application described by \p Spec (deterministic per seed).
+GeneratedApp generateApp(const AppSpec &Spec);
+
+/// TP/FP classification of reported issues against ground truth. Issues
+/// are collapsed to distinct (source, sink) statement pairs first.
+struct Classification {
+  uint32_t TruePositives = 0;
+  uint32_t FalsePositives = 0;
+  /// Distinct planted real flows that were found (recall numerator).
+  uint32_t RealFound = 0;
+};
+Classification classify(const Program &P, const GroundTruth &Truth,
+                        const std::vector<Issue> &Issues);
+
+/// Number of distinct (source, sink) pairs — the "Issues" column of
+/// Table 3.
+uint32_t distinctIssueCount(const std::vector<Issue> &Issues);
+
+} // namespace taj
+
+#endif // TAJ_BENCHGEN_GENERATOR_H

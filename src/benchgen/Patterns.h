@@ -1,0 +1,93 @@
+//===- benchgen/Patterns.h - Flow pattern builders (internal) --*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The individual taint-flow patterns the generator plants. Internal to
+/// the benchgen library; see Generator.h for the public entry point.
+///
+/// Line-tag protocol: flow k tags its source statement with 10000+10k and
+/// its (real or decoy) sink statement with 10000+10k+1 / +2, so reported
+/// issues map back to planted flows by line alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_BENCHGEN_PATTERNS_H
+#define TAJ_BENCHGEN_PATTERNS_H
+
+#include "benchgen/Generator.h"
+#include "ir/Builder.h"
+#include "support/Rng.h"
+
+namespace taj {
+namespace benchgen {
+
+/// Shared state while planting one application.
+struct PlantCtx {
+  Program &P;
+  Builder &B;
+  const BuiltinLibrary &Lib;
+  GroundTruth &Truth;
+  Rng &R;
+  ClassId AppCls = InvalidId; ///< holder of entry methods
+  uint32_t FlowIdx = 0;       ///< next flow number
+
+  uint32_t srcLine() const { return 10000 + 10 * FlowIdx; }
+  uint32_t sinkLine() const { return srcLine() + 1; }
+  uint32_t decoyLine() const { return srcLine() + 2; }
+};
+
+/// Plain source->sink flow; \p ChainLen identity helpers in between; if
+/// \p SinkInHelper the sink call sits in the last helper (making the flow
+/// sensitive to call-graph budgets).
+void plantDirect(PlantCtx &C, uint32_t ChainLen, bool SinkInHelper,
+                 bool Record = true);
+
+/// Taint wrapped into a fresh object flowing to the sink (§4.1.1).
+void plantWrapped(PlantCtx &C);
+
+/// Constant-key dictionary flow plus a clean key that must stay clean.
+void plantMap(PlantCtx &C);
+
+/// Class.forName / getMethod / invoke flow (§4.2.3).
+void plantReflective(PlantCtx &C);
+
+/// Reader entry (created first) loads a shared static that a worker
+/// thread, spawned by a later entry, stores tainted data into. Real under
+/// multi-threaded semantics; missed by CS thin slicing.
+void plantThread(PlantCtx &C);
+
+/// Real flow longer than the optimized flow-length filter.
+void plantLongReal(PlantCtx &C);
+
+/// Allocation-site conflation decoy every configuration reports
+/// (writer entry precedes the clean reader entry).
+void plantAliasFp(PlantCtx &C, bool SinkInHelper);
+
+/// Heap-ordering decoy: the clean reader entry runs before the tainted
+/// writer entry, so only the flow-insensitive algorithms (hybrid, CI)
+/// report it; \p ChainLen stretches the reported flow.
+void plantHeapFp(PlantCtx &C, uint32_t ChainLen, bool SinkInHelper);
+
+/// Shared-helper context-confusion decoy only CI reports.
+void plantCtxFp(PlantCtx &C);
+
+/// Endorsed flow no configuration may report.
+void plantSanitized(PlantCtx &C);
+
+/// Whitelisted benign cluster adjacent to taint (consumes the prioritized
+/// call-graph budget; reclaimed by the optimized whitelist).
+void plantBallast(PlantCtx &C, uint32_t NumMethods);
+
+/// Taint-free application/library code mass. Chan-heavy fillers touch a
+/// quadratic number of field channels, which is what makes CS thin
+/// slicing exhaust its memory budget on the larger benchmarks.
+void plantFiller(PlantCtx &C, uint32_t NumMethods, bool ChanHeavy,
+                 bool Library);
+
+} // namespace benchgen
+} // namespace taj
+
+#endif // TAJ_BENCHGEN_PATTERNS_H

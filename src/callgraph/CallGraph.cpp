@@ -1,0 +1,76 @@
+//===- callgraph/CallGraph.cpp ---------------------------------*- C++ -*-===//
+
+#include "callgraph/CallGraph.h"
+
+#include <algorithm>
+
+using namespace taj;
+
+CGNodeId CallGraph::ensureNode(MethodId M, CtxId Ctx, bool &IsNew) {
+  uint64_t Key = (static_cast<uint64_t>(M) << 32) | Ctx;
+  auto It = NodeMap.find(Key);
+  if (It != NodeMap.end()) {
+    IsNew = false;
+    return It->second;
+  }
+  IsNew = true;
+  CGNode N;
+  N.M = M;
+  N.Ctx = Ctx;
+  Nodes.push_back(N);
+  Out.emplace_back();
+  In.emplace_back();
+  CGNodeId Id = static_cast<CGNodeId>(Nodes.size() - 1);
+  NodeMap.emplace(Key, Id);
+  ByMethod[M].push_back(Id);
+  return Id;
+}
+
+bool CallGraph::addEdge(CGNodeId Caller, StmtId Site, CGNodeId Callee) {
+  uint64_t Key = (static_cast<uint64_t>(Caller) * 0x9e3779b97f4a7c15ull) ^
+                 (static_cast<uint64_t>(Site) * 0xc2b2ae3d27d4eb4full) ^
+                 Callee;
+  if (!EdgeSet.insert(Key).second)
+    return false;
+  Out[Caller].push_back({Site, Callee});
+  In[Callee].push_back(Caller);
+  MethodId CalleeM = Nodes[Callee].M;
+  auto &Merged = SiteCallees[Site];
+  if (std::find(Merged.begin(), Merged.end(), CalleeM) == Merged.end())
+    Merged.push_back(CalleeM);
+  return true;
+}
+
+const std::vector<CGNodeId> &CallGraph::nodesOf(MethodId M) const {
+  static const std::vector<CGNodeId> Empty;
+  auto It = ByMethod.find(M);
+  return It == ByMethod.end() ? Empty : It->second;
+}
+
+const std::vector<MethodId> &CallGraph::calleesAt(StmtId Site) const {
+  static const std::vector<MethodId> Empty;
+  auto It = SiteCallees.find(Site);
+  return It == SiteCallees.end() ? Empty : It->second;
+}
+
+std::string CallGraph::nodeName(const Program &P, CGNodeId N) const {
+  return P.methodName(Nodes[N].M) + "@" + std::to_string(Nodes[N].Ctx);
+}
+
+std::string CallGraph::toDot(const Program &P) const {
+  std::string Out = "digraph callgraph {\n  node [shape=box];\n";
+  for (CGNodeId N = 0; N < Nodes.size(); ++N) {
+    Out += "  n" + std::to_string(N) + " [label=\"" + nodeName(P, N) +
+           "\"";
+    if (!Nodes[N].ConstraintsAdded)
+      Out += ", style=dashed";
+    Out += "];\n";
+  }
+  for (CGNodeId N = 0; N < Nodes.size(); ++N)
+    for (const CGEdge &E : edges(N))
+      Out += "  n" + std::to_string(N) + " -> n" +
+             std::to_string(E.Callee) + " [label=\"" +
+             std::to_string(E.Site) + "\"];\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- cha/ClassHierarchy.cpp ----------------------------------*- C++ -*-===//
+
+#include "cha/ClassHierarchy.h"
+
+#include <cassert>
+
+using namespace taj;
+
+ClassHierarchy::ClassHierarchy(const Program &P) : P(P) {
+  size_t N = P.Classes.size();
+  Depth.assign(N, 0);
+  Subtypes.assign(N, {});
+  // Depth by walking the (acyclic) superclass chain; classes may be created
+  // in any order by the frontend.
+  for (ClassId C = 0; C < N; ++C) {
+    uint32_t D = 0;
+    for (ClassId A = P.Classes[C].Super; A != InvalidId;
+         A = P.Classes[A].Super) {
+      ++D;
+      assert(D <= N && "cycle in class hierarchy");
+    }
+    Depth[C] = D;
+  }
+  for (ClassId C = 0; C < N; ++C)
+    for (ClassId A = C; A != InvalidId; A = P.Classes[A].Super)
+      Subtypes[A].push_back(C);
+}
+
+bool ClassHierarchy::isSubclassOf(ClassId Sub, ClassId Super) const {
+  for (ClassId A = Sub; A != InvalidId; A = P.Classes[A].Super)
+    if (A == Super)
+      return true;
+  return false;
+}
+
+MethodId ClassHierarchy::resolveVirtual(ClassId Recv, Symbol Name) const {
+  for (ClassId A = Recv; A != InvalidId; A = P.Classes[A].Super)
+    for (MethodId M : P.Classes[A].Methods)
+      if (P.Methods[M].Name == Name)
+        return M;
+  return InvalidId;
+}
+
+FieldId ClassHierarchy::resolveField(ClassId C, Symbol Name) const {
+  for (ClassId A = C; A != InvalidId; A = P.Classes[A].Super)
+    for (FieldId F : P.Classes[A].Fields)
+      if (P.Fields[F].Name == Name)
+        return F;
+  return InvalidId;
+}

@@ -1,0 +1,58 @@
+//===- cha/ClassHierarchy.h - Class-hierarchy analysis ---------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Class-hierarchy analysis over a TIR program: subtype tests, virtual
+/// dispatch resolution (walking the superclass chain), enumeration of
+/// concrete subtypes, and field lookup through inheritance. The pointer
+/// analysis and the framework models (Struts ActionForm synthesis) consume
+/// this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_CHA_CLASSHIERARCHY_H
+#define TAJ_CHA_CLASSHIERARCHY_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace taj {
+
+/// Precomputed hierarchy queries for one Program. Build after the program
+/// is complete; adding classes afterwards invalidates the instance.
+class ClassHierarchy {
+public:
+  explicit ClassHierarchy(const Program &P);
+
+  /// True if \p Sub is \p Super or a (transitive) subclass of it.
+  bool isSubclassOf(ClassId Sub, ClassId Super) const;
+
+  /// Resolves a virtual call with receiver class \p Recv and method name
+  /// \p Name by walking up the superclass chain. Returns InvalidId if no
+  /// implementation exists.
+  MethodId resolveVirtual(ClassId Recv, Symbol Name) const;
+
+  /// All classes that are \p C or transitively extend it, in id order.
+  const std::vector<ClassId> &subtypes(ClassId C) const {
+    return Subtypes[C];
+  }
+
+  /// Finds field \p Name on \p C or a superclass. InvalidId if absent.
+  FieldId resolveField(ClassId C, Symbol Name) const;
+
+  /// Depth of \p C in the hierarchy (root = 0).
+  uint32_t depth(ClassId C) const { return Depth[C]; }
+
+private:
+  const Program &P;
+  std::vector<uint32_t> Depth;
+  std::vector<std::vector<ClassId>> Subtypes;
+};
+
+} // namespace taj
+
+#endif // TAJ_CHA_CLASSHIERARCHY_H

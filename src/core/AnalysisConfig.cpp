@@ -1,0 +1,71 @@
+//===- core/AnalysisConfig.cpp ---------------------------------*- C++ -*-===//
+
+#include "core/AnalysisConfig.h"
+
+using namespace taj;
+
+PointsToOptions AnalysisConfig::pointsToOptions() const {
+  PointsToOptions O;
+  O.Prioritized = Prioritized;
+  O.MaxCallGraphNodes = MaxCallGraphNodes;
+  O.ExcludeWhitelisted = ExcludeWhitelisted;
+  O.JndiBindings = JndiBindings;
+  O.EjbHomeToBean = EjbHomeToBean;
+  return O;
+}
+
+SlicerOptions AnalysisConfig::slicerOptions() const {
+  SlicerOptions O;
+  O.MaxHeapTransitions = MaxHeapTransitions;
+  O.MaxFlowLength = MaxFlowLength;
+  O.NestedTaintDepth = NestedTaintDepth;
+  O.ModelExceptionSources = ModelExceptionSources;
+  O.CsChanBudget = CsChanBudget;
+  return O;
+}
+
+AnalysisConfig AnalysisConfig::hybridUnbounded() {
+  AnalysisConfig C;
+  C.Name = "hybrid-unbounded";
+  C.Slicer = SlicerKind::Hybrid;
+  return C;
+}
+
+AnalysisConfig AnalysisConfig::hybridPrioritized(uint32_t CgBudget) {
+  AnalysisConfig C;
+  C.Name = "hybrid-prioritized";
+  C.Slicer = SlicerKind::Hybrid;
+  C.Prioritized = true;
+  C.MaxCallGraphNodes = CgBudget;
+  return C;
+}
+
+AnalysisConfig AnalysisConfig::hybridOptimized(uint32_t CgBudget,
+                                               uint32_t HeapTransitions,
+                                               uint32_t FlowLength,
+                                               uint32_t NestedDepth) {
+  AnalysisConfig C;
+  C.Name = "hybrid-optimized";
+  C.Slicer = SlicerKind::Hybrid;
+  C.Prioritized = true;
+  C.MaxCallGraphNodes = CgBudget;
+  C.ExcludeWhitelisted = true;
+  C.MaxHeapTransitions = HeapTransitions;
+  C.MaxFlowLength = FlowLength;
+  C.NestedTaintDepth = NestedDepth;
+  return C;
+}
+
+AnalysisConfig AnalysisConfig::cs() {
+  AnalysisConfig C;
+  C.Name = "cs";
+  C.Slicer = SlicerKind::CS;
+  return C;
+}
+
+AnalysisConfig AnalysisConfig::ci() {
+  AnalysisConfig C;
+  C.Name = "ci";
+  C.Slicer = SlicerKind::CI;
+  return C;
+}

@@ -1,0 +1,82 @@
+//===- core/AnalysisConfig.h - Configurations of Table 1 -------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end analysis configuration, with the five presets evaluated in
+/// TAJ §7 (Table 1): three hybrid variants (unbounded, prioritized under a
+/// call-graph bound, fully optimized with all §6 bounds and code
+/// reduction), CS thin slicing, and CI thin slicing. All configurations
+/// use the synthetic models of §4, which "are key to good performance".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_CORE_ANALYSISCONFIG_H
+#define TAJ_CORE_ANALYSISCONFIG_H
+
+#include "pointsto/Solver.h"
+#include "slicer/Slicer.h"
+
+#include <string>
+
+namespace taj {
+
+/// Which slicing algorithm runs on top of the pointer analysis.
+enum class SlicerKind : uint8_t { Hybrid, CS, CI };
+
+/// One analysis configuration.
+struct AnalysisConfig {
+  std::string Name = "hybrid-unbounded";
+  SlicerKind Slicer = SlicerKind::Hybrid;
+
+  /// §6.1 priority-driven call-graph construction.
+  bool Prioritized = false;
+  /// Call-graph node budget (0 = unbounded). The paper uses 20,000.
+  uint32_t MaxCallGraphNodes = 0;
+  /// §4.2.1 code reduction: exclude whitelisted benign classes.
+  bool ExcludeWhitelisted = false;
+
+  /// §6.2.1: bound on store->load slice expansions (paper: 20,000).
+  uint32_t MaxHeapTransitions = 0;
+  /// §6.2.2: flows longer than this are filtered (paper: 14).
+  uint32_t MaxFlowLength = 0;
+  /// §6.2.3: nested-taint field-dereference bound (paper: 2).
+  uint32_t NestedTaintDepth = 32;
+
+  /// §4.1.2 exception modeling.
+  bool ModelExceptionSources = true;
+
+  /// Memory budget (channel nodes) for CS thin slicing.
+  uint64_t CsChanBudget = 20000;
+
+  /// Deployment-descriptor bindings (§4.2.2), forwarded to the solver.
+  std::unordered_map<std::string, ClassId> JndiBindings;
+  std::unordered_map<ClassId, ClassId> EjbHomeToBean;
+
+  PointsToOptions pointsToOptions() const;
+  SlicerOptions slicerOptions() const;
+
+  //===--------------------------------------------------------------------===//
+  // Table 1 presets
+  //===--------------------------------------------------------------------===//
+
+  /// Hybrid thin slicing, no bounds.
+  static AnalysisConfig hybridUnbounded();
+  /// Hybrid + priority-driven call-graph construction under \p CgBudget.
+  static AnalysisConfig hybridPrioritized(uint32_t CgBudget = 20000);
+  /// Hybrid + priority + every §6 bound + whitelist code reduction.
+  static AnalysisConfig hybridOptimized(uint32_t CgBudget = 20000,
+                                        uint32_t HeapTransitions = 20000,
+                                        uint32_t FlowLength = 14,
+                                        uint32_t NestedDepth = 2);
+  /// Context-sensitive thin slicing baseline.
+  static AnalysisConfig cs();
+  /// Context-insensitive thin slicing baseline.
+  static AnalysisConfig ci();
+};
+
+} // namespace taj
+
+#endif // TAJ_CORE_ANALYSISCONFIG_H

@@ -1,0 +1,53 @@
+//===- core/SecurityRules.cpp ----------------------------------*- C++ -*-===//
+
+#include "core/SecurityRules.h"
+
+using namespace taj;
+
+static MethodId findByName(const Program &P, const std::string &Cls,
+                           const std::string &Meth) {
+  ClassId C = P.findClass(Cls);
+  if (C == InvalidId)
+    return InvalidId;
+  return P.findMethod(C, Meth);
+}
+
+size_t SecurityRuleSet::apply(Program &P, size_t *UnmatchedOut) const {
+  size_t Applied = 0, Unmatched = 0;
+  for (const SourceSpec &S : Sources) {
+    MethodId M = findByName(P, S.ClassName, S.MethodName);
+    if (M == InvalidId) {
+      ++Unmatched;
+      continue;
+    }
+    P.Methods[M].SourceRules |= S.Rules;
+    ++Applied;
+  }
+  for (const SanitizerSpec &S : Sanitizers) {
+    MethodId M = findByName(P, S.ClassName, S.MethodName);
+    if (M == InvalidId) {
+      ++Unmatched;
+      continue;
+    }
+    P.Methods[M].SanitizerRules |= S.Rules;
+    ++Applied;
+  }
+  for (const SinkSpec &S : Sinks) {
+    MethodId M = findByName(P, S.ClassName, S.MethodName);
+    if (M == InvalidId) {
+      ++Unmatched;
+      continue;
+    }
+    Method &Meth = P.Methods[M];
+    Meth.SinkRules |= S.Rules;
+    uint32_t Mask = S.ParamMask;
+    if (Mask == 0)
+      for (uint32_t K = Meth.IsStatic ? 0 : 1; K < Meth.NumParams; ++K)
+        Mask |= 1u << K;
+    Meth.SinkParamMask |= Mask;
+    ++Applied;
+  }
+  if (UnmatchedOut)
+    *UnmatchedOut = Unmatched;
+  return Applied;
+}

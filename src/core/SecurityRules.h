@@ -1,0 +1,69 @@
+//===- core/SecurityRules.h - Security rule specification ------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// External specification of security rules (TAJ §3): a rule is a triple
+/// (sources, sanitizers, sinks). Rules may be baked into a program via
+/// method attributes (the model library does this) or applied by name with
+/// a SecurityRuleSet, which is how a downstream user points TAJ at their
+/// own frameworks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_CORE_SECURITYRULES_H
+#define TAJ_CORE_SECURITYRULES_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace taj {
+
+/// Marks a method's return value as tainted for Rules.
+struct SourceSpec {
+  std::string ClassName;
+  std::string MethodName;
+  RuleMask Rules = rules::All;
+};
+
+/// Marks a method as endorsing (cleaning) Rules.
+struct SanitizerSpec {
+  std::string ClassName;
+  std::string MethodName;
+  RuleMask Rules = rules::All;
+};
+
+/// Marks a method as a sink for Rules; ParamMask selects the sensitive
+/// parameters (0 = every non-receiver parameter).
+struct SinkSpec {
+  std::string ClassName;
+  std::string MethodName;
+  RuleMask Rules = rules::All;
+  uint32_t ParamMask = 0;
+};
+
+/// A bundle of rules applied to a program by (class, method) name.
+class SecurityRuleSet {
+public:
+  void addSource(SourceSpec S) { Sources.push_back(std::move(S)); }
+  void addSanitizer(SanitizerSpec S) { Sanitizers.push_back(std::move(S)); }
+  void addSink(SinkSpec S) { Sinks.push_back(std::move(S)); }
+
+  /// Applies every spec; returns the number of methods annotated. Specs
+  /// naming unknown classes/methods are skipped (counted separately via
+  /// \p UnmatchedOut if given).
+  size_t apply(Program &P, size_t *UnmatchedOut = nullptr) const;
+
+private:
+  std::vector<SourceSpec> Sources;
+  std::vector<SanitizerSpec> Sanitizers;
+  std::vector<SinkSpec> Sinks;
+};
+
+} // namespace taj
+
+#endif // TAJ_CORE_SECURITYRULES_H

@@ -1,0 +1,42 @@
+//===- core/TaintAnalysis.cpp ----------------------------------*- C++ -*-===//
+
+#include "core/TaintAnalysis.h"
+
+using namespace taj;
+
+TaintAnalysis::TaintAnalysis(const Program &P, AnalysisConfig Config)
+    : P(P), Config(std::move(Config)), CHA(P) {}
+
+TaintAnalysis::~TaintAnalysis() = default;
+
+AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
+  AnalysisResult Out;
+  Timer T;
+
+  // Phase 1: pointer analysis and call-graph construction (§3.1).
+  const_cast<Program &>(P).indexStatements();
+  Solver =
+      std::make_unique<PointsToSolver>(P, CHA, Config.pointsToOptions());
+  Solver->solve(Roots);
+  Out.BudgetExhausted = Solver->budgetExhausted();
+  Out.CgNodesProcessed = Solver->callGraph().numProcessed();
+
+  // Phase 2: thin slicing from sources (§3.2).
+  SliceRunResult SR;
+  switch (Config.Slicer) {
+  case SlicerKind::Hybrid:
+    SR = runHybridSlicer(P, CHA, *Solver, Config.slicerOptions());
+    break;
+  case SlicerKind::CS:
+    SR = runCsSlicer(P, CHA, *Solver, Config.slicerOptions());
+    break;
+  case SlicerKind::CI:
+    SR = runCiSlicer(P, CHA, *Solver, Config.slicerOptions());
+    break;
+  }
+  Out.Completed = SR.Completed;
+  Out.Issues = std::move(SR.Issues);
+  Out.SliceWork = SR.PathEdges;
+  Out.Millis = T.elapsedMs();
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- core/TaintAnalysis.h - End-to-end TAJ pipeline ----------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level TAJ pipeline (§3): pointer analysis + call-graph
+/// construction, followed by thin slicing from taint sources, under one of
+/// the Table 1 configurations. This is the main entry point of the
+/// library:
+///
+/// \code
+///   Program P;                      // built via Builder or parseTaj
+///   installBuiltinLibrary(P);       // model library, done before parsing
+///   ...                             // app classes
+///   MethodId Root = synthesizeEntrypointDriver(P, Lib);
+///   TaintAnalysis TA(P, AnalysisConfig::hybridUnbounded());
+///   AnalysisResult R = TA.run({Root});
+///   for (const Issue &I : R.Issues) ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_CORE_TAINTANALYSIS_H
+#define TAJ_CORE_TAINTANALYSIS_H
+
+#include "cha/ClassHierarchy.h"
+#include "core/AnalysisConfig.h"
+#include "slicer/Issue.h"
+#include "support/Stats.h"
+
+#include <memory>
+
+namespace taj {
+
+/// Output of one end-to-end analysis run.
+struct AnalysisResult {
+  /// False when the configuration failed (CS out of memory).
+  bool Completed = true;
+  /// True when a budget truncated the call graph (result underapproximate).
+  bool BudgetExhausted = false;
+  /// Wall-clock time of the whole run.
+  double Millis = 0;
+  /// Reported tainted flows, deduplicated by (source, sink, rule).
+  std::vector<Issue> Issues;
+  /// Work metric of the slicing phase.
+  uint64_t SliceWork = 0;
+  /// Call-graph nodes processed.
+  uint32_t CgNodesProcessed = 0;
+};
+
+/// Runs the two TAJ phases on a finished program.
+class TaintAnalysis {
+public:
+  TaintAnalysis(const Program &P, AnalysisConfig Config = {});
+  ~TaintAnalysis();
+  TaintAnalysis(const TaintAnalysis &) = delete;
+  TaintAnalysis &operator=(const TaintAnalysis &) = delete;
+
+  /// Runs pointer analysis from \p Roots, then the configured slicer.
+  /// The program must have been indexStatements()'d; run() does it if not.
+  AnalysisResult run(const std::vector<MethodId> &Roots);
+
+  /// The solved pointer analysis (valid after run()).
+  const PointsToSolver &solver() const { return *Solver; }
+  const ClassHierarchy &hierarchy() const { return CHA; }
+  const AnalysisConfig &config() const { return Config; }
+
+private:
+  const Program &P;
+  AnalysisConfig Config;
+  ClassHierarchy CHA;
+  std::unique_ptr<PointsToSolver> Solver;
+};
+
+} // namespace taj
+
+#endif // TAJ_CORE_TAINTANALYSIS_H

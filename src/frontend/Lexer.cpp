@@ -1,0 +1,171 @@
+//===- frontend/Lexer.cpp --------------------------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+
+using namespace taj;
+
+Lexer::Lexer(std::string_view Src, std::vector<std::string> &Errors) {
+  size_t I = 0, N = Src.size();
+  uint32_t Line = 1, Col = 1;
+  auto Error = [&](const std::string &Msg) {
+    Errors.push_back(std::to_string(Line) + ":" + std::to_string(Col) + ": " +
+                     Msg);
+  };
+  auto Advance = [&]() {
+    if (Src[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+  auto Push = [&](TokKind K, std::string Text = "", int64_t V = 0) {
+    Token T;
+    T.Kind = K;
+    T.Text = std::move(Text);
+    T.IntVal = V;
+    T.Line = Line;
+    T.Col = Col;
+    Toks.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Src[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      while (I < N && Src[I] != '\n')
+        Advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$') {
+      uint32_t StartLine = Line, StartCol = Col;
+      std::string Text;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Src[I])) ||
+                       Src[I] == '_' || Src[I] == '$')) {
+        Text += Src[I];
+        Advance();
+      }
+      Token T;
+      T.Kind = TokKind::Ident;
+      T.Text = std::move(Text);
+      T.Line = StartLine;
+      T.Col = StartCol;
+      Toks.push_back(std::move(T));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Src[I + 1])))) {
+      uint32_t StartLine = Line, StartCol = Col;
+      bool Neg = C == '-';
+      if (Neg)
+        Advance();
+      int64_t V = 0;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Src[I]))) {
+        V = V * 10 + (Src[I] - '0');
+        Advance();
+      }
+      Token T;
+      T.Kind = TokKind::Int;
+      T.IntVal = Neg ? -V : V;
+      T.Line = StartLine;
+      T.Col = StartCol;
+      Toks.push_back(std::move(T));
+      continue;
+    }
+    if (C == '"') {
+      uint32_t StartLine = Line, StartCol = Col;
+      Advance();
+      std::string Text;
+      bool Closed = false;
+      while (I < N) {
+        char D = Src[I];
+        if (D == '"') {
+          Advance();
+          Closed = true;
+          break;
+        }
+        if (D == '\\' && I + 1 < N) {
+          Advance();
+          Text += Src[I];
+          Advance();
+          continue;
+        }
+        Text += D;
+        Advance();
+      }
+      if (!Closed)
+        Error("unterminated string literal");
+      Token T;
+      T.Kind = TokKind::String;
+      T.Text = std::move(Text);
+      T.Line = StartLine;
+      T.Col = StartCol;
+      Toks.push_back(std::move(T));
+      continue;
+    }
+    switch (C) {
+    case '{':
+      Push(TokKind::LBrace);
+      break;
+    case '}':
+      Push(TokKind::RBrace);
+      break;
+    case '(':
+      Push(TokKind::LParen);
+      break;
+    case ')':
+      Push(TokKind::RParen);
+      break;
+    case '[':
+      Push(TokKind::LBracket);
+      break;
+    case ']':
+      Push(TokKind::RBracket);
+      break;
+    case ',':
+      Push(TokKind::Comma);
+      break;
+    case ';':
+      Push(TokKind::Semi);
+      break;
+    case ':':
+      Push(TokKind::Colon);
+      break;
+    case '.':
+      Push(TokKind::Dot);
+      break;
+    case '+':
+      Push(TokKind::Plus);
+      break;
+    case '-':
+      Push(TokKind::Minus);
+      break;
+    case '*':
+      Push(TokKind::Star);
+      break;
+    case '<':
+      Push(TokKind::Less);
+      break;
+    case '=':
+      if (I + 1 < N && Src[I + 1] == '=') {
+        Push(TokKind::EqEq);
+        Advance();
+      } else {
+        Push(TokKind::Assign);
+      }
+      break;
+    default:
+      Error(std::string("unexpected character '") + C + "'");
+      break;
+    }
+    Advance();
+  }
+  Push(TokKind::Eof);
+}

@@ -1,0 +1,78 @@
+//===- frontend/Lexer.h - Tokenizer for the .taj language ------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual TIR surface syntax (".taj"). Comments run from
+/// "//" to end of line. String literals use double quotes with \\ and \"
+/// escapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_FRONTEND_LEXER_H
+#define TAJ_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace taj {
+
+/// Token kinds produced by the Lexer.
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,   ///< identifiers and keywords (keyword check by text)
+  String,  ///< string literal, Text holds the unescaped contents
+  Int,     ///< integer literal, IntVal holds the value
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  Assign,  ///< '='
+  Plus,
+  Minus,
+  Star,
+  EqEq,    ///< '=='
+  Less
+};
+
+/// One token with its source position.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t IntVal = 0;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isIdent(std::string_view S) const {
+    return Kind == TokKind::Ident && Text == S;
+  }
+};
+
+/// Tokenizes a whole buffer up front.
+class Lexer {
+public:
+  /// Tokenizes \p Source; lexical errors are appended to \p Errors as
+  /// "line:col: message" strings.
+  Lexer(std::string_view Source, std::vector<std::string> &Errors);
+
+  /// The token stream, terminated by an Eof token.
+  const std::vector<Token> &tokens() const { return Toks; }
+
+private:
+  std::vector<Token> Toks;
+};
+
+} // namespace taj
+
+#endif // TAJ_FRONTEND_LEXER_H

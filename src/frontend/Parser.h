@@ -1,0 +1,69 @@
+//===- frontend/Parser.h - Parser for the .taj language --------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the textual TIR surface syntax. Parsed
+/// classes are added to an existing Program (normally one pre-populated
+/// with the built-in model library) and method bodies are converted to SSA.
+///
+/// Surface syntax sketch:
+/// \code
+///   class Motivating extends Servlet {
+///     field s: String;
+///     method doGet(this: Motivating, req: Request, resp: Response): void
+///         [entry] {
+///       t1 = req.getParameter("fName");
+///       w = resp.getWriter();
+///       w.println(t1);
+///     }
+///   }
+/// \endcode
+///
+/// Attributes in brackets annotate classes (library, collection, map,
+/// stringcarrier, whitelisted, thread, actionform) and methods (entry,
+/// factory, source(rule...), sanitizer(rule...), sink(rule..., paramIdx...),
+/// intrinsic(name)); rules are xss, sqli, file, leak, all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_FRONTEND_PARSER_H
+#define TAJ_FRONTEND_PARSER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace taj {
+
+/// Parses .taj source text into a Program.
+class Parser {
+public:
+  /// Prepares to parse \p Source into \p P.
+  Parser(Program &P, std::string_view Source);
+
+  /// Runs the parse. Returns true on success (no errors).
+  bool parse();
+
+  /// Diagnostics accumulated during lexing/parsing ("line:col: message").
+  const std::vector<std::string> &errors() const { return Errors; }
+
+private:
+  struct Impl;
+  Program &P;
+  std::string Source;
+  std::vector<std::string> Errors;
+};
+
+/// Convenience: parses \p Source into \p P; returns false and fills
+/// \p ErrorsOut on failure.
+bool parseTaj(Program &P, std::string_view Source,
+              std::vector<std::string> *ErrorsOut = nullptr);
+
+} // namespace taj
+
+#endif // TAJ_FRONTEND_PARSER_H

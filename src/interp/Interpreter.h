@@ -1,0 +1,135 @@
+//===- interp/Interpreter.h - Concrete TIR interpreter ---------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete interpreter for TIR with dynamic taint tracking. It serves as
+/// the test oracle for the static analyses: every dynamically observed
+/// source-to-sink flow must be reported by the sound static configurations
+/// (hybrid and CI thin slicing), and every dynamically observed points-to
+/// fact must be contained in the static points-to solution.
+///
+/// Threads (Thread.start) are executed synchronously, which is one valid
+/// interleaving. Exceptions are modeled loosely: `throw` unwinds the
+/// current method, `caught` materializes a fresh exception object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_INTERP_INTERPRETER_H
+#define TAJ_INTERP_INTERPRETER_H
+
+#include "cha/ClassHierarchy.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace taj {
+
+/// A dynamically observed tainted flow.
+struct DynamicFlow {
+  StmtId Source = 0;
+  StmtId Sink = 0;
+  RuleMask Rule = rules::None;
+  bool operator<(const DynamicFlow &O) const {
+    return std::tie(Source, Sink, Rule) < std::tie(O.Source, O.Sink, O.Rule);
+  }
+};
+
+/// Interpreter configuration.
+struct InterpOptions {
+  uint64_t MaxSteps = 1u << 20;
+  uint32_t MaxCallDepth = 200;
+  /// JNDI name -> bean class (mirrors PointsToOptions::JndiBindings).
+  std::unordered_map<std::string, ClassId> JndiBindings;
+  std::unordered_map<ClassId, ClassId> EjbHomeToBean;
+};
+
+/// Runs TIR programs concretely.
+class Interpreter {
+public:
+  Interpreter(const Program &P, const ClassHierarchy &CHA,
+              InterpOptions Opts = {});
+
+  /// Executes the given entry methods in order (each with freshly created
+  /// argument objects). Returns false if the step budget was exhausted.
+  bool run(const std::vector<MethodId> &Entries);
+
+  /// All observed source-to-sink flows.
+  const std::set<DynamicFlow> &flows() const { return Flows; }
+
+  /// Dynamic points-to observations: (method, value) -> allocation sites.
+  const std::map<std::pair<MethodId, ValueId>, std::set<StmtId>> &
+  observedPointsTo() const {
+    return PtsObs;
+  }
+
+  /// Dynamic call edges: call statement -> callee methods.
+  const std::map<StmtId, std::set<MethodId>> &observedCallees() const {
+    return CallObs;
+  }
+
+private:
+  struct Obj;
+
+  /// One taint origin carried by a runtime value.
+  struct Origin {
+    StmtId Source;
+    RuleMask Rules;
+  };
+
+  /// A runtime value: an integer or a reference (index into Heap; -1 null),
+  /// plus taint origins.
+  struct Value {
+    int64_t Int = 0;
+    int32_t Ref = -1;
+    bool IsRef = false;
+    std::vector<Origin> Taint;
+  };
+
+  struct Obj {
+    ClassId Cls = InvalidId;
+    StmtId AllocSite = 0;
+    bool IsArray = false;
+    uint32_t Extra = 0; ///< ClassId/MethodId for reflective objects.
+    enum Kind : uint8_t { Plain, ClassObj, MethodObj } K = Plain;
+    std::string StrContent; ///< contents for string objects (map keys)
+    std::map<FieldId, Value> Fields;
+    std::vector<Value> ArrayElems;
+    std::map<std::string, Value> MapData;
+    std::vector<Value> CollData;
+  };
+
+  Value callMethod(MethodId M, std::vector<Value> Args, StmtId CallSite);
+  Value applyIntrinsic(const Method &CalM, const std::vector<Value> &Args,
+                       StmtId Site);
+  void recordSink(const Method &CalM, const std::vector<Value> &Args,
+                  StmtId Site);
+  void collectNestedOrigins(const Value &V, std::vector<Origin> &Out,
+                            int Depth, std::set<int32_t> &Seen);
+  int32_t newObj(ClassId Cls, StmtId Site, bool IsArray = false);
+  static void mergeTaint(Value &Dst, const Value &Src);
+  std::string stringOf(const Value &V) const;
+
+  const Program &P;
+  const ClassHierarchy &CHA;
+  InterpOptions Opts;
+
+  std::vector<Obj> Heap;
+  std::map<FieldId, Value> Statics;
+  std::set<DynamicFlow> Flows;
+  std::map<std::pair<MethodId, ValueId>, std::set<StmtId>> PtsObs;
+  std::map<StmtId, std::set<MethodId>> CallObs;
+  uint64_t Steps = 0;
+  uint32_t Depth = 0;
+  bool OutOfBudget = false;
+};
+
+} // namespace taj
+
+#endif // TAJ_INTERP_INTERPRETER_H

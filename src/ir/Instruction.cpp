@@ -1,0 +1,52 @@
+//===- ir/Instruction.cpp --------------------------------------*- C++ -*-===//
+
+#include "ir/Instruction.h"
+
+namespace taj {
+
+/// Mnemonic for \p Op (used by diagnostics and the SDG printer).
+const char *opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstStr:
+    return "conststr";
+  case Opcode::ConstInt:
+    return "constint";
+  case Opcode::New:
+    return "new";
+  case Opcode::NewArray:
+    return "newarray";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::ArrayLoad:
+    return "arrayload";
+  case Opcode::ArrayStore:
+    return "arraystore";
+  case Opcode::StaticLoad:
+    return "staticload";
+  case Opcode::StaticStore:
+    return "staticstore";
+  case Opcode::Binop:
+    return "binop";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Return:
+    return "return";
+  case Opcode::Goto:
+    return "goto";
+  case Opcode::If:
+    return "if";
+  case Opcode::Caught:
+    return "caught";
+  case Opcode::Throw:
+    return "throw";
+  }
+  return "?";
+}
+
+} // namespace taj

@@ -1,0 +1,174 @@
+//===- ir/Printer.cpp ------------------------------------------*- C++ -*-===//
+
+#include "ir/Printer.h"
+
+using namespace taj;
+
+std::string taj::printType(const Program &P, Type T) {
+  switch (T.Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Ref:
+    return std::string(P.Pool.str(P.Classes[T.Cls].Name));
+  case TypeKind::Array:
+    return std::string(P.Pool.str(P.Classes[T.Cls].Name)) + "[]";
+  }
+  return "?";
+}
+
+static std::string val(ValueId V) {
+  if (V == NoValue)
+    return "undef";
+  return "v" + std::to_string(V);
+}
+
+static const char *binopName(BinopKind K) {
+  switch (K) {
+  case BinopKind::Add:
+    return "+";
+  case BinopKind::Sub:
+    return "-";
+  case BinopKind::Mul:
+    return "*";
+  case BinopKind::Eq:
+    return "==";
+  case BinopKind::Lt:
+    return "<";
+  }
+  return "?";
+}
+
+std::string taj::printInst(const Program &P, const Instruction &I) {
+  auto ClsName = [&](ClassId C) {
+    return std::string(C == InvalidId ? "?" : P.Pool.str(P.Classes[C].Name));
+  };
+  auto FieldName = [&](FieldId F) {
+    return std::string(F == InvalidId ? "?" : P.Pool.str(P.Fields[F].Name));
+  };
+  std::string Out;
+  if (I.hasDst())
+    Out = val(I.Dst) + " = ";
+  switch (I.Op) {
+  case Opcode::ConstStr:
+    Out += "\"" + std::string(P.Pool.str(I.StrLit)) + "\"";
+    break;
+  case Opcode::ConstInt:
+    Out += std::to_string(I.IntLit);
+    break;
+  case Opcode::New:
+    Out += "new " + ClsName(I.Cls);
+    break;
+  case Opcode::NewArray:
+    Out += "new " + ClsName(I.Cls) + "[]";
+    break;
+  case Opcode::Copy:
+    Out += val(I.Args[0]);
+    break;
+  case Opcode::Phi: {
+    Out += "phi(";
+    for (size_t K = 0; K < I.Args.size(); ++K) {
+      if (K)
+        Out += ", ";
+      Out += val(I.Args[K]);
+    }
+    Out += ")";
+    break;
+  }
+  case Opcode::Load:
+    Out += val(I.Args[0]) + "." + FieldName(I.Field);
+    break;
+  case Opcode::Store:
+    Out += val(I.Args[0]) + "." + FieldName(I.Field) + " = " + val(I.Args[1]);
+    break;
+  case Opcode::ArrayLoad:
+    Out += val(I.Args[0]) + "[*]";
+    break;
+  case Opcode::ArrayStore:
+    Out += val(I.Args[0]) + "[*] = " + val(I.Args[1]);
+    break;
+  case Opcode::StaticLoad:
+    Out += ClsName(P.Fields[I.Field].Owner) + "." + FieldName(I.Field);
+    break;
+  case Opcode::StaticStore:
+    Out += ClsName(P.Fields[I.Field].Owner) + "." + FieldName(I.Field) +
+           " = " + val(I.Args[0]);
+    break;
+  case Opcode::Binop:
+    Out += val(I.Args[0]) + " " +
+           binopName(static_cast<BinopKind>(I.IntLit)) + " " + val(I.Args[1]);
+    break;
+  case Opcode::Call: {
+    Out += "call ";
+    size_t First = 0;
+    if (I.CKind == CallKind::Static) {
+      Out += ClsName(I.Cls) + ".";
+    } else {
+      Out += val(I.Args[0]) + ".";
+      First = 1;
+    }
+    Out += std::string(P.Pool.str(I.CalleeName)) + "(";
+    for (size_t K = First; K < I.Args.size(); ++K) {
+      if (K != First)
+        Out += ", ";
+      Out += val(I.Args[K]);
+    }
+    Out += ")";
+    break;
+  }
+  case Opcode::Return:
+    Out += I.Args.empty() ? "return" : "return " + val(I.Args[0]);
+    break;
+  case Opcode::Goto:
+    Out += "goto B" + std::to_string(I.Target);
+    break;
+  case Opcode::If:
+    Out += "if " + val(I.Args[0]) + " goto B" + std::to_string(I.Target) +
+           " else B" + std::to_string(I.Target2);
+    break;
+  case Opcode::Caught:
+    Out += "caught";
+    break;
+  case Opcode::Throw:
+    Out += "throw " + val(I.Args[0]);
+    break;
+  }
+  return Out;
+}
+
+std::string taj::printMethod(const Program &P, MethodId MId) {
+  const Method &M = P.Methods[MId];
+  std::string Out = "method " + P.methodName(MId) + "(";
+  for (uint32_t K = 0; K < M.NumParams; ++K) {
+    if (K)
+      Out += ", ";
+    Out += "v" + std::to_string(K) + ": " + printType(P, M.ParamTypes[K]);
+  }
+  Out += "): " + printType(P, M.RetType) + " {\n";
+  for (size_t B = 0; B < M.Blocks.size(); ++B) {
+    Out += "B" + std::to_string(B) + ":\n";
+    for (const Instruction &I : M.Blocks[B].Insts)
+      Out += "  " + printInst(P, I) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string taj::printProgram(const Program &P) {
+  std::string Out;
+  for (const Class &C : P.Classes) {
+    Out += "class " + std::string(P.Pool.str(C.Name));
+    if (C.Super != InvalidId)
+      Out += " extends " + std::string(P.Pool.str(P.Classes[C.Super].Name));
+    Out += " {\n";
+    for (FieldId F : C.Fields)
+      Out += "  field " + std::string(P.Pool.str(P.Fields[F].Name)) + ": " +
+             printType(P, P.Fields[F].Ty) + ";\n";
+    Out += "}\n";
+    for (MethodId M : C.Methods)
+      if (P.Methods[M].hasBody())
+        Out += printMethod(P, M);
+  }
+  return Out;
+}

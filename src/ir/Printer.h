@@ -1,0 +1,36 @@
+//===- ir/Printer.h - Textual dump of TIR ----------------------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders TIR programs, methods and instructions as text (the same surface
+/// syntax the frontend parses, modulo SSA value names).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_IR_PRINTER_H
+#define TAJ_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace taj {
+
+/// Renders one instruction.
+std::string printInst(const Program &P, const Instruction &I);
+
+/// Renders one method body (signature, blocks, instructions).
+std::string printMethod(const Program &P, MethodId M);
+
+/// Renders the entire program.
+std::string printProgram(const Program &P);
+
+/// Renders a type.
+std::string printType(const Program &P, Type T);
+
+} // namespace taj
+
+#endif // TAJ_IR_PRINTER_H

@@ -1,0 +1,10 @@
+//===- ir/Type.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "ir/Type.h"
+
+// Type is header-only; this TU anchors the library.
+namespace taj {
+namespace {
+[[maybe_unused]] constexpr TypeKind AnchorKind = TypeKind::Void;
+} // namespace
+} // namespace taj

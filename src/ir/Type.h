@@ -1,0 +1,60 @@
+//===- ir/Type.h - TIR types -----------------------------------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types of the TAJ intermediate representation (TIR). TIR is a small
+/// Java-like register-transfer language: values are either primitive ints
+/// (which double as booleans), references to class instances, or references
+/// to arrays of class instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_IR_TYPE_H
+#define TAJ_IR_TYPE_H
+
+#include <cstdint>
+
+namespace taj {
+
+/// Dense id of a class in a Program. Index into Program::Classes.
+using ClassId = uint32_t;
+/// Dense id of a method in a Program. Index into Program::Methods.
+using MethodId = uint32_t;
+/// Dense id of a field in a Program. Index into Program::Fields.
+using FieldId = uint32_t;
+
+/// Sentinel for "no id".
+inline constexpr uint32_t InvalidId = ~0u;
+
+/// The coarse kind of a TIR type.
+enum class TypeKind : uint8_t {
+  Void, ///< No value (method return only).
+  Int,  ///< Primitive integer / boolean.
+  Ref,  ///< Reference to an instance of Cls (or a subclass).
+  Array ///< Reference to an array with element class Cls.
+};
+
+/// A TIR type: a kind plus, for references and arrays, the class id.
+struct Type {
+  TypeKind Kind = TypeKind::Void;
+  ClassId Cls = InvalidId;
+
+  static Type voidTy() { return {TypeKind::Void, InvalidId}; }
+  static Type intTy() { return {TypeKind::Int, InvalidId}; }
+  static Type ref(ClassId C) { return {TypeKind::Ref, C}; }
+  static Type array(ClassId Elem) { return {TypeKind::Array, Elem}; }
+
+  bool isRefLike() const {
+    return Kind == TypeKind::Ref || Kind == TypeKind::Array;
+  }
+  bool operator==(const Type &O) const {
+    return Kind == O.Kind && Cls == O.Cls;
+  }
+};
+
+} // namespace taj
+
+#endif // TAJ_IR_TYPE_H

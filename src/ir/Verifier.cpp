@@ -1,0 +1,139 @@
+//===- ir/Verifier.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/Verifier.h"
+#include "ssa/Dominators.h"
+
+#include <algorithm>
+
+using namespace taj;
+
+void taj::verifyMethod(const Program &P, MethodId MId,
+                       std::vector<std::string> &Errors) {
+  const Method &M = P.Methods[MId];
+  auto Err = [&](const std::string &S) {
+    Errors.push_back(P.methodName(MId) + ": " + S);
+  };
+  if (!M.InSSA) {
+    Err("not in SSA form");
+    return;
+  }
+  int32_t N = static_cast<int32_t>(M.Blocks.size());
+  if (N == 0) {
+    Err("no blocks");
+    return;
+  }
+
+  // CFG consistency.
+  for (int32_t B = 0; B < N; ++B) {
+    const BasicBlock &BB = M.Blocks[B];
+    if (BB.Insts.empty()) {
+      Err("empty block B" + std::to_string(B));
+      continue;
+    }
+    if (!BB.Insts.back().isTerminator())
+      Err("block B" + std::to_string(B) + " lacks a terminator");
+    for (size_t I = 0; I + 1 < BB.Insts.size(); ++I)
+      if (BB.Insts[I].isTerminator())
+        Err("terminator in the middle of B" + std::to_string(B));
+    for (int32_t S : BB.Succs) {
+      if (S < 0 || S >= N) {
+        Err("successor out of range in B" + std::to_string(B));
+        continue;
+      }
+      const auto &Preds = M.Blocks[S].Preds;
+      if (std::find(Preds.begin(), Preds.end(), B) == Preds.end())
+        Err("missing back edge B" + std::to_string(S) + "<-B" +
+            std::to_string(B));
+    }
+  }
+
+  // Single definitions; defs/uses within range.
+  std::vector<int> DefCount(M.NumValues, 0);
+  for (uint32_t K = 0; K < M.NumParams; ++K)
+    DefCount[K] = 1;
+  std::vector<std::pair<int32_t, size_t>> DefSite(M.NumValues, {-1, 0});
+  for (int32_t B = 0; B < N; ++B) {
+    const BasicBlock &BB = M.Blocks[B];
+    for (size_t I = 0; I < BB.Insts.size(); ++I) {
+      const Instruction &Ins = BB.Insts[I];
+      if (Ins.Dst != NoValue) {
+        if (Ins.Dst < 0 || static_cast<uint32_t>(Ins.Dst) >= M.NumValues) {
+          Err("def out of range");
+          continue;
+        }
+        ++DefCount[Ins.Dst];
+        DefSite[Ins.Dst] = {B, I};
+      }
+      if (Ins.Op == Opcode::Phi) {
+        if (I > 0 && BB.Insts[I - 1].Op != Opcode::Phi)
+          Err("phi not at block head in B" + std::to_string(B));
+        if (Ins.Args.size() != BB.Preds.size())
+          Err("phi arity mismatch in B" + std::to_string(B));
+      }
+      for (ValueId A : Ins.Args) {
+        if (A == NoValue) {
+          if (Ins.Op != Opcode::Phi)
+            Err("undef operand outside phi");
+          continue;
+        }
+        if (A < 0 || static_cast<uint32_t>(A) >= M.NumValues)
+          Err("use out of range");
+      }
+    }
+  }
+  for (uint32_t V = 0; V < M.NumValues; ++V)
+    if (DefCount[V] > 1)
+      Err("value v" + std::to_string(V) + " has multiple definitions");
+
+  // Dominance of uses by definitions.
+  Dominators Dom(M);
+  auto DefDominatesUse = [&](ValueId V, int32_t UseB, size_t UseI) {
+    if (static_cast<uint32_t>(V) < M.NumParams)
+      return true; // params defined at entry
+    auto [DB, DI] = DefSite[V];
+    if (DB == -1)
+      return false; // no def at all
+    if (DB == UseB)
+      return DI < UseI;
+    return Dom.dominates(DB, UseB);
+  };
+  for (int32_t B = 0; B < N; ++B) {
+    if (!Dom.reachable(B))
+      continue;
+    const BasicBlock &BB = M.Blocks[B];
+    for (size_t I = 0; I < BB.Insts.size(); ++I) {
+      const Instruction &Ins = BB.Insts[I];
+      if (Ins.Op == Opcode::Phi) {
+        // Phi operand k must be defined at the end of predecessor k.
+        for (size_t K = 0; K < Ins.Args.size(); ++K) {
+          ValueId A = Ins.Args[K];
+          if (A == NoValue || static_cast<uint32_t>(A) < M.NumParams)
+            continue;
+          int32_t PredB = BB.Preds[K];
+          auto [DB, DI] = DefSite[A];
+          (void)DI;
+          if (DB == -1 || !Dom.dominates(DB, PredB))
+            Err("phi operand v" + std::to_string(A) +
+                " does not dominate predecessor edge in B" +
+                std::to_string(B));
+        }
+        continue;
+      }
+      for (ValueId A : Ins.Args) {
+        if (A == NoValue)
+          continue;
+        if (!DefDominatesUse(A, B, I))
+          Err("use of v" + std::to_string(A) + " in B" + std::to_string(B) +
+              " not dominated by its definition");
+      }
+    }
+  }
+}
+
+std::vector<std::string> taj::verifyProgram(const Program &P) {
+  std::vector<std::string> Errors;
+  for (MethodId M = 0; M < P.Methods.size(); ++M)
+    if (P.Methods[M].hasBody())
+      verifyMethod(P, M, Errors);
+  return Errors;
+}

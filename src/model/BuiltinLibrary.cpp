@@ -1,0 +1,207 @@
+//===- model/BuiltinLibrary.cpp --------------------------------*- C++ -*-===//
+
+#include "model/BuiltinLibrary.h"
+#include "ir/Builder.h"
+
+using namespace taj;
+
+BuiltinLibrary taj::installBuiltinLibrary(Program &P) {
+  Builder B(P);
+  BuiltinLibrary L;
+  const uint32_t Lib = classflags::Library;
+
+  L.Object = B.makeClass("Object", InvalidId, Lib);
+  Type TObj = Type::ref(L.Object);
+
+  // --- String carriers (§4.2.1): contents treated as values, never heap.
+  L.String =
+      B.makeClass("String", L.Object, Lib | classflags::StringCarrier);
+  Type TStr = Type::ref(L.String);
+  L.StringBuilder = B.makeClass("StringBuilder", L.Object,
+                                Lib | classflags::StringCarrier);
+  Type TSb = Type::ref(L.StringBuilder);
+  {
+    B.makeIntrinsic(L.String, "concat", {TStr, TStr}, TStr,
+                    Intrinsic::StringTransfer);
+    B.makeIntrinsic(L.String, "trim", {TStr}, TStr,
+                    Intrinsic::StringTransfer);
+    B.makeIntrinsic(L.String, "toString", {TStr}, TStr, Intrinsic::Identity);
+    B.makeIntrinsic(L.StringBuilder, "append", {TSb, TObj}, TSb,
+                    Intrinsic::StringTransfer);
+    B.makeIntrinsic(L.StringBuilder, "toString", {TSb}, TStr,
+                    Intrinsic::StringTransfer);
+  }
+
+  // --- Exceptions (§4.1.2): getMessage leaks configuration details.
+  L.Exception = B.makeClass("Exception", L.Object, Lib);
+  {
+    Type TExc = Type::ref(L.Exception);
+    MethodId GM = B.makeIntrinsic(L.Exception, "getMessage", {TExc}, TStr,
+                                  Intrinsic::GetMessage);
+    P.Methods[GM].SourceRules = rules::LEAK;
+    MethodId TS = B.makeIntrinsic(L.Exception, "toString", {TExc}, TStr,
+                                  Intrinsic::GetMessage);
+    P.Methods[TS].SourceRules = rules::LEAK;
+  }
+
+  // --- Servlet request/response.
+  L.Servlet = B.makeClass("Servlet", L.Object, Lib);
+  L.Request = B.makeClass("Request", L.Object, Lib);
+  L.Response = B.makeClass("Response", L.Object, Lib);
+  L.Writer = B.makeClass("Writer", L.Object, Lib);
+  {
+    Type TReq = Type::ref(L.Request);
+    Type TResp = Type::ref(L.Response);
+    Type TWr = Type::ref(L.Writer);
+    L.GetParameter = B.makeIntrinsic(L.Request, "getParameter", {TReq, TStr},
+                                     TStr, Intrinsic::SourceReturn);
+    P.Methods[L.GetParameter].SourceRules = rules::All;
+    MethodId GH = B.makeIntrinsic(L.Request, "getHeader", {TReq, TStr}, TStr,
+                                  Intrinsic::SourceReturn);
+    P.Methods[GH].SourceRules = rules::All;
+    MethodId GC = B.makeIntrinsic(L.Request, "getCookie", {TReq, TStr}, TStr,
+                                  Intrinsic::SourceReturn);
+    P.Methods[GC].SourceRules = rules::All;
+    // getWriter: bodiless native model returning a fresh Writer; a library
+    // factory method (1-call-string context, §3.1).
+    L.GetWriter = B.makeIntrinsic(L.Response, "getWriter", {TResp}, TWr,
+                                  Intrinsic::None);
+    P.Methods[L.GetWriter].IsFactory = true;
+
+    L.Println = B.makeIntrinsic(L.Writer, "println", {TWr, TObj},
+                                Type::voidTy(), Intrinsic::SinkConsume);
+    P.Methods[L.Println].SinkRules = rules::XSS | rules::LEAK;
+    P.Methods[L.Println].SinkParamMask = 1u << 1;
+    MethodId Pr = B.makeIntrinsic(L.Writer, "print", {TWr, TObj},
+                                  Type::voidTy(), Intrinsic::SinkConsume);
+    P.Methods[Pr].SinkRules = rules::XSS | rules::LEAK;
+    P.Methods[Pr].SinkParamMask = 1u << 1;
+  }
+
+  // --- Injection / file-execution sinks.
+  L.Database = B.makeClass("Database", L.Object, Lib);
+  L.FileSystem = B.makeClass("FileSystem", L.Object, Lib);
+  L.Runtime = B.makeClass("Runtime", L.Object, Lib);
+  {
+    Type TDb = Type::ref(L.Database);
+    Type TFs = Type::ref(L.FileSystem);
+    Type TRt = Type::ref(L.Runtime);
+    L.ExecuteQuery =
+        B.makeIntrinsic(L.Database, "executeQuery", {TDb, TStr}, TObj,
+                        Intrinsic::SinkConsume);
+    P.Methods[L.ExecuteQuery].SinkRules = rules::SQLI;
+    P.Methods[L.ExecuteQuery].SinkParamMask = 1u << 1;
+    MethodId Ex = B.makeIntrinsic(L.Database, "execute", {TDb, TStr},
+                                  Type::voidTy(), Intrinsic::SinkConsume);
+    P.Methods[Ex].SinkRules = rules::SQLI;
+    P.Methods[Ex].SinkParamMask = 1u << 1;
+    MethodId Op = B.makeIntrinsic(L.FileSystem, "open", {TFs, TStr}, TObj,
+                                  Intrinsic::SinkConsume);
+    P.Methods[Op].SinkRules = rules::FILE;
+    P.Methods[Op].SinkParamMask = 1u << 1;
+    MethodId Rx = B.makeIntrinsic(L.Runtime, "exec", {TRt, TStr},
+                                  Type::voidTy(), Intrinsic::SinkConsume);
+    P.Methods[Rx].SinkRules = rules::FILE;
+    P.Methods[Rx].SinkParamMask = 1u << 1;
+  }
+
+  // --- Sanitizing encoders (static, URLEncoder-style).
+  L.Encoder = B.makeClass("Encoder", L.Object, Lib);
+  {
+    auto MkSan = [&](const char *Name, RuleMask R) {
+      MethodId M = B.makeIntrinsic(L.Encoder, Name, {TStr}, TStr,
+                                   Intrinsic::Sanitize, /*IsStatic=*/true);
+      P.Methods[M].SanitizerRules = R;
+    };
+    MkSan("encodeHtml", rules::XSS);
+    MkSan("encodeSql", rules::SQLI);
+    MkSan("encodePath", rules::FILE);
+    MkSan("encode", rules::All); // URLEncoder.encode of the running example
+  }
+
+  // --- Dictionaries with constant-key tracking (§4.2.1) and collections.
+  L.HashMap = B.makeClass("HashMap", L.Object,
+                          Lib | classflags::Collection | classflags::Map);
+  L.Session = B.makeClass("Session", L.Object,
+                          Lib | classflags::Collection | classflags::Map);
+  L.List =
+      B.makeClass("List", L.Object, Lib | classflags::Collection);
+  {
+    Type TMap = Type::ref(L.HashMap);
+    Type TSes = Type::ref(L.Session);
+    Type TList = Type::ref(L.List);
+    B.makeIntrinsic(L.HashMap, "put", {TMap, TStr, TObj}, Type::voidTy(),
+                    Intrinsic::MapPut);
+    B.makeIntrinsic(L.HashMap, "get", {TMap, TStr}, TObj, Intrinsic::MapGet);
+    B.makeIntrinsic(L.Session, "setAttribute", {TSes, TStr, TObj},
+                    Type::voidTy(), Intrinsic::MapPut);
+    B.makeIntrinsic(L.Session, "getAttribute", {TSes, TStr}, TObj,
+                    Intrinsic::MapGet);
+    B.makeIntrinsic(L.List, "add", {TList, TObj}, Type::voidTy(),
+                    Intrinsic::CollAdd);
+    B.makeIntrinsic(L.List, "get", {TList, Type::intTy()}, TObj,
+                    Intrinsic::CollGet);
+  }
+
+  // --- Reflection (§4.2.3).
+  L.ClassCls = B.makeClass("Class", L.Object, Lib);
+  L.MethodCls = B.makeClass("Method", L.Object, Lib);
+  {
+    Type TCls = Type::ref(L.ClassCls);
+    Type TMeth = Type::ref(L.MethodCls);
+    Type TObjArr = Type::array(L.Object);
+    B.makeIntrinsic(L.ClassCls, "forName", {TStr}, TCls,
+                    Intrinsic::ClassForName, /*IsStatic=*/true);
+    B.makeIntrinsic(L.ClassCls, "getMethod", {TCls, TStr}, TMeth,
+                    Intrinsic::GetMethod);
+    B.makeIntrinsic(L.MethodCls, "invoke", {TMeth, TObj, TObjArr}, TObj,
+                    Intrinsic::MethodInvoke);
+  }
+
+  // --- Threads (native start(), §4.2.3).
+  L.Thread = B.makeClass("Thread", L.Object, Lib | classflags::Thread);
+  {
+    Type TThr = Type::ref(L.Thread);
+    B.makeIntrinsic(L.Thread, "start", {TThr}, Type::voidTy(),
+                    Intrinsic::ThreadStart);
+    // Base run(): empty body; subclasses override.
+    MethodBuilder MB = B.startMethod(L.Thread, "run", {TThr}, Type::voidTy());
+    MB.emitRet();
+    MB.finish();
+  }
+
+  // --- JNDI / EJB (§4.2.2).
+  L.Context = B.makeClass("Context", L.Object, Lib);
+  L.EjbHome = B.makeClass("EJBHome", L.Object, Lib);
+  {
+    Type TCtx = Type::ref(L.Context);
+    Type THome = Type::ref(L.EjbHome);
+    B.makeIntrinsic(L.Context, "lookup", {TCtx, TStr}, TObj,
+                    Intrinsic::JndiLookup);
+    B.makeIntrinsic(L.Context, "narrow", {TObj}, TObj, Intrinsic::Identity,
+                    /*IsStatic=*/true);
+    B.makeIntrinsic(L.EjbHome, "create", {THome}, TObj,
+                    Intrinsic::HomeCreate);
+  }
+
+  // --- Struts base classes (§4.2.2).
+  L.ActionForm =
+      B.makeClass("ActionForm", L.Object, Lib | classflags::ActionForm);
+  L.Action = B.makeClass("Action", L.Object, Lib);
+  {
+    // Synthetic source for framework-populated form fields.
+    L.StrutsTaintedString =
+        B.makeIntrinsic(L.Action, "frameworkInput", {}, TStr,
+                        Intrinsic::SourceReturn, /*IsStatic=*/true);
+    P.Methods[L.StrutsTaintedString].SourceRules = rules::All;
+    // Base execute(): empty; applications override.
+    MethodBuilder MB =
+        B.startMethod(L.Action, "execute",
+                      {Type::ref(L.Action), Type::ref(L.ActionForm)},
+                      Type::voidTy());
+    MB.emitRet();
+    MB.finish();
+  }
+
+  return L;
+}

@@ -1,0 +1,62 @@
+//===- model/BuiltinLibrary.h - Modeled JDK / Java EE classes --*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic model library (TAJ §4): string carriers, servlet
+/// request/response, writers and database/file/exec sinks, sanitizing
+/// encoders, constant-key dictionaries, collections, reflection, threads,
+/// exceptions, JNDI/EJB stubs and the Struts base classes. Install it into
+/// a fresh Program before adding application classes; the returned handle
+/// carries the class/method ids the framework models and tests need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_MODEL_BUILTINLIBRARY_H
+#define TAJ_MODEL_BUILTINLIBRARY_H
+
+#include "ir/Program.h"
+
+namespace taj {
+
+/// Handles to the installed model classes.
+struct BuiltinLibrary {
+  ClassId Object = InvalidId;
+  ClassId String = InvalidId;
+  ClassId StringBuilder = InvalidId;
+  ClassId Exception = InvalidId;
+  ClassId Request = InvalidId;
+  ClassId Response = InvalidId;
+  ClassId Writer = InvalidId;
+  ClassId Database = InvalidId;
+  ClassId FileSystem = InvalidId;
+  ClassId Runtime = InvalidId;
+  ClassId Encoder = InvalidId;
+  ClassId HashMap = InvalidId;
+  ClassId Session = InvalidId;
+  ClassId List = InvalidId;
+  ClassId ClassCls = InvalidId;  ///< java.lang.Class analogue
+  ClassId MethodCls = InvalidId; ///< java.lang.reflect.Method analogue
+  ClassId Thread = InvalidId;
+  ClassId Context = InvalidId;   ///< JNDI InitialContext analogue
+  ClassId EjbHome = InvalidId;
+  ClassId Action = InvalidId;     ///< Struts Action base
+  ClassId ActionForm = InvalidId; ///< Struts ActionForm base
+  ClassId Servlet = InvalidId;
+
+  MethodId GetParameter = InvalidId;
+  MethodId Println = InvalidId;
+  MethodId ExecuteQuery = InvalidId;
+  MethodId GetWriter = InvalidId;
+  MethodId StrutsTaintedString = InvalidId; ///< synthetic Struts source
+};
+
+/// Installs the model library into \p P (which must not already define
+/// these classes) and returns the handles.
+BuiltinLibrary installBuiltinLibrary(Program &P);
+
+} // namespace taj
+
+#endif // TAJ_MODEL_BUILTINLIBRARY_H

@@ -1,0 +1,20 @@
+//===- model/Ejb.cpp -------------------------------------------*- C++ -*-===//
+
+#include "model/Ejb.h"
+
+using namespace taj;
+
+EjbDescriptor
+taj::resolveEjbDescriptor(const Program &P,
+                          const std::vector<EjbBinding> &Bindings) {
+  EjbDescriptor D;
+  for (const EjbBinding &B : Bindings) {
+    ClassId Home = P.findClass(B.HomeClass);
+    ClassId Bean = P.findClass(B.BeanClass);
+    if (Home == InvalidId || Bean == InvalidId)
+      continue;
+    D.JndiBindings[B.JndiName] = Home;
+    D.HomeToBean[Home] = Bean;
+  }
+  return D;
+}

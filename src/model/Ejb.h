@@ -1,0 +1,46 @@
+//===- model/Ejb.h - EJB deployment-descriptor model -----------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EJB remote-call bypass (TAJ §4.2.2): instead of analyzing the container
+/// RMI-IIOP machinery, deployment-descriptor bindings resolve
+/// Context.lookup names to home classes and home create() calls to bean
+/// implementation classes, so remote calls dispatch directly into bean
+/// code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_MODEL_EJB_H
+#define TAJ_MODEL_EJB_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace taj {
+
+/// One EJB binding from the deployment descriptor.
+struct EjbBinding {
+  std::string JndiName;  ///< e.g. "java:comp/env/ejb/EB2"
+  std::string HomeClass; ///< remote home interface class
+  std::string BeanClass; ///< bean implementation class
+};
+
+/// Resolved descriptor maps, consumed by PointsToOptions.
+struct EjbDescriptor {
+  std::unordered_map<std::string, ClassId> JndiBindings;
+  std::unordered_map<ClassId, ClassId> HomeToBean;
+};
+
+/// Resolves descriptor entries against \p P. Unknown classes are skipped.
+EjbDescriptor resolveEjbDescriptor(const Program &P,
+                                   const std::vector<EjbBinding> &Bindings);
+
+} // namespace taj
+
+#endif // TAJ_MODEL_EJB_H

@@ -1,0 +1,50 @@
+//===- model/Entrypoints.cpp -----------------------------------*- C++ -*-===//
+
+#include "model/Entrypoints.h"
+#include "ir/Builder.h"
+
+using namespace taj;
+
+MethodId taj::synthesizeEntrypointDriver(Program &P) {
+  Builder B(P);
+  ClassId Root = P.findClass("SyntheticRoot");
+  if (Root == InvalidId)
+    Root = B.makeClass("SyntheticRoot", P.findClass("Object"));
+
+  // Collect entries before creating the driver (which must not be one).
+  std::vector<MethodId> Entries;
+  for (MethodId M = 0; M < P.Methods.size(); ++M)
+    if (P.Methods[M].IsEntry && P.Methods[M].hasBody())
+      Entries.push_back(M);
+
+  MethodBuilder MB = B.startMethod(Root, "main", {}, Type::voidTy(),
+                                   /*IsStatic=*/true);
+  for (MethodId E : Entries) {
+    const Method &M = P.Methods[E];
+    std::vector<ValueId> Args;
+    for (uint32_t K = 0; K < M.NumParams; ++K) {
+      const Type &T = M.ParamTypes[K];
+      if (T.Kind == TypeKind::Ref)
+        Args.push_back(MB.emitNew(T.Cls));
+      else if (T.Kind == TypeKind::Array)
+        Args.push_back(MB.emitNewArray(T.Cls));
+      else
+        Args.push_back(MB.constInt(0));
+    }
+    if (M.IsStatic) {
+      Instruction I;
+      I.Op = Opcode::Call;
+      I.CKind = CallKind::Static;
+      I.Cls = M.Owner;
+      I.CalleeName = M.Name;
+      I.Args = Args;
+      // Emit through the builder's block directly.
+      P.Methods[MB.id()].Blocks[MB.curBlock()].Insts.push_back(std::move(I));
+    } else {
+      MB.callVirtualV(std::string(P.Pool.str(M.Name)), Args);
+    }
+  }
+  MB.emitRet();
+  MB.finish();
+  return MB.id();
+}

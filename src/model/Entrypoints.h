@@ -1,0 +1,32 @@
+//===- model/Entrypoints.h - Synthetic analysis roots ----------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entrypoint synthesis: TAJ begins the analysis at Web entrypoints
+/// (servlet doGet, Struts Action.execute, thread run methods) and must
+/// "synthesize an appropriate program state" for them (§4.2.2). The
+/// synthesizer builds one static root method that instantiates receivers
+/// and arguments for every [entry]-flagged method and invokes them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_MODEL_ENTRYPOINTS_H
+#define TAJ_MODEL_ENTRYPOINTS_H
+
+#include "ir/Program.h"
+
+namespace taj {
+
+/// Creates class "SyntheticRoot" with a static "main" that drives every
+/// method flagged IsEntry: the receiver and each reference parameter get a
+/// fresh allocation (compound parameters are instantiated shallowly; the
+/// Struts model handles tainted-field population separately). Returns the
+/// root method to pass to TaintAnalysis::run.
+MethodId synthesizeEntrypointDriver(Program &P);
+
+} // namespace taj
+
+#endif // TAJ_MODEL_ENTRYPOINTS_H

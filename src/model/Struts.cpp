@@ -1,0 +1,76 @@
+//===- model/Struts.cpp ----------------------------------------*- C++ -*-===//
+
+#include "model/Struts.h"
+#include "ir/Builder.h"
+
+using namespace taj;
+
+namespace {
+
+/// Emits code filling every field of \p Obj (of class \p C) with tainted
+/// strings / recursively initialized sub-objects.
+void fillTainted(Program &P, const BuiltinLibrary &Lib, MethodBuilder &MB,
+                 ValueId Obj, ClassId C, uint32_t Depth) {
+  for (ClassId A = C; A != InvalidId; A = P.Classes[A].Super) {
+    // Iterate by index: field creation below must not invalidate this.
+    std::vector<FieldId> Fields = P.Classes[A].Fields;
+    for (FieldId F : Fields) {
+      const Field &FD = P.Fields[F];
+      if (FD.IsStatic || !FD.Ty.isRefLike())
+        continue;
+      if (FD.Ty.Cls == Lib.String ||
+          P.Classes[FD.Ty.Cls].is(classflags::StringCarrier)) {
+        ValueId Tainted =
+            MB.callStatic(Lib.Action, "frameworkInput", {});
+        MB.emitStore(Obj, F, Tainted);
+        continue;
+      }
+      if (Depth == 0 || FD.Ty.Kind != TypeKind::Ref)
+        continue;
+      ValueId Sub = MB.emitNew(FD.Ty.Cls);
+      MB.emitStore(Obj, F, Sub);
+      fillTainted(P, Lib, MB, Sub, FD.Ty.Cls, Depth - 1);
+    }
+  }
+}
+
+} // namespace
+
+std::vector<MethodId>
+taj::applyStrutsModel(Program &P, const BuiltinLibrary &Lib,
+                      const std::vector<StrutsActionMapping> &Mappings,
+                      uint32_t FieldDepth) {
+  Builder B(P);
+  ClassHierarchy CHA(P);
+  std::vector<MethodId> Drivers;
+  ClassId DriverCls = P.findClass("StrutsDispatcher");
+  if (DriverCls == InvalidId)
+    DriverCls = B.makeClass("StrutsDispatcher", Lib.Object);
+
+  // Concrete ActionForm subtypes (the cast-constraint approximation:
+  // every compatible subtype may arrive).
+  std::vector<ClassId> Forms;
+  for (ClassId F : CHA.subtypes(Lib.ActionForm))
+    if (F != Lib.ActionForm)
+      Forms.push_back(F);
+
+  int Seq = 0;
+  for (const StrutsActionMapping &Map : Mappings) {
+    ClassId AC = P.findClass(Map.ActionClass);
+    if (AC == InvalidId || !CHA.isSubclassOf(AC, Lib.Action))
+      continue;
+    MethodBuilder MB = B.startMethod(
+        DriverCls, "dispatch" + std::to_string(Seq++), {}, Type::voidTy(),
+        /*IsStatic=*/true);
+    ValueId Act = MB.emitNew(AC);
+    for (ClassId FC : Forms) {
+      ValueId Form = MB.emitNew(FC);
+      fillTainted(P, Lib, MB, Form, FC, FieldDepth);
+      MB.callVirtual("execute", {Act, Form});
+    }
+    P.Methods[MB.id()].IsEntry = true;
+    MB.finish();
+    Drivers.push_back(MB.id());
+  }
+  return Drivers;
+}

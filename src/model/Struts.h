@@ -1,0 +1,44 @@
+//===- model/Struts.h - Apache Struts framework model ----------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative approximation of the Struts MVC dispatch (TAJ §4.2.2):
+/// Action classes named in the XML deployment descriptor are treated as
+/// entrypoints; for every compatible concrete ActionForm subtype a
+/// synthetic constructor assigns tainted values to all its fields
+/// (recursively for compound fields) before execute() is invoked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_MODEL_STRUTS_H
+#define TAJ_MODEL_STRUTS_H
+
+#include "cha/ClassHierarchy.h"
+#include "model/BuiltinLibrary.h"
+
+#include <string>
+#include <vector>
+
+namespace taj {
+
+/// One <action> mapping of the descriptor.
+struct StrutsActionMapping {
+  std::string ActionClass;
+};
+
+/// Synthesizes a driver method per mapped Action: it instantiates each
+/// concrete ActionForm subtype, fills its String fields with tainted
+/// framework input (recursing into compound fields up to \p FieldDepth),
+/// and calls execute. Drivers are flagged IsEntry so the entrypoint
+/// synthesizer picks them up. Returns the driver methods.
+std::vector<MethodId>
+applyStrutsModel(Program &P, const BuiltinLibrary &Lib,
+                 const std::vector<StrutsActionMapping> &Mappings,
+                 uint32_t FieldDepth = 2);
+
+} // namespace taj
+
+#endif // TAJ_MODEL_STRUTS_H

@@ -1,0 +1,23 @@
+//===- model/Whitelist.cpp -------------------------------------*- C++ -*-===//
+
+#include "model/Whitelist.h"
+
+using namespace taj;
+
+size_t taj::applyWhitelist(Program &P,
+                           const std::vector<std::string> &Prefixes) {
+  size_t Count = 0;
+  for (Class &C : P.Classes) {
+    std::string_view Name = P.Pool.str(C.Name);
+    for (const std::string &Pref : Prefixes) {
+      if (Name.substr(0, Pref.size()) == Pref) {
+        if (!C.is(classflags::Whitelisted)) {
+          C.Flags |= classflags::Whitelisted;
+          ++Count;
+        }
+        break;
+      }
+    }
+  }
+  return Count;
+}

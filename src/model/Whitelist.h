@@ -1,0 +1,30 @@
+//===- model/Whitelist.h - Benign-library whitelists -----------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code-reduction whitelists (TAJ §4.2.1): benign library classes,
+/// packages and subpackages can be excluded wholesale. Classes are matched
+/// by name prefix, mirroring package-based whitelisting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_MODEL_WHITELIST_H
+#define TAJ_MODEL_WHITELIST_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace taj {
+
+/// Flags every class whose name starts with one of \p Prefixes as
+/// whitelisted (excludable). Returns the number of classes flagged.
+size_t applyWhitelist(Program &P, const std::vector<std::string> &Prefixes);
+
+} // namespace taj
+
+#endif // TAJ_MODEL_WHITELIST_H

@@ -1,0 +1,5 @@
+//===- pointsto/Context.cpp ------------------------------------*- C++ -*-===//
+
+#include "pointsto/Context.h"
+
+// ContextTable is header-only; this TU anchors the library.

@@ -1,0 +1,91 @@
+//===- pointsto/Context.h - Interned analysis contexts ---------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Calling contexts for the context-sensitive pointer analysis (TAJ §3.1).
+/// A context is Everywhere (context-insensitive), CallSite (1-level
+/// call-string, used for library factories and taint APIs), or Receiver
+/// (object sensitivity: the instance key of the receiver, which may itself
+/// be heap-context-decorated, giving unlimited-depth object sensitivity for
+/// collection classes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_POINTSTO_CONTEXT_H
+#define TAJ_POINTSTO_CONTEXT_H
+
+#include "ir/Program.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace taj {
+
+/// Interned context id; 0 is always Everywhere.
+using CtxId = uint32_t;
+inline constexpr CtxId EverywhereCtx = 0;
+
+/// Kind tag of a context.
+enum class ContextKind : uint8_t {
+  Everywhere, ///< No distinction.
+  CallSite,   ///< Data = StmtId of the call (1-call-string).
+  Receiver    ///< Data = IKId of the receiver object.
+};
+
+/// Payload of one interned context.
+struct ContextData {
+  ContextKind Kind = ContextKind::Everywhere;
+  uint32_t Data = 0;
+};
+
+/// Interning table for contexts. Also memoizes context chain depth, used to
+/// bound unlimited-depth object sensitivity "up to recursion".
+class ContextTable {
+public:
+  ContextTable() {
+    Contexts.push_back({ContextKind::Everywhere, 0});
+    Depths.push_back(0);
+  }
+
+  /// Interns a CallSite context for call statement \p Site.
+  CtxId callSite(uint32_t Site) {
+    return intern({ContextKind::CallSite, Site}, 1);
+  }
+
+  /// Interns a Receiver context for instance key \p IK whose own heap
+  /// context has depth \p HeapCtxDepth.
+  CtxId receiver(uint32_t IK, uint32_t HeapCtxDepth) {
+    return intern({ContextKind::Receiver, IK}, HeapCtxDepth + 1);
+  }
+
+  const ContextData &data(CtxId C) const { return Contexts[C]; }
+
+  /// Length of the context chain (Everywhere = 0).
+  uint32_t depth(CtxId C) const { return Depths[C]; }
+
+  size_t size() const { return Contexts.size(); }
+
+private:
+  CtxId intern(ContextData D, uint32_t Depth) {
+    uint64_t Key = (static_cast<uint64_t>(D.Kind) << 32) | D.Data;
+    auto It = Map.find(Key);
+    if (It != Map.end())
+      return It->second;
+    Contexts.push_back(D);
+    Depths.push_back(Depth);
+    CtxId Id = static_cast<CtxId>(Contexts.size() - 1);
+    Map.emplace(Key, Id);
+    return Id;
+  }
+
+  std::vector<ContextData> Contexts;
+  std::vector<uint32_t> Depths;
+  std::unordered_map<uint64_t, CtxId> Map;
+};
+
+} // namespace taj
+
+#endif // TAJ_POINTSTO_CONTEXT_H

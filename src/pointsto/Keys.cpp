@@ -1,0 +1,25 @@
+//===- pointsto/Keys.cpp ---------------------------------------*- C++ -*-===//
+
+#include "pointsto/Keys.h"
+
+using namespace taj;
+
+IKId InstanceKeyTable::intern(const InstanceKeyData &D) {
+  auto It = Map.find(D);
+  if (It != Map.end())
+    return It->second;
+  Keys.push_back(D);
+  IKId Id = static_cast<IKId>(Keys.size() - 1);
+  Map.emplace(D, Id);
+  return Id;
+}
+
+PKId PointerKeyTable::intern(const PointerKeyData &D) {
+  auto It = Map.find(D);
+  if (It != Map.end())
+    return It->second;
+  Keys.push_back(D);
+  PKId Id = static_cast<PKId>(Keys.size() - 1);
+  Map.emplace(D, Id);
+  return Id;
+}

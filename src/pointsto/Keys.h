@@ -1,0 +1,141 @@
+//===- pointsto/Keys.h - Instance keys and pointer keys --------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract heap objects (instance keys) and abstract pointers (pointer
+/// keys) of the Andersen-style pointer analysis, following the heap-graph
+/// terminology of TAJ §4.1.1. Both are interned into dense ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_POINTSTO_KEYS_H
+#define TAJ_POINTSTO_KEYS_H
+
+#include "ir/Program.h"
+#include "pointsto/Context.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace taj {
+
+/// Dense instance-key id.
+using IKId = uint32_t;
+/// Dense pointer-key id.
+using PKId = uint32_t;
+/// Dense call-graph-node id ((method, context) pair).
+using CGNodeId = uint32_t;
+
+/// Kinds of abstract objects.
+enum class IKKind : uint8_t {
+  Alloc,     ///< New at Site under heap context Heap.
+  Array,     ///< NewArray at Site; Cls is the element class.
+  Synthetic, ///< Result of an intrinsic call at Site (source returns,
+             ///< string transfers, caught exceptions, EJB create, ...).
+  ClassObj,  ///< java.lang.Class-like object; Extra = represented ClassId.
+  MethodObj, ///< java.lang.reflect.Method-like; Extra = MethodId.
+  Singleton  ///< Global singleton (JNDI-bound bean); Extra = tag.
+};
+
+/// Payload of one instance key.
+struct InstanceKeyData {
+  IKKind Kind = IKKind::Alloc;
+  /// Allocation/creation statement, or 0 for site-less keys.
+  StmtId Site = 0;
+  /// Heap context of the allocation (collection cloning, §3.1).
+  CtxId Heap = EverywhereCtx;
+  /// Dynamic class of the object (element class for arrays).
+  ClassId Cls = InvalidId;
+  /// Extra payload (ClassId for ClassObj, MethodId for MethodObj, tag for
+  /// Singleton).
+  uint32_t Extra = 0;
+};
+
+/// Kinds of abstract pointers.
+enum class PKKind : uint8_t {
+  Local,     ///< SSA value B of call-graph node A.
+  Ret,       ///< Return value of call-graph node A.
+  Field,     ///< Field B of instance key A.
+  ArrayElem, ///< Array contents of instance key A.
+  Static,    ///< Static field A.
+  Channel    ///< Model channel (map/collection contents) B of instance A.
+             ///< B is an interned symbol like "@map:user" or "@elem".
+};
+
+/// Payload of one pointer key.
+struct PointerKeyData {
+  PKKind Kind = PKKind::Local;
+  uint32_t A = 0;
+  uint32_t B = 0;
+};
+
+/// Interning table for instance keys.
+class InstanceKeyTable {
+public:
+  IKId intern(const InstanceKeyData &D);
+  const InstanceKeyData &data(IKId I) const { return Keys[I]; }
+  size_t size() const { return Keys.size(); }
+
+private:
+  struct Hash {
+    size_t operator()(const InstanceKeyData &D) const {
+      uint64_t H = static_cast<uint64_t>(D.Kind);
+      H = H * 0x9e3779b97f4a7c15ull + D.Site;
+      H = H * 0x9e3779b97f4a7c15ull + D.Heap;
+      H = H * 0x9e3779b97f4a7c15ull + D.Cls;
+      H = H * 0x9e3779b97f4a7c15ull + D.Extra;
+      return static_cast<size_t>(H);
+    }
+  };
+  struct Eq {
+    bool operator()(const InstanceKeyData &X, const InstanceKeyData &Y) const {
+      return X.Kind == Y.Kind && X.Site == Y.Site && X.Heap == Y.Heap &&
+             X.Cls == Y.Cls && X.Extra == Y.Extra;
+    }
+  };
+  std::vector<InstanceKeyData> Keys;
+  std::unordered_map<InstanceKeyData, IKId, Hash, Eq> Map;
+};
+
+/// Interning table for pointer keys.
+class PointerKeyTable {
+public:
+  PKId intern(const PointerKeyData &D);
+  const PointerKeyData &data(PKId I) const { return Keys[I]; }
+  size_t size() const { return Keys.size(); }
+
+  PKId local(CGNodeId N, ValueId V) {
+    return intern({PKKind::Local, N, static_cast<uint32_t>(V)});
+  }
+  PKId ret(CGNodeId N) { return intern({PKKind::Ret, N, 0}); }
+  PKId field(IKId I, FieldId F) { return intern({PKKind::Field, I, F}); }
+  PKId arrayElem(IKId I) { return intern({PKKind::ArrayElem, I, 0}); }
+  PKId staticField(FieldId F) { return intern({PKKind::Static, F, 0}); }
+  PKId channel(IKId I, Symbol Chan) {
+    return intern({PKKind::Channel, I, Chan});
+  }
+
+private:
+  struct Hash {
+    size_t operator()(const PointerKeyData &D) const {
+      uint64_t H = static_cast<uint64_t>(D.Kind);
+      H = H * 0x9e3779b97f4a7c15ull + D.A;
+      H = H * 0x9e3779b97f4a7c15ull + D.B;
+      return static_cast<size_t>(H);
+    }
+  };
+  struct Eq {
+    bool operator()(const PointerKeyData &X, const PointerKeyData &Y) const {
+      return X.Kind == Y.Kind && X.A == Y.A && X.B == Y.B;
+    }
+  };
+  std::vector<PointerKeyData> Keys;
+  std::unordered_map<PointerKeyData, PKId, Hash, Eq> Map;
+};
+
+} // namespace taj
+
+#endif // TAJ_POINTSTO_KEYS_H

@@ -1,0 +1,162 @@
+//===- pointsto/Priority.cpp -----------------------------------*- C++ -*-===//
+
+#include "pointsto/Priority.h"
+
+#include <cassert>
+
+using namespace taj;
+
+namespace {
+constexpr uint64_t ArraySig = 1ull << 40;
+constexpr uint64_t ChannelSig = 1ull << 41;
+} // namespace
+
+PriorityManager::PriorityManager(const Program &P, const CallGraph &CG,
+                                 bool Prioritized)
+    : P(P), CG(CG), Prioritized(Prioritized) {}
+
+const PriorityManager::NameInfo &
+PriorityManager::nameInfo(Symbol Name) const {
+  if (NameCache.empty()) {
+    for (const Method &M : P.Methods) {
+      NameInfo &NI = NameCache[M.Name];
+      NI.IsSource |= M.SourceRules != rules::None;
+      NI.ChanStore |=
+          M.Intr == Intrinsic::MapPut || M.Intr == Intrinsic::CollAdd;
+      NI.ChanLoad |=
+          M.Intr == Intrinsic::MapGet || M.Intr == Intrinsic::CollGet;
+    }
+  }
+  static const NameInfo Empty;
+  auto It = NameCache.find(Name);
+  return It == NameCache.end() ? Empty : It->second;
+}
+
+const PriorityManager::FieldSets &
+PriorityManager::fieldSets(MethodId M) const {
+  auto It = FieldCache.find(M);
+  if (It != FieldCache.end())
+    return It->second;
+  FieldSets FS;
+  const Method &Meth = P.Methods[M];
+  auto Add = [](std::vector<uint64_t> &V, uint64_t S) {
+    for (uint64_t X : V)
+      if (X == S)
+        return;
+    V.push_back(S);
+  };
+  for (const BasicBlock &BB : Meth.Blocks) {
+    for (const Instruction &I : BB.Insts) {
+      switch (I.Op) {
+      case Opcode::Store:
+      case Opcode::StaticStore:
+        Add(FS.Stores, I.Field);
+        break;
+      case Opcode::Load:
+      case Opcode::StaticLoad:
+        Add(FS.Loads, I.Field);
+        break;
+      case Opcode::ArrayStore:
+        Add(FS.Stores, ArraySig);
+        break;
+      case Opcode::ArrayLoad:
+        Add(FS.Loads, ArraySig);
+        break;
+      case Opcode::Call: {
+        // Match by callee name against the program's intrinsic models; a
+        // precise receiver type is unnecessary for a priority heuristic.
+        const NameInfo &NI = nameInfo(I.CalleeName);
+        FS.CallsSource |= NI.IsSource;
+        if (NI.ChanStore)
+          Add(FS.Stores, ChannelSig);
+        if (NI.ChanLoad)
+          Add(FS.Loads, ChannelSig);
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+  return FieldCache.emplace(M, std::move(FS)).first->second;
+}
+
+void PriorityManager::onNodeCreated(CGNodeId N) {
+  assert(N == Prio.size() && "nodes must be registered in creation order");
+  const FieldSets &FS = fieldSets(CG.node(N).M);
+  uint64_t P0 = Prioritized && FS.CallsSource ? 0 : MaxPrio;
+  Prio.push_back(P0);
+  Seq.push_back(NextSeq++);
+  Pending.push_back(true);
+  for (uint64_t Sig : FS.Loads)
+    Loaders[Sig].push_back(N);
+  // Chaotic iteration processes pending nodes in no particular order;
+  // a deterministic scramble of the creation sequence models that.
+  uint64_t Key = Prioritized ? P0 : (Seq[N] * 0x9e3779b97f4a7c15ull) >> 32;
+  Queue.insert({Key, Seq[N], N});
+}
+
+CGNodeId PriorityManager::pop() {
+  assert(!Queue.empty() && "pop on empty queue");
+  auto It = Queue.begin();
+  CGNodeId N = std::get<2>(*It);
+  Queue.erase(It);
+  Pending[N] = false;
+  return N;
+}
+
+std::vector<CGNodeId> PriorityManager::nearby(CGNodeId N) const {
+  std::vector<CGNodeId> Out;
+  auto Add = [&](CGNodeId T) {
+    if (T == N)
+      return;
+    for (CGNodeId X : Out)
+      if (X == T)
+        return;
+    Out.push_back(T);
+  };
+  for (const CGEdge &E : CG.edges(N))
+    Add(E.Callee);
+  for (CGNodeId Pred : CG.preds(N))
+    Add(Pred);
+  // Nodes whose method loads a field this node's method stores (possible
+  // heap flow: there will be a direct store->load HSDG edge).
+  const FieldSets &FS = fieldSets(CG.node(N).M);
+  for (uint64_t Sig : FS.Stores) {
+    auto It = Loaders.find(Sig);
+    if (It == Loaders.end())
+      continue;
+    for (CGNodeId T : It->second)
+      Add(T);
+  }
+  return Out;
+}
+
+void PriorityManager::relax(CGNodeId N) {
+  // Dijkstra-style propagation of the update rule
+  // pi(t) := min(pi(t), pi(n) + 1) over the nearby relation, to fixpoint.
+  std::vector<CGNodeId> Work = {N};
+  size_t Steps = 0;
+  while (!Work.empty() && Steps < 100000) {
+    ++Steps;
+    CGNodeId X = Work.back();
+    Work.pop_back();
+    uint64_t Cand = Prio[X] == MaxPrio ? MaxPrio : Prio[X] + 1;
+    for (CGNodeId T : nearby(X)) {
+      if (Prio[T] <= Cand)
+        continue;
+      if (Pending[T])
+        Queue.erase({Prio[T], Seq[T], T});
+      Prio[T] = Cand;
+      if (Pending[T])
+        Queue.insert({Prio[T], Seq[T], T});
+      Work.push_back(T);
+    }
+  }
+}
+
+void PriorityManager::onNodeProcessed(CGNodeId N) {
+  if (!Prioritized)
+    return;
+  relax(N);
+}

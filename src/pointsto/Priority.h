@@ -1,0 +1,100 @@
+//===- pointsto/Priority.h - Priority-driven call-graph growth -*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The priority policy of TAJ §6.1. Constraint adding is driven by a
+/// priority queue over pending call-graph nodes; the initial-assignment
+/// rule gives taint-generating nodes priority 0 and everything else the
+/// maximal value, and processing a node relaxes the priorities of its
+/// "nearby" nodes (call-graph neighbours plus methods whose loads match its
+/// stores) to fixpoint, implementing the locality-of-taint principle.
+///
+/// Deviation from the paper: TAJ's sources are library methods that become
+/// call-graph nodes; our sources are inlined intrinsic models, so "source
+/// node" here means "node whose method calls a source" (same locality
+/// seed, one hop earlier).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_POINTSTO_PRIORITY_H
+#define TAJ_POINTSTO_PRIORITY_H
+
+#include "callgraph/CallGraph.h"
+#include "ir/Program.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace taj {
+
+/// Pending-node scheduler: FIFO (chaotic iteration) or priority-driven.
+class PriorityManager {
+public:
+  /// \p Prioritized selects the §6.1 policy; false = chaotic (FIFO).
+  PriorityManager(const Program &P, const CallGraph &CG, bool Prioritized);
+
+  /// Registers a freshly created node and queues it (initial-assignment
+  /// rule).
+  void onNodeCreated(CGNodeId N);
+
+  /// True if no node is pending.
+  bool empty() const { return Queue.empty(); }
+
+  /// Pops the next node to process (lowest priority value first;
+  /// creation order breaks ties and is the sole key in chaotic mode).
+  CGNodeId pop();
+
+  /// Steps 2-5 of the §6.1 loop: computes the nearby set of \p N, relaxes
+  /// priorities, and propagates changes to fixpoint.
+  void onNodeProcessed(CGNodeId N);
+
+  /// Current priority value of \p N.
+  uint64_t priority(CGNodeId N) const { return Prio[N]; }
+
+private:
+  /// Nearby set: CG preds/succs of N plus nodes whose method contains a
+  /// load matching a store in N's method.
+  std::vector<CGNodeId> nearby(CGNodeId N) const;
+
+  void relax(CGNodeId N);
+
+  static constexpr uint64_t MaxPrio = ~0ull >> 1;
+
+  const Program &P;
+  const CallGraph &CG;
+  bool Prioritized;
+  std::vector<uint64_t> Prio;
+  std::vector<uint64_t> Seq; // creation sequence, for deterministic ties
+  uint64_t NextSeq = 0;
+  // (priority, seq, node); erase/insert implements decrease-key.
+  std::set<std::tuple<uint64_t, uint64_t, CGNodeId>> Queue;
+  std::vector<bool> Pending;
+
+  // Static per-method field footprints.
+  struct FieldSets {
+    std::vector<uint64_t> Stores;
+    std::vector<uint64_t> Loads;
+    bool CallsSource = false;
+  };
+  const FieldSets &fieldSets(MethodId M) const;
+  mutable std::unordered_map<MethodId, FieldSets> FieldCache;
+
+  /// Cached per-callee-name classification (source? channel store/load?).
+  struct NameInfo {
+    bool IsSource = false;
+    bool ChanStore = false;
+    bool ChanLoad = false;
+  };
+  const NameInfo &nameInfo(Symbol Name) const;
+  mutable std::unordered_map<Symbol, NameInfo> NameCache;
+  // field signature -> nodes whose method loads it
+  mutable std::unordered_map<uint64_t, std::vector<CGNodeId>> Loaders;
+};
+
+} // namespace taj
+
+#endif // TAJ_POINTSTO_PRIORITY_H

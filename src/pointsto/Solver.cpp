@@ -1,0 +1,798 @@
+//===- pointsto/Solver.cpp -------------------------------------*- C++ -*-===//
+
+#include "pointsto/Solver.h"
+#include "pointsto/Priority.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace taj;
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+PointsToSolver::PointsToSolver(const Program &P, const ClassHierarchy &CHA,
+                               PointsToOptions Opts)
+    : P(P), CHA(CHA), Opts(std::move(Opts)), Policy(P, Ctxs, IKs,
+                                                    this->Opts.Policy) {
+  Prio = new PriorityManager(P, CG, this->Opts.Prioritized);
+  StringClass = P.findClass("String");
+  ExceptionClass = P.findClass("Exception");
+  WildChan = internSym("@map:*");
+  ElemChan = internSym("@elem");
+  RunSym = internSym("run");
+}
+
+PointsToSolver::~PointsToSolver() { delete Prio; }
+
+Symbol PointsToSolver::internSym(std::string_view S) const {
+  // Interning into the shared pool is the only mutation the solver performs
+  // on the program; it is semantically benign (symbols are append-only).
+  return const_cast<Program &>(P).Pool.intern(S);
+}
+
+std::vector<IKId> PointsToSolver::pointsToOfLocal(CGNodeId N,
+                                                  ValueId V) const {
+  // Interning a missing key yields an empty set; semantically benign.
+  PKId PK = const_cast<PointerKeyTable &>(PKs).local(N, V);
+  return pointsTo(PK);
+}
+
+std::vector<IKId> PointsToSolver::pointsToMerged(MethodId M,
+                                                 ValueId V) const {
+  std::vector<IKId> Out;
+  for (CGNodeId N : CG.nodesOf(M)) {
+    // Pointer keys are interned lazily; look up without creating.
+    PKId PK = const_cast<PointerKeyTable &>(PKs).local(N, V);
+    for (IKId IK : pointsTo(PK))
+      if (std::find(Out.begin(), Out.end(), IK) == Out.end())
+        Out.push_back(IK);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Basic lattice operations
+//===----------------------------------------------------------------------===//
+
+void PointsToSolver::growTables() {
+  size_t N = PKs.size();
+  if (Pts.size() >= N)
+    return;
+  Pts.resize(N);
+  CopySuccs.resize(N);
+  LoadUses.resize(N);
+  StoreUses.resize(N);
+  CallUses.resize(N);
+  Delta.resize(N);
+  OnWorklist.resize(N, false);
+}
+
+const std::vector<IKId> &PointsToSolver::pointsTo(PKId PK) const {
+  static const std::vector<IKId> Empty;
+  return PK < Pts.size() ? Pts[PK] : Empty;
+}
+
+bool PointsToSolver::insertPointsTo(PKId PK, IKId IK) {
+  growTables();
+  auto &Set = Pts[PK];
+  auto It = std::lower_bound(Set.begin(), Set.end(), IK);
+  if (It != Set.end() && *It == IK)
+    return false;
+  Set.insert(It, IK);
+  Counters.add("pts.entries");
+  Delta[PK].push_back(IK);
+  if (!OnWorklist[PK]) {
+    OnWorklist[PK] = true;
+    Worklist.push_back(PK);
+  }
+  return true;
+}
+
+void PointsToSolver::addCopyEdge(PKId From, PKId To) {
+  if (From == To)
+    return;
+  growTables();
+  uint64_t Key = (static_cast<uint64_t>(From) << 32) | To;
+  if (!EdgeDedup.insert(Key).second)
+    return;
+  CopySuccs[From].push_back(To);
+  // Propagate the current set immediately.
+  // Copy to a temporary: insertPointsTo may not touch Pts[From] (From!=To),
+  // but be defensive about re-entrancy.
+  std::vector<IKId> Cur = Pts[From];
+  for (IKId IK : Cur)
+    insertPointsTo(To, IK);
+}
+
+PKId PointsToSolver::channelKey(IKId Base, Symbol Chan) {
+  size_t Before = PKs.size();
+  PKId PK = PKs.channel(Base, Chan);
+  if (PKs.size() > Before) {
+    growTables();
+    Channels[Base].push_back(PK);
+    // Wire up any wildcard readers already registered on this instance.
+    auto It = WildcardReaders.find(Base);
+    if (It != WildcardReaders.end())
+      for (PKId Reader : It->second)
+        addCopyEdge(PK, Reader);
+  }
+  return PK;
+}
+
+const std::vector<PKId> &PointsToSolver::channelsOf(IKId IK) const {
+  static const std::vector<PKId> Empty;
+  auto It = Channels.find(IK);
+  return It == Channels.end() ? Empty : It->second;
+}
+
+IKId PointsToSolver::syntheticIK(StmtId Site, ClassId Cls) {
+  InstanceKeyData D;
+  D.Kind = IKKind::Synthetic;
+  D.Site = Site;
+  D.Cls = Cls;
+  return IKs.intern(D);
+}
+
+//===----------------------------------------------------------------------===//
+// Constant-string tracking (for dictionary keys and reflection, §4.2)
+//===----------------------------------------------------------------------===//
+
+Symbol PointsToSolver::constStringOf(MethodId M, ValueId V) const {
+  auto &Cache = ConstStrCache[M];
+  if (Cache.empty()) {
+    // One pass: record ConstStr defs and Copy chains.
+    std::unordered_map<ValueId, ValueId> Copies;
+    for (const BasicBlock &BB : P.Methods[M].Blocks) {
+      for (const Instruction &I : BB.Insts) {
+        if (I.Op == Opcode::ConstStr)
+          Cache[I.Dst] = I.StrLit;
+        else if (I.Op == Opcode::Copy)
+          Copies[I.Dst] = I.Args[0];
+      }
+    }
+    // Resolve copy chains (bounded).
+    for (auto &[Dst, Src] : Copies) {
+      ValueId Cur = Src;
+      for (int Guard = 0; Guard < 32; ++Guard) {
+        auto CI = Cache.find(Cur);
+        if (CI != Cache.end()) {
+          Cache[Dst] = CI->second;
+          break;
+        }
+        auto CP = Copies.find(Cur);
+        if (CP == Copies.end())
+          break;
+        Cur = CP->second;
+      }
+    }
+    Cache.emplace(NoValue, ~0u); // mark as initialized
+  }
+  auto It = Cache.find(V);
+  return It == Cache.end() || V == NoValue ? ~0u : It->second;
+}
+
+Symbol PointsToSolver::mapChannel(CGNodeId Caller, const Instruction &I,
+                                  size_t KeyArg) {
+  if (KeyArg >= I.Args.size())
+    return WildChan;
+  Symbol Lit = constStringOf(CG.node(Caller).M, I.Args[KeyArg]);
+  if (Lit == ~0u)
+    return WildChan;
+  std::string Name = "@map:";
+  Name += P.Pool.str(Lit);
+  return internSym(Name);
+}
+
+//===----------------------------------------------------------------------===//
+// Node management
+//===----------------------------------------------------------------------===//
+
+CGNodeId PointsToSolver::ensureNode(MethodId M, CtxId Ctx) {
+  bool IsNew = false;
+  CGNodeId N = CG.ensureNode(M, Ctx, IsNew);
+  if (IsNew) {
+    Counters.add("cg.nodes");
+    Prio->onNodeCreated(N);
+  }
+  return N;
+}
+
+bool PointsToSolver::isMethodProcessed(MethodId M) const {
+  for (CGNodeId N : CG.nodesOf(M))
+    if (CG.node(N).ConstraintsAdded)
+      return true;
+  return false;
+}
+
+const std::vector<MethodId> &
+PointsToSolver::intrinsicCalleesAt(StmtId Site) const {
+  static const std::vector<MethodId> Empty;
+  auto It = IntrinsicCallees.find(Site);
+  return It == IntrinsicCallees.end() ? Empty : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Main loop
+//===----------------------------------------------------------------------===//
+
+void PointsToSolver::solve(const std::vector<MethodId> &Entries) {
+  assert(!Solved && "solve() called twice");
+  Solved = true;
+  for (MethodId E : Entries)
+    ensureNode(E, EverywhereCtx);
+
+  while (!Prio->empty()) {
+    if (Opts.MaxCallGraphNodes != 0 &&
+        CG.numProcessed() >= Opts.MaxCallGraphNodes) {
+      BudgetHit = true;
+      Counters.add("cg.budget_hit");
+      break;
+    }
+    CGNodeId N = Prio->pop();
+    CG.markProcessed(N);
+    Counters.add("cg.processed");
+    addConstraints(N);
+    // Solve before relaxing priorities: virtual dispatch discovers callee
+    // nodes during propagation, and the locality rule must see them.
+    propagate();
+    Prio->onNodeProcessed(N);
+  }
+  propagate();
+}
+
+void PointsToSolver::propagate() {
+  growTables();
+  while (!Worklist.empty()) {
+    PKId PK = Worklist.back();
+    Worklist.pop_back();
+    OnWorklist[PK] = false;
+    std::vector<IKId> Moved = std::move(Delta[PK]);
+    Delta[PK].clear();
+    for (IKId IK : Moved) {
+      for (size_t E = 0; E < CopySuccs[PK].size(); ++E)
+        insertPointsTo(CopySuccs[PK][E], IK);
+      handleNewPointsTo(PK, IK);
+    }
+  }
+}
+
+void PointsToSolver::handleNewPointsTo(PKId PK, IKId IK) {
+  growTables();
+  for (size_t U = 0; U < LoadUses[PK].size(); ++U) {
+    LoadUse LU = LoadUses[PK][U];
+    switch (LU.K) {
+    case LoadUse::Field:
+      addCopyEdge(channelFieldOrPlain(IK, LU), LU.Dst);
+      break;
+    case LoadUse::Array:
+      addCopyEdge(PKs.arrayElem(IK), LU.Dst);
+      break;
+    case LoadUse::ChanConst:
+      addCopyEdge(channelKey(IK, LU.FieldOrChan), LU.Dst);
+      break;
+    case LoadUse::ChanWild: {
+      auto &Readers = WildcardReaders[IK];
+      if (std::find(Readers.begin(), Readers.end(), LU.Dst) == Readers.end()) {
+        Readers.push_back(LU.Dst);
+        for (PKId Chan : channelsOf(IK))
+          addCopyEdge(Chan, LU.Dst);
+      }
+      break;
+    }
+    }
+    growTables();
+  }
+  for (size_t U = 0; U < StoreUses[PK].size(); ++U) {
+    StoreUse SU = StoreUses[PK][U];
+    switch (SU.K) {
+    case StoreUse::Field:
+      addCopyEdge(SU.Src, PKs.field(IK, SU.FieldOrChan));
+      break;
+    case StoreUse::Array:
+      addCopyEdge(SU.Src, PKs.arrayElem(IK));
+      break;
+    case StoreUse::Chan:
+      addCopyEdge(SU.Src, channelKey(IK, SU.FieldOrChan));
+      break;
+    }
+    growTables();
+  }
+  for (size_t U = 0; U < CallUses[PK].size(); ++U) {
+    CallUse CU = CallUses[PK][U];
+    dispatchCall(CU, IK);
+    growTables();
+  }
+  auto InvM = InvokeByMethodPK.find(PK);
+  if (InvM != InvokeByMethodPK.end()) {
+    const InstanceKeyData &D = IKs.data(IK);
+    if (D.Kind == IKKind::MethodObj) {
+      for (uint32_t Idx : InvM->second) {
+        MethodId Target = D.Extra;
+        const Method &TM = P.Methods[Target];
+        if (!TM.hasBody())
+          continue;
+        InvokeSite &IS = Invokes[Idx];
+        CGNodeId TN = ensureNode(Target, Ctxs.callSite(IS.Site));
+        if (std::find(IS.Targets.begin(), IS.Targets.end(), TN) ==
+            IS.Targets.end()) {
+          IS.Targets.push_back(TN);
+          CG.addEdge(IS.Caller, IS.Site, TN);
+          invokeBind(IS, TN);
+        }
+      }
+    }
+  }
+  auto InvA = InvokeByArrayPK.find(PK);
+  if (InvA != InvokeByArrayPK.end()) {
+    for (uint32_t Idx : InvA->second) {
+      InvokeSite &IS = Invokes[Idx];
+      if (std::find(IS.ArgArrays.begin(), IS.ArgArrays.end(), IK) !=
+          IS.ArgArrays.end())
+        continue;
+      IS.ArgArrays.push_back(IK);
+      for (CGNodeId TN : IS.Targets)
+        invokeBindArray(IS, TN, IK);
+    }
+  }
+}
+
+PKId PointsToSolver::channelFieldOrPlain(IKId IK, const LoadUse &LU) {
+  return PKs.field(IK, LU.FieldOrChan);
+}
+
+//===----------------------------------------------------------------------===//
+// Constraint generation
+//===----------------------------------------------------------------------===//
+
+void PointsToSolver::registerLoadUse(PKId Base, LoadUse LU) {
+  growTables();
+  LoadUses[Base].push_back(LU);
+  std::vector<IKId> Cur = Pts[Base];
+  for (IKId IK : Cur) {
+    switch (LU.K) {
+    case LoadUse::Field:
+      addCopyEdge(PKs.field(IK, LU.FieldOrChan), LU.Dst);
+      break;
+    case LoadUse::Array:
+      addCopyEdge(PKs.arrayElem(IK), LU.Dst);
+      break;
+    case LoadUse::ChanConst:
+      addCopyEdge(channelKey(IK, LU.FieldOrChan), LU.Dst);
+      break;
+    case LoadUse::ChanWild: {
+      auto &Readers = WildcardReaders[IK];
+      if (std::find(Readers.begin(), Readers.end(), LU.Dst) ==
+          Readers.end()) {
+        Readers.push_back(LU.Dst);
+        for (PKId Chan : channelsOf(IK))
+          addCopyEdge(Chan, LU.Dst);
+      }
+      break;
+    }
+    }
+    growTables();
+  }
+}
+
+void PointsToSolver::registerStoreUse(PKId Base, StoreUse SU) {
+  growTables();
+  StoreUses[Base].push_back(SU);
+  std::vector<IKId> Cur = Pts[Base];
+  for (IKId IK : Cur) {
+    switch (SU.K) {
+    case StoreUse::Field:
+      addCopyEdge(SU.Src, PKs.field(IK, SU.FieldOrChan));
+      break;
+    case StoreUse::Array:
+      addCopyEdge(SU.Src, PKs.arrayElem(IK));
+      break;
+    case StoreUse::Chan:
+      addCopyEdge(SU.Src, channelKey(IK, SU.FieldOrChan));
+      break;
+    }
+    growTables();
+  }
+}
+
+void PointsToSolver::registerCallUse(PKId Recv, CallUse CU) {
+  growTables();
+  CallUses[Recv].push_back(CU);
+  std::vector<IKId> Cur = Pts[Recv];
+  for (IKId IK : Cur) {
+    dispatchCall(CU, IK);
+    growTables();
+  }
+}
+
+void PointsToSolver::addConstraints(CGNodeId N) {
+  const CGNode &Node = CG.node(N);
+  const Method &M = P.Methods[Node.M];
+  if (!M.hasBody())
+    return;
+  auto L = [&](ValueId V) { return PKs.local(N, V); };
+
+  StmtId Stmt = P.methodStmtBegin(Node.M);
+  for (const BasicBlock &BB : M.Blocks) {
+    for (const Instruction &I : BB.Insts) {
+      StmtId Site = Stmt++;
+      switch (I.Op) {
+      case Opcode::ConstStr: {
+        if (StringClass != InvalidId) {
+          InstanceKeyData D;
+          D.Kind = IKKind::Alloc;
+          D.Site = Site;
+          D.Cls = StringClass;
+          insertPointsTo(L(I.Dst), IKs.intern(D));
+        }
+        break;
+      }
+      case Opcode::New: {
+        InstanceKeyData D;
+        D.Kind = IKKind::Alloc;
+        D.Site = Site;
+        D.Heap = Policy.heapContextForAlloc(M, Node.Ctx);
+        D.Cls = I.Cls;
+        insertPointsTo(L(I.Dst), IKs.intern(D));
+        break;
+      }
+      case Opcode::NewArray: {
+        InstanceKeyData D;
+        D.Kind = IKKind::Array;
+        D.Site = Site;
+        D.Heap = Policy.heapContextForAlloc(M, Node.Ctx);
+        D.Cls = I.Cls;
+        insertPointsTo(L(I.Dst), IKs.intern(D));
+        break;
+      }
+      case Opcode::Copy:
+        addCopyEdge(L(I.Args[0]), L(I.Dst));
+        break;
+      case Opcode::Phi:
+        for (ValueId A : I.Args)
+          if (A != NoValue)
+            addCopyEdge(L(A), L(I.Dst));
+        break;
+      case Opcode::Load:
+        registerLoadUse(L(I.Args[0]), {LoadUse::Field, I.Field, L(I.Dst)});
+        break;
+      case Opcode::Store:
+        registerStoreUse(L(I.Args[0]), {StoreUse::Field, I.Field,
+                                        L(I.Args[1])});
+        break;
+      case Opcode::ArrayLoad:
+        registerLoadUse(L(I.Args[0]), {LoadUse::Array, 0, L(I.Dst)});
+        break;
+      case Opcode::ArrayStore:
+        registerStoreUse(L(I.Args[0]), {StoreUse::Array, 0, L(I.Args[1])});
+        break;
+      case Opcode::StaticLoad:
+        addCopyEdge(PKs.staticField(I.Field), L(I.Dst));
+        break;
+      case Opcode::StaticStore:
+        addCopyEdge(L(I.Args[0]), PKs.staticField(I.Field));
+        break;
+      case Opcode::Return:
+        if (!I.Args.empty())
+          addCopyEdge(L(I.Args[0]), PKs.ret(N));
+        break;
+      case Opcode::Caught:
+        if (ExceptionClass != InvalidId)
+          insertPointsTo(L(I.Dst), syntheticIK(Site, ExceptionClass));
+        break;
+      case Opcode::Call: {
+        if (I.CKind == CallKind::Static) {
+          MethodId Callee = CHA.resolveVirtual(I.Cls, I.CalleeName);
+          if (Callee == InvalidId) {
+            Counters.add("call.unresolved");
+            break;
+          }
+          dispatchResolved(N, Site, I, Callee, InvalidId);
+          break;
+        }
+        MethodId Exact = InvalidId;
+        if (I.CKind == CallKind::Special) {
+          Exact = CHA.resolveVirtual(I.Cls, I.CalleeName);
+          if (Exact == InvalidId) {
+            Counters.add("call.unresolved");
+            break;
+          }
+        }
+        registerCallUse(L(I.Args[0]), {N, Site, &I, Exact});
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+}
+
+void PointsToSolver::dispatchCall(const CallUse &CU, IKId RecvIK) {
+  const Instruction &I = *CU.I;
+  MethodId Callee = CU.Exact;
+  if (Callee == InvalidId) {
+    Callee = CHA.resolveVirtual(IKs.data(RecvIK).Cls, I.CalleeName);
+    if (Callee == InvalidId) {
+      Counters.add("call.unresolved");
+      return;
+    }
+  }
+  dispatchResolved(CU.Caller, CU.Site, I, Callee, RecvIK);
+}
+
+void PointsToSolver::dispatchResolved(CGNodeId Caller, StmtId Site,
+                                      const Instruction &I, MethodId Callee,
+                                      IKId RecvIK) {
+  const Method &CalM = P.Methods[Callee];
+  if (Opts.ExcludeWhitelisted &&
+      P.Classes[CalM.Owner].is(classflags::Whitelisted)) {
+    Counters.add("call.whitelist_skipped");
+    return;
+  }
+  if (CalM.Intr != Intrinsic::None || !CalM.hasBody()) {
+    auto &Targets = IntrinsicCallees[Site];
+    if (std::find(Targets.begin(), Targets.end(), Callee) == Targets.end())
+      Targets.push_back(Callee);
+    applyIntrinsic(Caller, Site, I, CalM, RecvIK);
+    return;
+  }
+  CtxId Ctx = Policy.selectCalleeContext(CalM, Site, RecvIK);
+  bindCall(Caller, Site, I, Callee, Ctx, RecvIK);
+}
+
+void PointsToSolver::bindCall(CGNodeId Caller, StmtId Site,
+                              const Instruction &I, MethodId Callee,
+                              CtxId CalleeCtx, IKId RecvIK) {
+  CGNodeId CalleeNode = ensureNode(Callee, CalleeCtx);
+  CG.addEdge(Caller, Site, CalleeNode);
+  const Method &CalM = P.Methods[Callee];
+  uint32_t Start = 0;
+  if (RecvIK != InvalidId) {
+    // Dispatch-filtered receiver binding: only the instance key that
+    // resolved here flows into the formal receiver.
+    if (CalM.NumParams > 0)
+      insertPointsTo(PKs.local(CalleeNode, 0), RecvIK);
+    Start = 1;
+  }
+  for (uint32_t K = Start; K < CalM.NumParams && K < I.Args.size(); ++K)
+    addCopyEdge(PKs.local(Caller, I.Args[K]),
+                PKs.local(CalleeNode, static_cast<ValueId>(K)));
+  if (I.Dst != NoValue)
+    addCopyEdge(PKs.ret(CalleeNode), PKs.local(Caller, I.Dst));
+}
+
+//===----------------------------------------------------------------------===//
+// Synthetic models (§4.2)
+//===----------------------------------------------------------------------===//
+
+void PointsToSolver::invokeBind(InvokeSite &IS, CGNodeId Target) {
+  const Instruction &I = *IS.I;
+  const Method &TM = P.Methods[CG.node(Target).M];
+  // invoke(methodObj, recv, argsArray)
+  if (!TM.IsStatic && TM.NumParams > 0 && I.Args.size() > 1)
+    addCopyEdge(PKs.local(IS.Caller, I.Args[1]), PKs.local(Target, 0));
+  if (I.Dst != NoValue)
+    addCopyEdge(PKs.ret(Target), PKs.local(IS.Caller, I.Dst));
+  for (IKId Arr : IS.ArgArrays)
+    invokeBindArray(IS, Target, Arr);
+}
+
+void PointsToSolver::invokeBindArray(InvokeSite &IS, CGNodeId Target,
+                                     IKId ArrIK) {
+  (void)IS;
+  const Method &TM = P.Methods[CG.node(Target).M];
+  uint32_t Start = TM.IsStatic ? 0 : 1;
+  for (uint32_t K = Start; K < TM.NumParams; ++K)
+    addCopyEdge(PKs.arrayElem(ArrIK),
+                PKs.local(Target, static_cast<ValueId>(K)));
+}
+
+void PointsToSolver::applyIntrinsic(CGNodeId Caller, StmtId Site,
+                                    const Instruction &I, const Method &CalM,
+                                    IKId RecvIK) {
+  auto L = [&](ValueId V) { return PKs.local(Caller, V); };
+  size_t Off = CalM.IsStatic ? 0 : 1; // first real argument index
+  ClassId RetCls =
+      CalM.RetType.isRefLike() ? CalM.RetType.Cls : StringClass;
+
+  switch (CalM.Intr) {
+  case Intrinsic::None:
+    // Bodiless non-intrinsic (native/abstract): default model returns a
+    // fresh object of the declared return type.
+    if (I.Dst != NoValue && CalM.RetType.isRefLike())
+      insertPointsTo(L(I.Dst), syntheticIK(Site, CalM.RetType.Cls));
+    Counters.add("call.native_default_model");
+    break;
+  case Intrinsic::Identity:
+    if (I.Dst != NoValue)
+      for (ValueId A : I.Args)
+        addCopyEdge(L(A), L(I.Dst));
+    break;
+  case Intrinsic::StringTransfer:
+  case Intrinsic::Sanitize:
+  case Intrinsic::SourceReturn:
+  case Intrinsic::GetMessage:
+    if (I.Dst != NoValue && RetCls != InvalidId)
+      insertPointsTo(L(I.Dst), syntheticIK(Site, RetCls));
+    break;
+  case Intrinsic::SinkConsume:
+    break;
+  case Intrinsic::MapPut: {
+    if (RecvIK == InvalidId || I.Args.size() < Off + 2)
+      break;
+    Symbol Chan = mapChannel(Caller, I, Off);
+    addCopyEdge(L(I.Args[Off + 1]), channelKey(RecvIK, Chan));
+    break;
+  }
+  case Intrinsic::MapGet: {
+    if (RecvIK == InvalidId || I.Dst == NoValue || I.Args.size() < Off + 1)
+      break;
+    Symbol Lit = constStringOf(CG.node(Caller).M, I.Args[Off]);
+    if (Lit != ~0u) {
+      std::string Name = "@map:";
+      Name += P.Pool.str(Lit);
+      Symbol Chan = internSym(Name);
+      addCopyEdge(channelKey(RecvIK, Chan), L(I.Dst));
+      addCopyEdge(channelKey(RecvIK, WildChan), L(I.Dst));
+    } else {
+      // Unknown key: reads every channel, present and future.
+      auto &Readers = WildcardReaders[RecvIK];
+      PKId Dst = L(I.Dst);
+      if (std::find(Readers.begin(), Readers.end(), Dst) == Readers.end()) {
+        Readers.push_back(Dst);
+        for (PKId Chan : channelsOf(RecvIK))
+          addCopyEdge(Chan, Dst);
+      }
+    }
+    break;
+  }
+  case Intrinsic::CollAdd:
+    if (RecvIK != InvalidId && I.Args.size() >= Off + 1)
+      addCopyEdge(L(I.Args[Off]), channelKey(RecvIK, ElemChan));
+    break;
+  case Intrinsic::CollGet:
+    if (RecvIK != InvalidId && I.Dst != NoValue)
+      addCopyEdge(channelKey(RecvIK, ElemChan), L(I.Dst));
+    break;
+  case Intrinsic::ClassForName: {
+    if (I.Dst == NoValue || I.Args.size() < Off + 1)
+      break;
+    Symbol Lit = constStringOf(CG.node(Caller).M, I.Args[Off]);
+    if (Lit == ~0u) {
+      Counters.add("reflection.unresolved");
+      break;
+    }
+    ClassId Target = P.findClass(P.Pool.str(Lit));
+    if (Target == InvalidId) {
+      Counters.add("reflection.unresolved");
+      break;
+    }
+    InstanceKeyData D;
+    D.Kind = IKKind::ClassObj;
+    D.Cls = CalM.RetType.isRefLike() ? CalM.RetType.Cls : InvalidId;
+    D.Extra = Target;
+    insertPointsTo(L(I.Dst), IKs.intern(D));
+    break;
+  }
+  case Intrinsic::GetMethod: {
+    if (RecvIK == InvalidId || I.Dst == NoValue || I.Args.size() < Off + 1)
+      break;
+    const InstanceKeyData &RD = IKs.data(RecvIK);
+    if (RD.Kind != IKKind::ClassObj)
+      break;
+    Symbol Lit = constStringOf(CG.node(Caller).M, I.Args[Off]);
+    if (Lit == ~0u) {
+      Counters.add("reflection.unresolved");
+      break;
+    }
+    MethodId Target = CHA.resolveVirtual(RD.Extra, Lit);
+    if (Target == InvalidId) {
+      Counters.add("reflection.unresolved");
+      break;
+    }
+    InstanceKeyData D;
+    D.Kind = IKKind::MethodObj;
+    D.Cls = CalM.RetType.isRefLike() ? CalM.RetType.Cls : InvalidId;
+    D.Extra = Target;
+    insertPointsTo(L(I.Dst), IKs.intern(D));
+    break;
+  }
+  case Intrinsic::MethodInvoke: {
+    if (RecvIK == InvalidId)
+      break;
+    // Find or create the invoke state for this (caller, site).
+    uint64_t Key = (static_cast<uint64_t>(Caller) << 32) | Site;
+    auto It = InvokeIndex.find(Key);
+    uint32_t Idx;
+    if (It == InvokeIndex.end()) {
+      Idx = static_cast<uint32_t>(Invokes.size());
+      InvokeSite IS;
+      IS.Caller = Caller;
+      IS.Site = Site;
+      IS.I = &I;
+      Invokes.push_back(IS);
+      InvokeIndex.emplace(Key, Idx);
+      // Register interest in the args array (I.Args[2]).
+      if (I.Args.size() > 2) {
+        PKId ArrPK = L(I.Args[2]);
+        InvokeByArrayPK[ArrPK].push_back(Idx);
+        std::vector<IKId> Cur = pointsTo(ArrPK);
+        for (IKId AIK : Cur) {
+          InvokeSite &IS2 = Invokes[Idx];
+          if (std::find(IS2.ArgArrays.begin(), IS2.ArgArrays.end(), AIK) ==
+              IS2.ArgArrays.end())
+            IS2.ArgArrays.push_back(AIK);
+        }
+      }
+      // Register interest in the Method object (the receiver PK).
+      InvokeByMethodPK[L(I.Args[0])].push_back(Idx);
+    } else {
+      Idx = It->second;
+    }
+    // Handle the Method object that triggered this dispatch.
+    const InstanceKeyData &RD = IKs.data(RecvIK);
+    if (RD.Kind != IKKind::MethodObj)
+      break;
+    MethodId Target = RD.Extra;
+    if (!P.Methods[Target].hasBody())
+      break;
+    InvokeSite &IS = Invokes[Idx];
+    CGNodeId TN = ensureNode(Target, Ctxs.callSite(Site));
+    if (std::find(IS.Targets.begin(), IS.Targets.end(), TN) ==
+        IS.Targets.end()) {
+      IS.Targets.push_back(TN);
+      CG.addEdge(Caller, Site, TN);
+      invokeBind(IS, TN);
+    }
+    break;
+  }
+  case Intrinsic::ThreadStart: {
+    if (RecvIK == InvalidId)
+      break;
+    MethodId Run = CHA.resolveVirtual(IKs.data(RecvIK).Cls, RunSym);
+    if (Run == InvalidId || !P.Methods[Run].hasBody())
+      break;
+    CtxId Ctx = Policy.selectCalleeContext(P.Methods[Run], Site, RecvIK);
+    CGNodeId TN = ensureNode(Run, Ctx);
+    CG.addEdge(Caller, Site, TN);
+    if (P.Methods[Run].NumParams > 0)
+      insertPointsTo(PKs.local(TN, 0), RecvIK);
+    Counters.add("model.thread_start");
+    break;
+  }
+  case Intrinsic::JndiLookup: {
+    if (I.Dst == NoValue || I.Args.size() < Off + 1)
+      break;
+    Symbol Lit = constStringOf(CG.node(Caller).M, I.Args[Off]);
+    if (Lit == ~0u)
+      break;
+    auto It = Opts.JndiBindings.find(std::string(P.Pool.str(Lit)));
+    if (It == Opts.JndiBindings.end())
+      break;
+    InstanceKeyData D;
+    D.Kind = IKKind::Singleton;
+    D.Cls = It->second;
+    D.Extra = It->second;
+    insertPointsTo(L(I.Dst), IKs.intern(D));
+    Counters.add("model.jndi_lookup");
+    break;
+  }
+  case Intrinsic::HomeCreate: {
+    if (I.Dst == NoValue)
+      break;
+    ClassId Bean = RetCls;
+    if (RecvIK != InvalidId) {
+      auto It = Opts.EjbHomeToBean.find(IKs.data(RecvIK).Cls);
+      if (It != Opts.EjbHomeToBean.end())
+        Bean = It->second;
+    }
+    if (Bean != InvalidId)
+      insertPointsTo(L(I.Dst), syntheticIK(Site, Bean));
+    Counters.add("model.home_create");
+    break;
+  }
+  }
+}

@@ -1,0 +1,222 @@
+//===- pointsto/Solver.h - Andersen-style pointer analysis -----*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first phase of TAJ (§3.1): a field-sensitive, context-sensitive
+/// variant of Andersen's analysis with on-the-fly call-graph construction.
+/// The solver alternates constraint adding (one pending (method, context)
+/// node at a time, ordered by the §6.1 priority policy or chaotically) with
+/// constraint solving to fixpoint, optionally under a call-graph node
+/// budget, in which case the result is deliberately underapproximate.
+///
+/// Synthetic models (§4.2) are applied inline: calls that resolve to
+/// intrinsic methods never create call-graph nodes; instead hand-written
+/// transfer functions cover string carriers, dictionaries with constant
+/// keys, reflection, Thread.start, JNDI/EJB lookups and taint APIs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_POINTSTO_SOLVER_H
+#define TAJ_POINTSTO_SOLVER_H
+
+#include "callgraph/CallGraph.h"
+#include "cha/ClassHierarchy.h"
+#include "ir/Program.h"
+#include "pointsto/Context.h"
+#include "pointsto/ContextPolicy.h"
+#include "pointsto/Keys.h"
+#include "support/Stats.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace taj {
+
+/// Configuration of one pointer-analysis run.
+struct PointsToOptions {
+  /// Use the §6.1 priority-driven constraint-adding order (vs chaotic).
+  bool Prioritized = false;
+  /// Call-graph node budget; 0 = unbounded.
+  uint32_t MaxCallGraphNodes = 0;
+  /// Exclude whitelisted (benign) classes entirely (§4.2.1 code reduction).
+  bool ExcludeWhitelisted = false;
+  /// Context policy tunables.
+  ContextPolicyOptions Policy;
+  /// JNDI name -> bean class bindings from the deployment descriptor
+  /// (§4.2.2); consumed by the JndiLookup intrinsic.
+  std::unordered_map<std::string, ClassId> JndiBindings;
+  /// EJB home class -> bean implementation class (deployment descriptor).
+  std::unordered_map<ClassId, ClassId> EjbHomeToBean;
+};
+
+/// Result-bearing pointer analysis. Construct, then call solve() once.
+class PointsToSolver {
+public:
+  PointsToSolver(const Program &P, const ClassHierarchy &CHA,
+                 PointsToOptions Opts = {});
+  ~PointsToSolver();
+  PointsToSolver(const PointsToSolver &) = delete;
+  PointsToSolver &operator=(const PointsToSolver &) = delete;
+
+  /// Runs the analysis from the given entry methods (each analyzed in the
+  /// Everywhere context; normally a single synthesized root).
+  void solve(const std::vector<MethodId> &Entries);
+
+  //===--------------------------------------------------------------------===//
+  // Results
+  //===--------------------------------------------------------------------===//
+
+  const CallGraph &callGraph() const { return CG; }
+  const ContextTable &contexts() const { return Ctxs; }
+  const InstanceKeyTable &instanceKeys() const { return IKs; }
+  PointerKeyTable &pointerKeys() { return PKs; }
+  const PointerKeyTable &pointerKeys() const { return PKs; }
+
+  /// Points-to set of \p PK (sorted).
+  const std::vector<IKId> &pointsTo(PKId PK) const;
+
+  /// Union of pointsTo over every context of method \p M for value \p V —
+  /// the flow-insensitive projection used for HSDG direct edges.
+  std::vector<IKId> pointsToMerged(MethodId M, ValueId V) const;
+
+  /// Points-to set of value \p V in call-graph node \p N (context-precise).
+  std::vector<IKId> pointsToOfLocal(CGNodeId N, ValueId V) const;
+
+  /// True if any context of \p M had its constraints added (statements of
+  /// unprocessed methods are invisible to the slicers).
+  bool isMethodProcessed(MethodId M) const;
+
+  /// Targets of intrinsic (model) calls, keyed by call statement. These
+  /// calls have no call-graph edges; the SDG needs the callee identity to
+  /// classify sources/sinks/sanitizers.
+  const std::vector<MethodId> &intrinsicCalleesAt(StmtId Site) const;
+
+  /// Constant string defined by SSA value \p V of method \p M, or ~0u.
+  Symbol constStringOf(MethodId M, ValueId V) const;
+
+  /// True if the node budget was hit (the result is underapproximate).
+  bool budgetExhausted() const { return BudgetHit; }
+
+  const Stats &stats() const { return Counters; }
+
+  /// All interned channel pointer keys of instance \p IK (map/collection
+  /// contents), for heap-graph construction.
+  const std::vector<PKId> &channelsOf(IKId IK) const;
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Internal machinery
+  //===--------------------------------------------------------------------===//
+
+  friend class SolverTestPeer;
+
+  // Deferred constraints attached to a pointer key.
+  struct LoadUse {
+    enum Kind : uint8_t { Field, Array, ChanConst, ChanWild } K;
+    uint32_t FieldOrChan; // FieldId or channel Symbol
+    PKId Dst;
+  };
+  struct StoreUse {
+    enum Kind : uint8_t { Field, Array, Chan } K;
+    uint32_t FieldOrChan;
+    PKId Src;
+  };
+  struct CallUse {
+    CGNodeId Caller;
+    StmtId Site;
+    const Instruction *I;
+    /// Exact target for Special calls; InvalidId = CHA dispatch.
+    MethodId Exact;
+  };
+  struct InvokeSite {
+    CGNodeId Caller = 0;
+    StmtId Site = 0;
+    const Instruction *I = nullptr;
+    std::vector<CGNodeId> Targets;
+    std::vector<IKId> ArgArrays;
+  };
+
+  CGNodeId ensureNode(MethodId M, CtxId Ctx);
+  void addConstraints(CGNodeId N);
+  void propagate();
+
+  bool insertPointsTo(PKId PK, IKId IK);
+  void addCopyEdge(PKId From, PKId To);
+  void growTables();
+
+  PKId channelKey(IKId Base, Symbol Chan);
+  PKId channelFieldOrPlain(IKId IK, const LoadUse &LU);
+  void handleNewPointsTo(PKId PK, IKId IK);
+  void registerLoadUse(PKId Base, LoadUse LU);
+  void registerStoreUse(PKId Base, StoreUse SU);
+  void registerCallUse(PKId Recv, CallUse CU);
+  void dispatchCall(const CallUse &CU, IKId RecvIK);
+  void dispatchResolved(CGNodeId Caller, StmtId Site, const Instruction &I,
+                        MethodId Callee, IKId RecvIK);
+  void bindCall(CGNodeId Caller, StmtId Site, const Instruction &I,
+                MethodId Callee, CtxId CalleeCtx, IKId RecvIK);
+  void applyIntrinsic(CGNodeId Caller, StmtId Site, const Instruction &I,
+                      const Method &Callee, IKId RecvIK);
+  void invokeBind(InvokeSite &IS, CGNodeId Target);
+  void invokeBindArray(InvokeSite &IS, CGNodeId Target, IKId ArrIK);
+
+  IKId syntheticIK(StmtId Site, ClassId Cls);
+  Symbol mapChannel(CGNodeId Caller, const Instruction &I, size_t KeyArg);
+  Symbol internSym(std::string_view S) const;
+
+  const Program &P;
+  const ClassHierarchy &CHA;
+  PointsToOptions Opts;
+
+  ContextTable Ctxs;
+  InstanceKeyTable IKs;
+  PointerKeyTable PKs;
+  CallGraph CG;
+  ContextPolicy Policy;
+  Stats Counters;
+  bool BudgetHit = false;
+  bool Solved = false;
+
+  // Per-PK state (indexed by PKId; grown lazily).
+  std::vector<std::vector<IKId>> Pts;
+  std::vector<std::vector<PKId>> CopySuccs;
+  std::vector<std::vector<LoadUse>> LoadUses;
+  std::vector<std::vector<StoreUse>> StoreUses;
+  std::vector<std::vector<CallUse>> CallUses;
+  std::vector<std::vector<IKId>> Delta;
+  std::vector<bool> OnWorklist;
+  std::vector<PKId> Worklist;
+  std::unordered_set<uint64_t> EdgeDedup;
+
+  // Model channel bookkeeping.
+  std::unordered_map<IKId, std::vector<PKId>> Channels;
+  std::unordered_map<IKId, std::vector<PKId>> WildcardReaders;
+
+  // Reflective invoke state; (PK role) registrations point here.
+  std::vector<InvokeSite> Invokes;
+  std::unordered_map<uint64_t, uint32_t> InvokeIndex; // (caller,site) -> idx
+  std::unordered_map<PKId, std::vector<uint32_t>> InvokeByMethodPK;
+  std::unordered_map<PKId, std::vector<uint32_t>> InvokeByArrayPK;
+
+  // Cached program entities.
+  ClassId StringClass = InvalidId;
+  ClassId ExceptionClass = InvalidId;
+  Symbol WildChan = 0;
+  Symbol ElemChan = 0;
+  Symbol RunSym = 0;
+
+  std::unordered_map<StmtId, std::vector<MethodId>> IntrinsicCallees;
+  mutable std::unordered_map<MethodId, std::unordered_map<ValueId, Symbol>>
+      ConstStrCache;
+
+  class PriorityManager *Prio = nullptr; // owned
+};
+
+} // namespace taj
+
+#endif // TAJ_POINTSTO_SOLVER_H

@@ -1,0 +1,31 @@
+//===- report/Lcp.cpp ------------------------------------------*- C++ -*-===//
+
+#include "report/Lcp.h"
+
+using namespace taj;
+
+bool taj::isLibraryStmt(const Program &P, StmtId S) {
+  const StmtRef &R = P.stmtRef(S);
+  const Method &M = P.Methods[R.M];
+  return P.Classes[M.Owner].is(classflags::Library);
+}
+
+StmtId taj::computeLcp(const Program &P, const Issue &I) {
+  if (I.Path.empty())
+    return I.Sink;
+  StmtId Lcp = I.Sink;
+  bool Found = false;
+  for (size_t K = 0; K < I.Path.size(); ++K) {
+    if (isLibraryStmt(P, I.Path[K]))
+      continue;
+    bool NextIsLibrary =
+        K + 1 < I.Path.size() ? isLibraryStmt(P, I.Path[K + 1]) : true;
+    if (NextIsLibrary) {
+      Lcp = I.Path[K];
+      Found = true;
+    }
+  }
+  // A flow entirely inside library code has no app-side call point; the
+  // sink itself is reported (the developer cannot remediate elsewhere).
+  return Found ? Lcp : I.Sink;
+}

@@ -1,0 +1,32 @@
+//===- report/Lcp.h - Library call points ----------------------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Library call points (TAJ §5): the last statement along a flow where
+/// data passes from application code into library code. Flows that share
+/// an LCP and remediation action (issue type) are redundant — fixing the
+/// representative fixes them all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_REPORT_LCP_H
+#define TAJ_REPORT_LCP_H
+
+#include "slicer/Issue.h"
+
+namespace taj {
+
+/// True if statement \p S lives in a method of a library-flagged class.
+bool isLibraryStmt(const Program &P, StmtId S);
+
+/// The LCP of flow \p I: the last application statement on the path from
+/// which data proceeds into library code; falls back to the sink
+/// statement when the path never crosses into a library.
+StmtId computeLcp(const Program &P, const Issue &I);
+
+} // namespace taj
+
+#endif // TAJ_REPORT_LCP_H

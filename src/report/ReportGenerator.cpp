@@ -1,0 +1,67 @@
+//===- report/ReportGenerator.cpp ------------------------------*- C++ -*-===//
+
+#include "report/ReportGenerator.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace taj;
+
+std::string taj::describeStmt(const Program &P, StmtId S) {
+  const StmtRef &R = P.stmtRef(S);
+  const Instruction &I = P.stmt(S);
+  std::string Out = P.methodName(R.M);
+  Out += ":";
+  Out += std::to_string(I.Line);
+  Out += "#";
+  Out += std::to_string(S);
+  return Out;
+}
+
+std::vector<Report> taj::generateReports(const Program &P,
+                                         const std::vector<Issue> &Issues) {
+  // Equivalence classes: (LCP, remediation action = rule kind).
+  std::map<std::pair<StmtId, RuleMask>, Report> Groups;
+  for (const Issue &I : Issues) {
+    StmtId Lcp = computeLcp(P, I);
+    auto Key = std::make_pair(Lcp, I.Rule);
+    auto It = Groups.find(Key);
+    if (It == Groups.end()) {
+      Report R;
+      R.Representative = I;
+      R.Lcp = Lcp;
+      R.GroupSize = 1;
+      Groups.emplace(Key, std::move(R));
+      continue;
+    }
+    ++It->second.GroupSize;
+    if (I.Length < It->second.Representative.Length)
+      It->second.Representative = I;
+  }
+  std::vector<Report> Out;
+  Out.reserve(Groups.size());
+  for (auto &[Key, R] : Groups)
+    Out.push_back(std::move(R));
+  return Out;
+}
+
+std::string taj::renderReports(const Program &P,
+                               const std::vector<Report> &Rs) {
+  std::string Out;
+  for (const Report &R : Rs) {
+    Out += rules::ruleName(R.Representative.Rule);
+    Out += ": ";
+    Out += describeStmt(P, R.Representative.Source);
+    Out += " -> ";
+    Out += describeStmt(P, R.Lcp);
+    Out += " -> ";
+    Out += describeStmt(P, R.Representative.Sink);
+    if (R.GroupSize > 1) {
+      Out += " (+";
+      Out += std::to_string(R.GroupSize - 1);
+      Out += " redundant flows)";
+    }
+    Out += '\n';
+  }
+  return Out;
+}

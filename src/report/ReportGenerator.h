@@ -1,0 +1,47 @@
+//===- report/ReportGenerator.h - LCP-grouped reporting --------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Redundancy elimination per TAJ §5: flows are grouped into equivalence
+/// classes by (library call point, remediation action), one representative
+/// per class is reported, and the report renders source -> LCP -> sink
+/// with the issue type — the compact, action-oriented format the paper
+/// argues for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_REPORT_REPORTGENERATOR_H
+#define TAJ_REPORT_REPORTGENERATOR_H
+
+#include "report/Lcp.h"
+
+#include <string>
+#include <vector>
+
+namespace taj {
+
+/// One user-facing report: a representative flow plus the size of its
+/// equivalence class.
+struct Report {
+  Issue Representative;
+  StmtId Lcp = 0;
+  uint32_t GroupSize = 0;
+};
+
+/// Groups \p Issues by (LCP, rule) and picks the shortest flow of each
+/// class as representative. Output is deterministic (sorted).
+std::vector<Report> generateReports(const Program &P,
+                                    const std::vector<Issue> &Issues);
+
+/// Renders reports as human-readable text ("source -> LCP -> sink").
+std::string renderReports(const Program &P, const std::vector<Report> &Rs);
+
+/// Renders one statement as "Class.method:line#stmt".
+std::string describeStmt(const Program &P, StmtId S);
+
+} // namespace taj
+
+#endif // TAJ_REPORT_REPORTGENERATOR_H

@@ -1,0 +1,231 @@
+//===- rhs/Tabulation.cpp --------------------------------------*- C++ -*-===//
+
+#include "rhs/Tabulation.h"
+
+#include <cassert>
+
+using namespace taj;
+
+Tabulation::Tabulation(const SDG &G, RuleMask Rule) : G(G), Rule(Rule) {}
+
+bool Tabulation::isBarrier(SDGNodeId N) const {
+  const SDGNode &Node = G.node(N);
+  if (Node.Kind != SDGNodeKind::Stmt)
+    return false;
+  // Sanitizer returns and sink calls have no successors (§3.2).
+  return (Node.SanitizeMask & Rule) != 0 || (Node.SinkMask & Rule) != 0;
+}
+
+const CallSiteInfo *Tabulation::siteOf(SDGNodeId N) const {
+  const SDGNode &Node = G.node(N);
+  switch (Node.Kind) {
+  case SDGNodeKind::Stmt:
+    return G.callSite(N);
+  case SDGNodeKind::ActualIn:
+  case SDGNodeKind::ChanActualIn:
+    return Node.Aux == InvalidId ? nullptr : G.callSite(Node.Aux);
+  default:
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Summary engine
+//===----------------------------------------------------------------------===//
+
+void Tabulation::seedSummary(SDGNodeId FIn) {
+  if (!SummarySeeded.insert(FIn).second)
+    return;
+  SummaryWork.emplace_back(FIn, FIn, 0);
+}
+
+void Tabulation::propagateSame(SDGNodeId FIn, SDGNodeId N, uint32_t D) {
+  uint64_t Key = (static_cast<uint64_t>(FIn) << 32) | N;
+  auto It = PathDist.find(Key);
+  if (It != PathDist.end() && It->second <= D)
+    return;
+  PathDist[Key] = D;
+  SummaryWork.emplace_back(FIn, N, D);
+}
+
+void Tabulation::recordSummaryOut(SDGNodeId FIn, SDGNodeId FOut, uint32_t D) {
+  auto &Outs = SummaryOuts[FIn];
+  for (auto &[O, DD] : Outs)
+    if (O == FOut) {
+      if (D < DD)
+        DD = D;
+      return;
+    }
+  Outs.emplace_back(FOut, D);
+  // Re-propagate at every call site waiting on this summary.
+  auto It = Subscribers.find(FIn);
+  if (It == Subscribers.end())
+    return;
+  for (const Sub &S : It->second) {
+    const CallSiteInfo *CS = siteOf(S.At);
+    if (!CS)
+      continue;
+    SDGNodeId AOut = G.actualOutFor(*CS, FOut);
+    if (AOut == InvalidId)
+      continue;
+    uint64_t Key = (static_cast<uint64_t>(S.Ctx) << 32) | S.At;
+    auto DI = PathDist.find(Key);
+    uint32_t Base = DI == PathDist.end() ? 0 : DI->second;
+    propagateSame(S.Ctx, AOut, Base + D + 2);
+  }
+}
+
+void Tabulation::drainSummaries() {
+  while (!SummaryWork.empty()) {
+    auto [FIn, N, D] = SummaryWork.front();
+    SummaryWork.pop_front();
+    ++PathEdgeCount;
+    const SDGNode &Node = G.node(N);
+    const SDGNode &FNode = G.node(FIn);
+
+    // Reaching a formal-out of the same method completes a summary.
+    if ((Node.Kind == SDGNodeKind::FormalOut ||
+         Node.Kind == SDGNodeKind::ChanFormalOut) &&
+        Node.Owner == FNode.Owner) {
+      recordSummaryOut(FIn, N, D);
+      continue;
+    }
+    if (isBarrier(N))
+      continue;
+    for (const SDGEdge &E : G.succs(N)) {
+      switch (E.Kind) {
+      case SDGEdgeKind::Flow:
+        propagateSame(FIn, E.To, D + 1);
+        break;
+      case SDGEdgeKind::ParamIn: {
+        // Step over the call via callee summaries.
+        SDGNodeId CalleeFIn = E.To;
+        seedSummary(CalleeFIn);
+        Subscribers[CalleeFIn].push_back({FIn, N});
+        auto SIt = SummaryOuts.find(CalleeFIn);
+        if (SIt != SummaryOuts.end()) {
+          const CallSiteInfo *CS = siteOf(N);
+          if (CS)
+            for (auto &[FOut, DD] : SIt->second) {
+              SDGNodeId AOut = G.actualOutFor(*CS, FOut);
+              if (AOut != InvalidId)
+                propagateSame(FIn, AOut, D + DD + 2);
+            }
+        }
+        break;
+      }
+      case SDGEdgeKind::ParamOut:
+        break; // never exits the same level
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Two-phase slicing
+//===----------------------------------------------------------------------===//
+
+void Tabulation::forwardSlice(
+    const std::vector<std::pair<SDGNodeId, uint32_t>> &Seeds,
+    SliceResult &R) {
+  // Phase 1: ascend (Flow + ParamOut + summaries). Collect newly reached
+  // nodes for phase 2.
+  std::vector<std::pair<SDGNodeId, uint32_t>> Phase1New;
+  {
+    std::deque<std::tuple<SDGNodeId, uint32_t, SDGNodeId>> Q;
+    for (auto [S, D] : Seeds)
+      Q.emplace_back(S, D, InvalidId);
+    std::unordered_set<SDGNodeId> Local;
+    while (!Q.empty()) {
+      auto [N, D, Par] = Q.front();
+      Q.pop_front();
+      if (!Local.insert(N).second)
+        continue;
+      ++PathEdgeCount;
+      bool Fresh = !R.Dist.count(N);
+      if (Fresh || R.Dist[N] > D) {
+        R.Dist[N] = D;
+        R.Parent[N] = Par;
+      }
+      if (Fresh)
+        Phase1New.emplace_back(N, D);
+      if (isBarrier(N))
+        continue;
+      for (const SDGEdge &E : G.succs(N)) {
+        if (E.Kind == SDGEdgeKind::Flow || E.Kind == SDGEdgeKind::ParamOut)
+          Q.emplace_back(E.To, D + 1, N);
+        else if (E.Kind == SDGEdgeKind::ParamIn) {
+          seedSummary(E.To);
+          drainSummaries();
+          auto SIt = SummaryOuts.find(E.To);
+          if (SIt == SummaryOuts.end())
+            continue;
+          const CallSiteInfo *CS = siteOf(N);
+          if (!CS)
+            continue;
+          for (auto &[FOut, DD] : SIt->second) {
+            SDGNodeId AOut = G.actualOutFor(*CS, FOut);
+            if (AOut != InvalidId)
+              Q.emplace_back(AOut, D + DD + 2, N);
+          }
+        }
+      }
+    }
+  }
+
+  // Phase 2: descend (Flow + ParamIn + summaries) from everything phase 1
+  // reached.
+  {
+    std::deque<std::tuple<SDGNodeId, uint32_t, SDGNodeId>> Q;
+    for (auto [N, D] : Phase1New)
+      Q.emplace_back(N, D, InvalidId);
+    std::unordered_set<SDGNodeId> Local;
+    while (!Q.empty()) {
+      auto [N, D, Par] = Q.front();
+      Q.pop_front();
+      if (!Local.insert(N).second)
+        continue;
+      ++PathEdgeCount;
+      if (!R.Dist.count(N) || R.Dist[N] > D) {
+        R.Dist[N] = D;
+        if (Par != InvalidId)
+          R.Parent[N] = Par;
+      }
+      if (!R.Parent.count(N))
+        R.Parent[N] = Par;
+      if (isBarrier(N))
+        continue;
+      for (const SDGEdge &E : G.succs(N)) {
+        if (E.Kind == SDGEdgeKind::Flow || E.Kind == SDGEdgeKind::ParamIn) {
+          Q.emplace_back(E.To, D + 1, N);
+        } else if (E.Kind == SDGEdgeKind::ParamOut) {
+          continue;
+        }
+      }
+      // Step over calls with summaries as well, so flow continuing after a
+      // call inside a descended-into method is found.
+      bool HasParamIn = false;
+      for (const SDGEdge &E : G.succs(N))
+        HasParamIn |= E.Kind == SDGEdgeKind::ParamIn;
+      if (HasParamIn) {
+        const CallSiteInfo *CS = siteOf(N);
+        if (CS) {
+          for (const SDGEdge &E : G.succs(N)) {
+            if (E.Kind != SDGEdgeKind::ParamIn)
+              continue;
+            seedSummary(E.To);
+            drainSummaries();
+            auto SIt = SummaryOuts.find(E.To);
+            if (SIt == SummaryOuts.end())
+              continue;
+            for (auto &[FOut, DD] : SIt->second) {
+              SDGNodeId AOut = G.actualOutFor(*CS, FOut);
+              if (AOut != InvalidId)
+                Q.emplace_back(AOut, D + DD + 2, N);
+            }
+          }
+        }
+      }
+    }
+  }
+}

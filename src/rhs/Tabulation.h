@@ -1,0 +1,91 @@
+//===- rhs/Tabulation.h - RHS summary-based reachability -------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context-sensitive (realizable-path) forward reachability over an SDG,
+/// after Reps-Horwitz-Sagiv tabulation [POPL'95] as used by TAJ §3.2:
+/// same-level summaries from formal-ins to formal-outs are computed on
+/// demand and applied at call sites, and slices are taken in the classic
+/// two-phase Horwitz-Reps-Binkley style (phase 1 ascends to callers using
+/// summaries to step over calls; phase 2 descends into callees).
+///
+/// Traversal is per security rule: statements that sanitize the rule — and
+/// sink statements — have no successors (paper §3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_RHS_TABULATION_H
+#define TAJ_RHS_TABULATION_H
+
+#include "sdg/SDG.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace taj {
+
+/// Demand-driven tabulation over one SDG for one security rule. Summaries
+/// are memoized across slice requests, so reuse one instance per
+/// (SDG, rule) pair.
+class Tabulation {
+public:
+  Tabulation(const SDG &G, RuleMask Rule);
+
+  /// Persistent slice state; pass the same object to forwardSlice to grow
+  /// a slice incrementally (the hybrid slicer adds store->load hop seeds).
+  struct SliceResult {
+    /// node -> BFS distance from the nearest seed.
+    std::unordered_map<SDGNodeId, uint32_t> Dist;
+    /// node -> discovery predecessor (seeds map to InvalidId).
+    std::unordered_map<SDGNodeId, SDGNodeId> Parent;
+  };
+
+  /// Extends \p R with everything forward-reachable along realizable paths
+  /// from \p Seeds (pairs of node and initial distance).
+  void forwardSlice(const std::vector<std::pair<SDGNodeId, uint32_t>> &Seeds,
+                    SliceResult &R);
+
+  /// Number of path edges processed (scalability metric).
+  uint64_t pathEdgeCount() const { return PathEdgeCount; }
+
+private:
+  /// True if traversal must stop at \p N (sanitizer for this rule, or
+  /// sink): such statements have no successors in the no-heap SDG.
+  bool isBarrier(SDGNodeId N) const;
+
+  /// Call-site info owning an ActualIn/ChanActualIn/Invoke-stmt node.
+  const CallSiteInfo *siteOf(SDGNodeId N) const;
+
+  // --- Summary engine -----------------------------------------------------
+  void seedSummary(SDGNodeId FIn);
+  void drainSummaries();
+  void recordSummaryOut(SDGNodeId FIn, SDGNodeId FOut, uint32_t D);
+  void propagateSame(SDGNodeId FIn, SDGNodeId N, uint32_t D);
+
+  struct Sub {
+    uint32_t Ctx; ///< the FIn whose same-level traversal waits here
+    SDGNodeId At; ///< the actual-in node where the summary applies
+  };
+
+  const SDG &G;
+  RuleMask Rule;
+  uint64_t PathEdgeCount = 0;
+
+  // Same-level path edges: (FIn, node) -> dist.
+  std::unordered_map<uint64_t, uint32_t> PathDist;
+  // FIn -> [(FOut-like node, interior dist)]
+  std::unordered_map<SDGNodeId, std::vector<std::pair<SDGNodeId, uint32_t>>>
+      SummaryOuts;
+  std::unordered_map<SDGNodeId, std::vector<Sub>> Subscribers;
+  std::unordered_set<SDGNodeId> SummarySeeded;
+  std::deque<std::tuple<SDGNodeId, SDGNodeId, uint32_t>> SummaryWork;
+};
+
+} // namespace taj
+
+#endif // TAJ_RHS_TABULATION_H

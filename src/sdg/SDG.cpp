@@ -1,0 +1,808 @@
+//===- sdg/SDG.cpp - SDG construction --------------------------*- C++ -*-===//
+
+#include "sdg/SDG.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace taj;
+
+ValueId taj::heapBaseValue(const Instruction &I, HeapAccess A) {
+  switch (A) {
+  case HeapAccess::FieldStore:
+  case HeapAccess::FieldLoad:
+  case HeapAccess::ArrayStore:
+  case HeapAccess::ArrayLoad:
+  case HeapAccess::MapPut:
+  case HeapAccess::MapGet:
+  case HeapAccess::CollAdd:
+  case HeapAccess::CollGet:
+    return I.Args.empty() ? NoValue : I.Args[0];
+  case HeapAccess::InvokeArgsRead:
+    return I.Args.size() > 2 ? I.Args[2] : NoValue;
+  case HeapAccess::StaticStore:
+  case HeapAccess::StaticLoad:
+  case HeapAccess::None:
+    break;
+  }
+  return NoValue;
+}
+
+namespace taj {
+
+/// Builds an SDG in place.
+class SdgBuilder {
+public:
+  SdgBuilder(SDG &G, const Program &P, const ClassHierarchy &CHA,
+             const PointsToSolver &Solver, const SDGOptions &Opts)
+      : G(G), P(P), CHA(CHA), Solver(Solver), Opts(Opts) {}
+
+  void build();
+
+private:
+  SDGNodeId addNode(SDGNode N) {
+    G.Nodes.push_back(N);
+    G.Succs.emplace_back();
+    return static_cast<SDGNodeId>(G.Nodes.size() - 1);
+  }
+  void addEdge(SDGNodeId From, SDGNodeId To, SDGEdgeKind K) {
+    G.Succs[From].push_back({To, K});
+  }
+  static uint64_t key(SDGOwnerId O, uint32_t X) {
+    return (static_cast<uint64_t>(O) << 32) | X;
+  }
+
+  SDGNodeId stmtNode(SDGOwnerId O, StmtId S) const {
+    auto It = G.StmtMap.find(key(O, S));
+    return It == G.StmtMap.end() ? InvalidId : It->second;
+  }
+  SDGNodeId formalIn(SDGOwnerId O, uint32_t K) const {
+    auto It = G.FormalInMap.find(key(O, K));
+    return It == G.FormalInMap.end() ? InvalidId : It->second;
+  }
+  SDGNodeId formalOut(SDGOwnerId O) const {
+    auto It = G.FormalOutMap.find(O);
+    return It == G.FormalOutMap.end() ? InvalidId : It->second;
+  }
+
+  /// Owners of the body'd callees at call statement \p Site of owner \p O.
+  std::vector<SDGOwnerId> calleeOwners(SDGOwnerId O, StmtId Site) const;
+
+  void createSkeleton();
+  void wireOwner(SDGOwnerId O);
+  void wireCall(SDGOwnerId O, StmtId Site, const Instruction &I,
+                const std::vector<SDGNodeId> &DefNode);
+  void buildChannels();
+  void computeOwnerChannels();
+  const ChanAccess &chanAccessOf(SDGNodeId N);
+
+  SDG &G;
+  const Program &P;
+  const ClassHierarchy &CHA;
+  const PointsToSolver &Solver;
+  const SDGOptions &Opts;
+  // method -> merged owner (merged scope); cg node -> owner (expanded).
+  std::unordered_map<uint32_t, SDGOwnerId> OwnerIndex;
+  std::unordered_map<SDGNodeId, ChanAccess> ChanCache;
+};
+
+} // namespace taj
+
+//===----------------------------------------------------------------------===//
+// SDG public interface
+//===----------------------------------------------------------------------===//
+
+SDG::SDG(const Program &P, const ClassHierarchy &CHA,
+         const PointsToSolver &Solver, SDGOptions Opts)
+    : P(P), Solver(Solver), Opts(Opts) {
+  SdgBuilder B(*this, P, CHA, Solver, this->Opts);
+  B.build();
+}
+
+const CallSiteInfo *SDG::callSite(SDGNodeId StmtNode) const {
+  auto It = CallSites.find(StmtNode);
+  return It == CallSites.end() ? nullptr : &It->second;
+}
+
+SDGNodeId SDG::actualOutFor(const CallSiteInfo &CS,
+                            SDGNodeId CalleeOut) const {
+  const SDGNode &N = Nodes[CalleeOut];
+  if (N.Kind == SDGNodeKind::FormalOut)
+    return CS.StmtNode;
+  if (N.Kind == SDGNodeKind::ChanFormalOut) {
+    auto It = OwnerChans.find(N.Owner);
+    if (It == OwnerChans.end() || N.Index >= It->second.size())
+      return InvalidId;
+    uint64_t Sig = It->second[N.Index];
+    for (size_t K = 0; K < CS.ChanSigs.size(); ++K)
+      if (CS.ChanSigs[K] == Sig)
+        return CS.ChanOuts[K];
+  }
+  return InvalidId;
+}
+
+std::vector<SDGNodeId> SDG::sourceNodes(RuleMask Rule) const {
+  std::vector<SDGNodeId> Out;
+  for (SDGNodeId N = 0; N < Nodes.size(); ++N)
+    if (Nodes[N].Kind == SDGNodeKind::Stmt && (Nodes[N].SourceMask & Rule))
+      Out.push_back(N);
+  return Out;
+}
+
+std::vector<IKId> SDG::valuePointsTo(SDGNodeId N, ValueId V) const {
+  const OwnerInfo &OI = Owners[Nodes[N].Owner];
+  if (OI.CgNode != InvalidId)
+    return Solver.pointsToOfLocal(OI.CgNode, V);
+  return Solver.pointsToMerged(OI.M, V);
+}
+
+std::vector<IKId> SDG::basePointsTo(SDGNodeId N) const {
+  const SDGNode &Node = Nodes[N];
+  const Instruction &I = P.stmt(Node.S);
+  ValueId Base = heapBaseValue(I, Node.Access);
+  if (Base == NoValue)
+    return {};
+  return valuePointsTo(N, Base);
+}
+
+std::vector<IKId> SDG::argPointsTo(SDGNodeId N, uint32_t ArgIdx) const {
+  const SDGNode &Node = Nodes[N];
+  const Instruction &I = P.stmt(Node.S);
+  if (ArgIdx >= I.Args.size())
+    return {};
+  return valuePointsTo(N, I.Args[ArgIdx]);
+}
+
+Symbol SDG::constKeyOf(SDGNodeId N) const {
+  const SDGNode &Node = Nodes[N];
+  const Instruction &I = P.stmt(Node.S);
+  size_t Off = 1; // map intrinsics are instance methods in the model
+  for (MethodId T : Solver.intrinsicCalleesAt(Node.S))
+    if (P.Methods[T].Intr == Intrinsic::MapPut ||
+        P.Methods[T].Intr == Intrinsic::MapGet)
+      Off = P.Methods[T].IsStatic ? 0 : 1;
+  if (I.Args.size() <= Off)
+    return ~0u;
+  return Solver.constStringOf(Node.M, I.Args[Off]);
+}
+
+std::string SDG::nodeToString(SDGNodeId NId) const {
+  const SDGNode &N = Nodes[NId];
+  std::string Out;
+  switch (N.Kind) {
+  case SDGNodeKind::Stmt: {
+    Out = "stmt " + P.methodName(N.M) + "#" + std::to_string(N.S);
+    if (N.SourceMask)
+      Out += " [source]";
+    if (N.SinkMask)
+      Out += " [sink]";
+    if (N.SanitizeMask)
+      Out += " [sanitizer]";
+    if (N.Access != HeapAccess::None) {
+      static const char *Names[] = {"",           "fieldstore", "fieldload",
+                                    "arraystore", "arrayload", "staticstore",
+                                    "staticload", "mapput",     "mapget",
+                                    "colladd",    "collget",    "invokeargs"};
+      Out += std::string(" [") + Names[static_cast<int>(N.Access)] + "]";
+    }
+    break;
+  }
+  case SDGNodeKind::ActualIn:
+    Out = "actual-in(" + std::to_string(N.Index) + ") @" +
+          std::to_string(N.S);
+    break;
+  case SDGNodeKind::FormalIn:
+    Out = "formal-in(" + std::to_string(N.Index) + ") " + P.methodName(N.M);
+    break;
+  case SDGNodeKind::FormalOut:
+    Out = "formal-out " + P.methodName(N.M);
+    break;
+  case SDGNodeKind::ChanFormalIn:
+    Out = "chan-formal-in " + P.methodName(N.M);
+    break;
+  case SDGNodeKind::ChanFormalOut:
+    Out = "chan-formal-out " + P.methodName(N.M);
+    break;
+  case SDGNodeKind::ChanActualIn:
+    Out = "chan-actual-in @" + std::to_string(N.S);
+    break;
+  case SDGNodeKind::ChanActualOut:
+    Out = "chan-actual-out @" + std::to_string(N.S);
+    break;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Builder
+//===----------------------------------------------------------------------===//
+
+std::vector<SDGOwnerId> SdgBuilder::calleeOwners(SDGOwnerId O,
+                                                 StmtId Site) const {
+  std::vector<SDGOwnerId> Out;
+  auto Add = [&](SDGOwnerId T) {
+    if (std::find(Out.begin(), Out.end(), T) == Out.end())
+      Out.push_back(T);
+  };
+  const SDG::OwnerInfo &OI = G.Owners[O];
+  if (OI.CgNode != InvalidId) {
+    for (const CGEdge &E : Solver.callGraph().edges(OI.CgNode)) {
+      if (E.Site != Site)
+        continue;
+      auto It = OwnerIndex.find(E.Callee);
+      if (It != OwnerIndex.end())
+        Add(It->second);
+    }
+    return Out;
+  }
+  for (MethodId T : Solver.callGraph().calleesAt(Site)) {
+    auto It = OwnerIndex.find(T);
+    if (It != OwnerIndex.end())
+      Add(It->second);
+  }
+  return Out;
+}
+
+void SdgBuilder::build() {
+  // Enumerate owners.
+  if (Opts.ContextExpanded) {
+    const CallGraph &CG = Solver.callGraph();
+    for (CGNodeId N = 0; N < CG.numNodes(); ++N) {
+      const CGNode &Node = CG.node(N);
+      if (!Node.ConstraintsAdded || !P.Methods[Node.M].hasBody())
+        continue;
+      OwnerIndex[N] = static_cast<SDGOwnerId>(G.Owners.size());
+      G.Owners.push_back({Node.M, N});
+    }
+  } else {
+    for (MethodId M = 0; M < P.Methods.size(); ++M) {
+      if (!P.Methods[M].hasBody() || !Solver.isMethodProcessed(M))
+        continue;
+      OwnerIndex[M] = static_cast<SDGOwnerId>(G.Owners.size());
+      G.Owners.push_back({M, InvalidId});
+    }
+  }
+  createSkeleton();
+  for (SDGOwnerId O = 0; O < G.Owners.size(); ++O)
+    wireOwner(O);
+  if (Opts.WithChanParams)
+    buildChannels();
+}
+
+void SdgBuilder::createSkeleton() {
+  for (SDGOwnerId O = 0; O < G.Owners.size(); ++O) {
+    MethodId M = G.Owners[O].M;
+    const Method &Meth = P.Methods[M];
+    for (uint32_t K = 0; K < Meth.NumParams; ++K) {
+      SDGNode N;
+      N.Kind = SDGNodeKind::FormalIn;
+      N.Owner = O;
+      N.M = M;
+      N.Index = K;
+      G.FormalInMap[key(O, K)] = addNode(N);
+    }
+    SDGNode Out;
+    Out.Kind = SDGNodeKind::FormalOut;
+    Out.Owner = O;
+    Out.M = M;
+    G.FormalOutMap[O] = addNode(Out);
+
+    StmtId S = P.methodStmtBegin(M);
+    for (const BasicBlock &BB : Meth.Blocks) {
+      for (size_t K = 0; K < BB.Insts.size(); ++K) {
+        SDGNode N;
+        N.Kind = SDGNodeKind::Stmt;
+        N.Owner = O;
+        N.M = M;
+        N.S = S;
+        G.StmtMap[key(O, S)] = addNode(N);
+        ++S;
+      }
+    }
+  }
+}
+
+void SdgBuilder::wireOwner(SDGOwnerId O) {
+  MethodId M = G.Owners[O].M;
+  const Method &Meth = P.Methods[M];
+  std::vector<SDGNodeId> DefNode(Meth.NumValues, InvalidId);
+  for (uint32_t K = 0; K < Meth.NumParams; ++K)
+    DefNode[K] = formalIn(O, K);
+  {
+    StmtId S = P.methodStmtBegin(M);
+    for (const BasicBlock &BB : Meth.Blocks)
+      for (const Instruction &I : BB.Insts) {
+        if (I.Dst != NoValue)
+          DefNode[I.Dst] = stmtNode(O, S);
+        ++S;
+      }
+  }
+
+  auto Use = [&](ValueId V, SDGNodeId To) {
+    if (V == NoValue)
+      return;
+    SDGNodeId D = DefNode[V];
+    if (D != InvalidId)
+      addEdge(D, To, SDGEdgeKind::Flow);
+  };
+
+  StmtId S = P.methodStmtBegin(M);
+  for (const BasicBlock &BB : Meth.Blocks) {
+    for (const Instruction &I : BB.Insts) {
+      StmtId Site = S++;
+      SDGNodeId C = stmtNode(O, Site);
+      switch (I.Op) {
+      case Opcode::Copy:
+      case Opcode::Phi:
+      case Opcode::Binop:
+        for (ValueId A : I.Args)
+          Use(A, C);
+        break;
+      case Opcode::Store:
+        G.Nodes[C].Access = HeapAccess::FieldStore;
+        Use(I.Args[1], C); // value only; base-pointer dep excluded
+        break;
+      case Opcode::ArrayStore:
+        G.Nodes[C].Access = HeapAccess::ArrayStore;
+        Use(I.Args[1], C);
+        break;
+      case Opcode::StaticStore:
+        G.Nodes[C].Access = HeapAccess::StaticStore;
+        Use(I.Args[0], C);
+        break;
+      case Opcode::Load:
+        G.Nodes[C].Access = HeapAccess::FieldLoad;
+        break; // no incoming data edges in the no-heap SDG
+      case Opcode::ArrayLoad:
+        G.Nodes[C].Access = HeapAccess::ArrayLoad;
+        break;
+      case Opcode::StaticLoad:
+        G.Nodes[C].Access = HeapAccess::StaticLoad;
+        break;
+      case Opcode::Return:
+        if (!I.Args.empty())
+          Use(I.Args[0], formalOut(O));
+        break;
+      case Opcode::Caught:
+        if (Opts.ModelExceptionSources)
+          G.Nodes[C].SourceMask |= rules::LEAK;
+        break;
+      case Opcode::Call:
+        wireCall(O, Site, I, DefNode);
+        break;
+      default:
+        break;
+      }
+      switch (G.Nodes[C].Access) {
+      case HeapAccess::FieldStore:
+      case HeapAccess::ArrayStore:
+      case HeapAccess::StaticStore:
+      case HeapAccess::MapPut:
+      case HeapAccess::CollAdd:
+        G.Stores.push_back(C);
+        break;
+      case HeapAccess::FieldLoad:
+      case HeapAccess::ArrayLoad:
+      case HeapAccess::StaticLoad:
+      case HeapAccess::MapGet:
+      case HeapAccess::CollGet:
+      case HeapAccess::InvokeArgsRead:
+        G.Loads.push_back(C);
+        break;
+      default:
+        break;
+      }
+      if (G.Nodes[C].SinkMask != rules::None)
+        G.Sinks.push_back(C);
+    }
+  }
+}
+
+void SdgBuilder::wireCall(SDGOwnerId O, StmtId Site, const Instruction &I,
+                          const std::vector<SDGNodeId> &DefNode) {
+  SDGNodeId C = stmtNode(O, Site);
+  auto Use = [&](ValueId V, SDGNodeId To) {
+    if (V == NoValue)
+      return;
+    SDGNodeId D = DefNode[V];
+    if (D != InvalidId)
+      addEdge(D, To, SDGEdgeKind::Flow);
+  };
+
+  const std::vector<MethodId> &Intr = Solver.intrinsicCalleesAt(Site);
+  std::vector<SDGOwnerId> Targets = calleeOwners(O, Site);
+  G.Nodes[C].Access = classifyAccess(P, I, Intr);
+
+  bool IsInvoke = false;
+  uint32_t SinkArgMask = 0;
+  RuleMask SrcMask = rules::None, SinkMask = rules::None,
+           SanMask = rules::None;
+  for (MethodId T : Intr) {
+    const Method &TM = P.Methods[T];
+    SrcMask |= TM.SourceRules;
+    SanMask |= TM.SanitizerRules;
+    if (TM.SinkRules) {
+      SinkMask |= TM.SinkRules;
+      SinkArgMask |= TM.SinkParamMask;
+    }
+    size_t Off = TM.IsStatic ? 0 : 1;
+    switch (TM.Intr) {
+    case Intrinsic::Identity:
+    case Intrinsic::StringTransfer:
+    case Intrinsic::Sanitize:
+    case Intrinsic::None: // default native model: result derives from args
+      for (ValueId A : I.Args)
+        Use(A, C);
+      break;
+    case Intrinsic::MapPut:
+      if (I.Args.size() > Off + 1)
+        Use(I.Args[Off + 1], C);
+      break;
+    case Intrinsic::CollAdd:
+      if (I.Args.size() > Off)
+        Use(I.Args[Off], C);
+      break;
+    case Intrinsic::ClassForName:
+    case Intrinsic::GetMethod:
+    case Intrinsic::JndiLookup:
+    case Intrinsic::HomeCreate:
+      for (size_t K = Off; K < I.Args.size(); ++K)
+        Use(I.Args[K], C);
+      break;
+    case Intrinsic::MethodInvoke:
+      IsInvoke = true;
+      break;
+    default:
+      break;
+    }
+  }
+  for (SDGOwnerId T : Targets) {
+    const Method &TM = P.Methods[G.Owners[T].M];
+    SrcMask |= TM.SourceRules;
+    SanMask |= TM.SanitizerRules;
+    if (TM.SinkRules) {
+      SinkMask |= TM.SinkRules;
+      SinkArgMask |= TM.SinkParamMask;
+    }
+  }
+  G.Nodes[C].SourceMask |= SrcMask;
+  G.Nodes[C].SinkMask |= SinkMask;
+  G.Nodes[C].SanitizeMask |= SanMask;
+  if (G.Nodes[C].SinkMask != rules::None)
+    for (uint32_t K = 0; K < I.Args.size(); ++K)
+      if (SinkArgMask & (1u << K))
+        Use(I.Args[K], C);
+
+  if (Targets.empty())
+    return;
+
+  CallSiteInfo CS;
+  CS.StmtNode = C;
+  CS.Targets = Targets;
+  G.Nodes[C].IsCall = true;
+
+  if (IsInvoke) {
+    // invoke(methodObj, recv, argsArray): the receiver flows via an
+    // actual-in; the argument array flows via the heap (this node is an
+    // InvokeArgsRead load) into every formal of every target.
+    if (I.Args.size() > 1) {
+      SDGNode AN;
+      AN.Kind = SDGNodeKind::ActualIn;
+      AN.Owner = O;
+      AN.M = G.Owners[O].M;
+      AN.S = Site;
+      AN.Index = 1;
+      AN.Aux = C;
+      SDGNodeId AIn = addNode(AN);
+      CS.ActualIns.push_back(AIn);
+      Use(I.Args[1], AIn);
+      for (SDGOwnerId T : Targets) {
+        const Method &TM = P.Methods[G.Owners[T].M];
+        if (TM.IsStatic || TM.NumParams == 0)
+          continue;
+        SDGNodeId FIn = formalIn(T, 0);
+        if (FIn != InvalidId)
+          addEdge(AIn, FIn, SDGEdgeKind::ParamIn);
+      }
+    }
+    for (SDGOwnerId T : Targets) {
+      const Method &TM = P.Methods[G.Owners[T].M];
+      for (uint32_t K = TM.IsStatic ? 0 : 1; K < TM.NumParams; ++K) {
+        SDGNodeId FIn = formalIn(T, K);
+        if (FIn != InvalidId)
+          addEdge(C, FIn, SDGEdgeKind::ParamIn);
+      }
+      SDGNodeId FOut = formalOut(T);
+      if (FOut != InvalidId)
+        addEdge(FOut, C, SDGEdgeKind::ParamOut);
+    }
+    G.CallSites[C] = std::move(CS);
+    return;
+  }
+
+  for (uint32_t K = 0; K < I.Args.size(); ++K) {
+    SDGNode AN;
+    AN.Kind = SDGNodeKind::ActualIn;
+    AN.Owner = O;
+    AN.M = G.Owners[O].M;
+    AN.S = Site;
+    AN.Index = K;
+    AN.Aux = C;
+    SDGNodeId AIn = addNode(AN);
+    CS.ActualIns.push_back(AIn);
+    Use(I.Args[K], AIn);
+    for (SDGOwnerId T : Targets) {
+      if (K >= P.Methods[G.Owners[T].M].NumParams)
+        continue;
+      SDGNodeId FIn = formalIn(T, K);
+      if (FIn != InvalidId)
+        addEdge(AIn, FIn, SDGEdgeKind::ParamIn);
+    }
+  }
+  for (SDGOwnerId T : Targets) {
+    SDGNodeId FOut = formalOut(T);
+    if (FOut != InvalidId)
+      addEdge(FOut, C, SDGEdgeKind::ParamOut);
+  }
+  G.CallSites[C] = std::move(CS);
+}
+
+//===----------------------------------------------------------------------===//
+// CS channel extension
+//===----------------------------------------------------------------------===//
+
+const ChanAccess &SdgBuilder::chanAccessOf(SDGNodeId N) {
+  auto Cached = ChanCache.find(N);
+  if (Cached != ChanCache.end())
+    return Cached->second;
+  ChanAccess CA;
+  const SDGNode &Node = G.Nodes[N];
+  const Instruction &I = P.stmt(Node.S);
+  std::vector<IKId> Bases;
+  if (Node.Access != HeapAccess::None &&
+      Node.Access != HeapAccess::StaticStore &&
+      Node.Access != HeapAccess::StaticLoad)
+    Bases = G.basePointsTo(N);
+  switch (Node.Access) {
+  case HeapAccess::FieldStore:
+    for (IKId IK : Bases)
+      CA.Writes.push_back(chansig::withIK(chansig::field(I.Field), IK));
+    break;
+  case HeapAccess::FieldLoad:
+    for (IKId IK : Bases)
+      CA.Reads.push_back(chansig::withIK(chansig::field(I.Field), IK));
+    break;
+  case HeapAccess::ArrayStore:
+    for (IKId IK : Bases)
+      CA.Writes.push_back(chansig::withIK(chansig::array(), IK));
+    break;
+  case HeapAccess::ArrayLoad:
+  case HeapAccess::InvokeArgsRead:
+    for (IKId IK : Bases)
+      CA.Reads.push_back(chansig::withIK(chansig::array(), IK));
+    break;
+  case HeapAccess::MapPut: {
+    Symbol Key = G.constKeyOf(N);
+    for (IKId IK : Bases)
+      CA.Writes.push_back(chansig::withIK(
+          Key != ~0u ? chansig::mapKey(Key) : chansig::map(), IK));
+    break;
+  }
+  case HeapAccess::MapGet: {
+    Symbol Key = G.constKeyOf(N);
+    for (IKId IK : Bases) {
+      if (Key != ~0u)
+        CA.Reads.push_back(chansig::withIK(chansig::mapKey(Key), IK));
+      CA.Reads.push_back(chansig::withIK(chansig::map(), IK));
+    }
+    break;
+  }
+  case HeapAccess::CollAdd:
+    for (IKId IK : Bases)
+      CA.Writes.push_back(chansig::withIK(chansig::coll(), IK));
+    break;
+  case HeapAccess::CollGet:
+    for (IKId IK : Bases)
+      CA.Reads.push_back(chansig::withIK(chansig::coll(), IK));
+    break;
+  case HeapAccess::StaticStore:
+    CA.Writes.push_back(chansig::staticField(I.Field));
+    break;
+  case HeapAccess::StaticLoad:
+    CA.Reads.push_back(chansig::staticField(I.Field));
+    break;
+  case HeapAccess::None:
+    break;
+  }
+  std::sort(CA.Reads.begin(), CA.Reads.end());
+  CA.Reads.erase(std::unique(CA.Reads.begin(), CA.Reads.end()),
+                 CA.Reads.end());
+  std::sort(CA.Writes.begin(), CA.Writes.end());
+  CA.Writes.erase(std::unique(CA.Writes.begin(), CA.Writes.end()),
+                  CA.Writes.end());
+  return ChanCache.emplace(N, std::move(CA)).first->second;
+}
+
+void SdgBuilder::computeOwnerChannels() {
+  // Direct accesses per owner (kept sorted throughout).
+  uint64_t Total = 0;
+  for (SDGOwnerId O = 0; O < G.Owners.size(); ++O) {
+    MethodId M = G.Owners[O].M;
+    auto &Set = G.OwnerChans[O];
+    StmtId S = P.methodStmtBegin(M);
+    for (const BasicBlock &BB : P.Methods[M].Blocks) {
+      for (size_t Idx = 0; Idx < BB.Insts.size(); ++Idx) {
+        SDGNodeId N = stmtNode(O, S++);
+        const ChanAccess &CA = chanAccessOf(N);
+        for (const auto *V : {&CA.Reads, &CA.Writes}) {
+          for (uint64_t Sig : *V) {
+            auto It = std::lower_bound(Set.begin(), Set.end(), Sig);
+            if (It == Set.end() || *It != Sig) {
+              Set.insert(It, Sig);
+              ++Total;
+            }
+          }
+        }
+      }
+    }
+  }
+  // Transitive closure over call edges. Owners are iterated in reverse
+  // creation order (callees are typically created after callers), which
+  // converges in few sweeps for call DAGs; the channel-node budget aborts
+  // the closure for heap-heavy programs — CS thin slicing running out of
+  // memory, as on TAJ's larger benchmarks.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (SDGOwnerId OR = G.Owners.size(); OR-- > 0;) {
+      SDGOwnerId O = OR;
+      auto &Set = G.OwnerChans[O];
+      MethodId M = G.Owners[O].M;
+      StmtId S = P.methodStmtBegin(M);
+      for (const BasicBlock &BB : P.Methods[M].Blocks) {
+        for (const Instruction &I : BB.Insts) {
+          StmtId Site = S++;
+          if (I.Op != Opcode::Call)
+            continue;
+          for (SDGOwnerId T : calleeOwners(O, Site)) {
+            const auto &TSet = G.OwnerChans[T];
+            std::vector<uint64_t> Merged;
+            Merged.reserve(Set.size() + TSet.size());
+            std::set_union(Set.begin(), Set.end(), TSet.begin(), TSet.end(),
+                           std::back_inserter(Merged));
+            if (Merged.size() != Set.size()) {
+              Total += Merged.size() - Set.size();
+              Set = std::move(Merged);
+              Changed = true;
+            }
+          }
+        }
+      }
+      if (Opts.ChanNodeBudget != 0 && Total * 2 > Opts.ChanNodeBudget) {
+        G.ChanNodes = Total * 2;
+        G.ChanOOM = true;
+        return;
+      }
+    }
+  }
+}
+
+void SdgBuilder::buildChannels() {
+  computeOwnerChannels();
+  if (G.ChanOOM)
+    return;
+
+  auto ChanIdx = [&](SDGOwnerId O, uint64_t Sig) -> int64_t {
+    auto It = G.OwnerChans.find(O);
+    if (It == G.OwnerChans.end())
+      return -1;
+    auto &V = It->second;
+    auto P2 = std::lower_bound(V.begin(), V.end(), Sig);
+    if (P2 == V.end() || *P2 != Sig)
+      return -1;
+    return P2 - V.begin();
+  };
+
+  auto Budget = [&](uint64_t N) {
+    G.ChanNodes += N;
+    if (Opts.ChanNodeBudget != 0 && G.ChanNodes > Opts.ChanNodeBudget) {
+      G.ChanOOM = true;
+      return false;
+    }
+    return true;
+  };
+
+  for (SDGOwnerId O = 0; O < G.Owners.size(); ++O) {
+    auto It = G.OwnerChans.find(O);
+    if (It == G.OwnerChans.end())
+      continue;
+    for (uint32_t Idx = 0; Idx < It->second.size(); ++Idx) {
+      if (!Budget(2))
+        return;
+      SDGNode In;
+      In.Kind = SDGNodeKind::ChanFormalIn;
+      In.Owner = O;
+      In.M = G.Owners[O].M;
+      In.Index = Idx;
+      G.ChanFormalInMap[key(O, Idx)] = addNode(In);
+      SDGNode Out;
+      Out.Kind = SDGNodeKind::ChanFormalOut;
+      Out.Owner = O;
+      Out.M = G.Owners[O].M;
+      Out.Index = Idx;
+      G.ChanFormalOutMap[key(O, Idx)] = addNode(Out);
+    }
+  }
+
+  // Wire each owner per channel in statement order ("partially
+  // flow-sensitive": a load only sees stores that precede it).
+  for (SDGOwnerId O = 0; O < G.Owners.size(); ++O) {
+    auto OIt = G.OwnerChans.find(O);
+    if (OIt == G.OwnerChans.end())
+      continue;
+    MethodId M = G.Owners[O].M;
+    for (uint32_t Idx = 0; Idx < OIt->second.size(); ++Idx) {
+      uint64_t Sig = OIt->second[Idx];
+      SDGNodeId FIn = G.ChanFormalInMap[key(O, Idx)];
+      SDGNodeId FOut = G.ChanFormalOutMap[key(O, Idx)];
+      std::vector<SDGNodeId> Carriers = {FIn};
+
+      StmtId S = P.methodStmtBegin(M);
+      for (const BasicBlock &BB : P.Methods[M].Blocks) {
+        for (size_t Idx2 = 0; Idx2 < BB.Insts.size(); ++Idx2) {
+          StmtId Site = S++;
+          SDGNodeId C = stmtNode(O, Site);
+          const ChanAccess &CA = chanAccessOf(C);
+          if (std::binary_search(CA.Reads.begin(), CA.Reads.end(), Sig))
+            for (SDGNodeId Cr : Carriers)
+              addEdge(Cr, C, SDGEdgeKind::Flow);
+          if (std::binary_search(CA.Writes.begin(), CA.Writes.end(), Sig))
+            Carriers.push_back(C);
+          auto CSIt = G.CallSites.find(C);
+          if (CSIt == G.CallSites.end())
+            continue;
+          CallSiteInfo &CSI = CSIt->second;
+          bool Touches = false;
+          for (SDGOwnerId T : CSI.Targets)
+            if (ChanIdx(T, Sig) >= 0)
+              Touches = true;
+          if (!Touches)
+            continue;
+          if (!Budget(2))
+            return;
+          SDGNode AInN;
+          AInN.Kind = SDGNodeKind::ChanActualIn;
+          AInN.Owner = O;
+          AInN.M = M;
+          AInN.S = Site;
+          AInN.Aux = C;
+          SDGNodeId CAI = addNode(AInN);
+          SDGNode AOutN;
+          AOutN.Kind = SDGNodeKind::ChanActualOut;
+          AOutN.Owner = O;
+          AOutN.M = M;
+          AOutN.S = Site;
+          SDGNodeId CAO = addNode(AOutN);
+          CSI.ChanSigs.push_back(Sig);
+          CSI.ChanIns.push_back(CAI);
+          CSI.ChanOuts.push_back(CAO);
+          for (SDGNodeId Cr : Carriers)
+            addEdge(Cr, CAI, SDGEdgeKind::Flow);
+          for (SDGOwnerId T : CSI.Targets) {
+            int64_t TIdx = ChanIdx(T, Sig);
+            if (TIdx < 0)
+              continue;
+            addEdge(CAI,
+                    G.ChanFormalInMap[key(T, static_cast<uint32_t>(TIdx))],
+                    SDGEdgeKind::ParamIn);
+            addEdge(G.ChanFormalOutMap[key(T, static_cast<uint32_t>(TIdx))],
+                    CAO, SDGEdgeKind::ParamOut);
+          }
+          Carriers.push_back(CAO);
+        }
+      }
+      for (SDGNodeId Cr : Carriers)
+        addEdge(Cr, FOut, SDGEdgeKind::Flow);
+    }
+  }
+}

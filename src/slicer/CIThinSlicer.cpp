@@ -1,0 +1,112 @@
+//===- slicer/CIThinSlicer.cpp - context-insensitive baseline --*- C++ -*-===//
+
+#include "slicer/HeapEdges.h"
+#include "slicer/Slicer.h"
+#include "slicer/SlicerCommon.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace taj;
+
+SliceRunResult taj::runCiSlicer(const Program &P, const ClassHierarchy &CHA,
+                                const PointsToSolver &Solver,
+                                const SlicerOptions &Opts) {
+  SDGOptions SO;
+  SO.ContextExpanded = false;
+  SO.WithChanParams = false;
+  SO.ModelExceptionSources = Opts.ModelExceptionSources;
+  SDG G(P, CHA, Solver, SO);
+  HeapGraph HG(Solver);
+  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth);
+
+  SliceRunResult Out;
+  std::set<Issue> Dedup;
+
+  for (int RB = 0; RB < rules::NumRules; ++RB) {
+    RuleMask Rule = static_cast<RuleMask>(1u << RB);
+    for (SDGNodeId Src : G.sourceNodes(Rule)) {
+      // Plain BFS: every SDG edge is followed with no call/return
+      // matching, plus direct store->load heap edges — CI thin slicing.
+      std::unordered_map<SDGNodeId, uint32_t> Dist;
+      std::unordered_map<SDGNodeId, SDGNodeId> Parent;
+      std::unordered_map<SDGNodeId, std::pair<SDGNodeId, uint32_t>> Carrier;
+      std::deque<SDGNodeId> Q;
+      Dist[Src] = 0;
+      Parent[Src] = InvalidId;
+      Q.push_back(Src);
+      while (!Q.empty()) {
+        SDGNodeId N = Q.front();
+        Q.pop_front();
+        ++Out.PathEdges;
+        uint32_t D = Dist[N];
+        const SDGNode &Node = G.node(N);
+        bool Barrier = Node.Kind == SDGNodeKind::Stmt &&
+                       ((Node.SanitizeMask & Rule) || (Node.SinkMask & Rule));
+        if (!Barrier) {
+          for (const SDGEdge &E : G.succs(N)) {
+            if (!Dist.count(E.To)) {
+              Dist[E.To] = D + 1;
+              Parent[E.To] = N;
+              Q.push_back(E.To);
+            }
+          }
+          // Heap hops at stores.
+          switch (Node.Access) {
+          case HeapAccess::FieldStore:
+          case HeapAccess::ArrayStore:
+          case HeapAccess::StaticStore:
+          case HeapAccess::MapPut:
+          case HeapAccess::CollAdd: {
+            for (SDGNodeId L : HE.loadsFor(N)) {
+              if (!Dist.count(L)) {
+                Dist[L] = D + 1;
+                Parent[L] = N;
+                Q.push_back(L);
+              }
+            }
+            for (SDGNodeId Sk : HE.carrierSinksFor(N)) {
+              if (!(G.node(Sk).SinkMask & Rule))
+                continue;
+              auto CIt = Carrier.find(Sk);
+              if (CIt == Carrier.end() || CIt->second.second > D + 1)
+                Carrier[Sk] = {N, D + 1};
+            }
+            break;
+          }
+          default:
+            break;
+          }
+        }
+      }
+
+      const std::unordered_map<SDGNodeId, SDGNodeId> NoHops;
+      auto Record = [&](SDGNodeId Sk, uint32_t Len, SDGNodeId PathFrom) {
+        if (Opts.MaxFlowLength != 0 && Len > Opts.MaxFlowLength)
+          return;
+        Issue Iss;
+        Iss.Source = G.node(Src).S;
+        Iss.Sink = G.node(Sk).S;
+        Iss.Rule = Rule;
+        Iss.Length = Len;
+        Iss.Path =
+            slicer_detail::reconstructPath(G, Parent, NoHops, PathFrom, Sk);
+        if (Dedup.insert(Iss).second)
+          Out.Issues.push_back(std::move(Iss));
+      };
+      for (SDGNodeId Sk : G.sinkNodes()) {
+        if (!(G.node(Sk).SinkMask & Rule))
+          continue;
+        auto DIt = Dist.find(Sk);
+        if (DIt != Dist.end())
+          Record(Sk, DIt->second, Sk);
+        auto CIt = Carrier.find(Sk);
+        if (CIt != Carrier.end())
+          Record(Sk, CIt->second.second, CIt->second.first);
+      }
+    }
+  }
+  std::sort(Out.Issues.begin(), Out.Issues.end());
+  return Out;
+}

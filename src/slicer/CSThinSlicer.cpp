@@ -1,0 +1,78 @@
+//===- slicer/CSThinSlicer.cpp - context-sensitive baseline ----*- C++ -*-===//
+
+#include "rhs/Tabulation.h"
+#include "slicer/HeapEdges.h"
+#include "slicer/Slicer.h"
+#include "slicer/SlicerCommon.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace taj;
+
+SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
+                                const PointsToSolver &Solver,
+                                const SlicerOptions &Opts) {
+  SDGOptions SO;
+  SO.ContextExpanded = true;
+  SO.WithChanParams = true;
+  SO.ModelExceptionSources = Opts.ModelExceptionSources;
+  SO.ChanNodeBudget = Opts.CsChanBudget;
+  SDG G(P, CHA, Solver, SO);
+
+  SliceRunResult Out;
+  if (G.chanBudgetExceeded()) {
+    // The channel extension exhausted memory: the configuration fails on
+    // this input, as CS thin slicing does on TAJ's larger benchmarks.
+    Out.Completed = false;
+    return Out;
+  }
+
+  HeapGraph HG(Solver);
+  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth);
+  std::set<Issue> Dedup;
+  const std::unordered_map<SDGNodeId, SDGNodeId> NoHops;
+
+  for (int RB = 0; RB < rules::NumRules; ++RB) {
+    RuleMask Rule = static_cast<RuleMask>(1u << RB);
+    Tabulation Tab(G, Rule);
+    for (SDGNodeId Src : G.sourceNodes(Rule)) {
+      Tabulation::SliceResult R;
+      Tab.forwardSlice({{Src, 0}}, R);
+
+      auto Record = [&](SDGNodeId Sk, uint32_t Len, SDGNodeId PathFrom) {
+        if (Opts.MaxFlowLength != 0 && Len > Opts.MaxFlowLength)
+          return;
+        Issue Iss;
+        Iss.Source = G.node(Src).S;
+        Iss.Sink = G.node(Sk).S;
+        Iss.Rule = Rule;
+        Iss.Length = Len;
+        Iss.Path =
+            slicer_detail::reconstructPath(G, R.Parent, NoHops, PathFrom, Sk);
+        if (Dedup.insert(Iss).second)
+          Out.Issues.push_back(std::move(Iss));
+      };
+
+      for (SDGNodeId Sk : G.sinkNodes()) {
+        if (!(G.node(Sk).SinkMask & Rule))
+          continue;
+        auto DIt = R.Dist.find(Sk);
+        if (DIt != R.Dist.end())
+          Record(Sk, DIt->second, Sk);
+      }
+      // Nested taint via carrier edges at reached stores.
+      for (SDGNodeId St : G.storeNodes()) {
+        auto DIt = R.Dist.find(St);
+        if (DIt == R.Dist.end())
+          continue;
+        for (SDGNodeId Sk : HE.carrierSinksFor(St))
+          if (G.node(Sk).SinkMask & Rule)
+            Record(Sk, DIt->second + 1, St);
+      }
+    }
+    Out.PathEdges += Tab.pathEdgeCount();
+  }
+  std::sort(Out.Issues.begin(), Out.Issues.end());
+  return Out;
+}

@@ -1,0 +1,75 @@
+//===- slicer/HeapEdges.h - Direct store->load & carrier edges -*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flow-insensitive heap edges of the HSDG (TAJ §3.2 and §4.1.1):
+///
+///  - direct edges from a store to every load whose base pointer may alias
+///    the store's base (per the preliminary pointer analysis), with
+///    constant-key filtering for dictionary channels;
+///  - taint-carrier edges from a store to every sink one of whose
+///    sensitive actuals may reach the stored-into object in the heap graph
+///    within the nested-taint depth bound (§6.2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_SLICER_HEAPEDGES_H
+#define TAJ_SLICER_HEAPEDGES_H
+
+#include "heapgraph/HeapGraph.h"
+#include "sdg/SDG.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace taj {
+
+/// Demand-computed heap adjacency for one (SDG, solver) pair.
+class HeapEdges {
+public:
+  HeapEdges(const Program &P, const SDG &G, const PointsToSolver &Solver,
+            const HeapGraph &HG, uint32_t NestedDepth);
+
+  /// Loads that may read what \p Store wrote.
+  const std::vector<SDGNodeId> &loadsFor(SDGNodeId Store);
+
+  /// Sinks whose sensitive arguments may reach the object \p Store wrote
+  /// into (nested taint, §4.1.1).
+  const std::vector<SDGNodeId> &carrierSinksFor(SDGNodeId Store);
+
+private:
+  struct StoreInfo {
+    std::vector<SDGNodeId> Loads;
+    std::vector<SDGNodeId> CarrierSinks;
+    bool Done = false;
+  };
+  StoreInfo &compute(SDGNodeId Store);
+
+  std::vector<IKId> baseIKs(SDGNodeId Node) const;
+  Symbol mapKeyOf(SDGNodeId Node) const;
+
+  const Program &P;
+  const SDG &G;
+  const PointsToSolver &Solver;
+  const HeapGraph &HG;
+  uint32_t NestedDepth;
+
+  struct LoadInfo {
+    SDGNodeId Node;
+    HeapAccess Access;
+    FieldId Field;
+    Symbol MapKey; ///< ~0u = non-constant key
+    std::vector<IKId> BaseIKs;
+  };
+  std::vector<LoadInfo> FieldLoads, StaticLoads, ArrayLoads, MapGets,
+      CollGets;
+  std::unordered_map<IKId, std::vector<SDGNodeId>> IkToSinks;
+  std::unordered_map<SDGNodeId, StoreInfo> Cache;
+};
+
+} // namespace taj
+
+#endif // TAJ_SLICER_HEAPEDGES_H

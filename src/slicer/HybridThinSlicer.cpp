@@ -1,0 +1,103 @@
+//===- slicer/HybridThinSlicer.cpp - TAJ's hybrid thin slicing -*- C++ -*-===//
+
+#include "rhs/Tabulation.h"
+#include "slicer/HeapEdges.h"
+#include "slicer/Slicer.h"
+#include "slicer/SlicerCommon.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace taj;
+
+SliceRunResult taj::runHybridSlicer(const Program &P,
+                                    const ClassHierarchy &CHA,
+                                    const PointsToSolver &Solver,
+                                    const SlicerOptions &Opts) {
+  SDGOptions SO;
+  SO.ContextExpanded = true;
+  SO.WithChanParams = false;
+  SO.ModelExceptionSources = Opts.ModelExceptionSources;
+  SDG G(P, CHA, Solver, SO);
+  HeapGraph HG(Solver);
+  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth);
+
+  SliceRunResult Out;
+  std::set<Issue> Dedup;
+
+  for (int RB = 0; RB < rules::NumRules; ++RB) {
+    RuleMask Rule = static_cast<RuleMask>(1u << RB);
+    Tabulation Tab(G, Rule);
+    for (SDGNodeId Src : G.sourceNodes(Rule)) {
+      Tabulation::SliceResult R;
+      std::vector<std::pair<SDGNodeId, uint32_t>> Seeds = {{Src, 0}};
+      // §6.2.1: bound on store->load expansions of the slice.
+      Budget HeapBudget(Opts.MaxHeapTransitions);
+      std::set<SDGNodeId> ExpandedStores;
+      std::unordered_map<SDGNodeId, SDGNodeId> HopParent;
+      // Carrier-discovered sinks: sink node -> (store parent, length).
+      std::unordered_map<SDGNodeId, std::pair<SDGNodeId, uint32_t>> Carrier;
+
+      bool More = true;
+      while (More) {
+        Tab.forwardSlice(Seeds, R);
+        Seeds.clear();
+        More = false;
+        for (SDGNodeId St : G.storeNodes()) {
+          auto DIt = R.Dist.find(St);
+          if (DIt == R.Dist.end() || !ExpandedStores.insert(St).second)
+            continue;
+          uint32_t D = DIt->second;
+          // Taint-carrier edges (§4.1.1): store -> sink.
+          for (SDGNodeId Sk : HE.carrierSinksFor(St)) {
+            if (!(G.node(Sk).SinkMask & Rule))
+              continue;
+            auto CIt = Carrier.find(Sk);
+            if (CIt == Carrier.end() || CIt->second.second > D + 1)
+              Carrier[Sk] = {St, D + 1};
+          }
+          // Direct store->load edges, metered by the heap budget.
+          if (!HeapBudget.consume())
+            continue;
+          for (SDGNodeId L : HE.loadsFor(St)) {
+            auto LIt = R.Dist.find(L);
+            if (LIt != R.Dist.end() && LIt->second <= D + 1)
+              continue;
+            Seeds.emplace_back(L, D + 1);
+            HopParent[L] = St;
+            More = true;
+          }
+        }
+      }
+
+      auto Record = [&](SDGNodeId Sk, uint32_t Len, SDGNodeId PathFrom) {
+        Issue Iss;
+        Iss.Source = G.node(Src).S;
+        Iss.Sink = G.node(Sk).S;
+        Iss.Rule = Rule;
+        Iss.Length = Len;
+        if (Opts.MaxFlowLength != 0 && Len > Opts.MaxFlowLength)
+          return; // flow-length filter (§6.2.2)
+        Iss.Path = slicer_detail::reconstructPath(G, R.Parent, HopParent,
+                                                  PathFrom, Sk);
+        if (Dedup.insert(Iss).second)
+          Out.Issues.push_back(std::move(Iss));
+      };
+
+      for (SDGNodeId Sk : G.sinkNodes()) {
+        if (!(G.node(Sk).SinkMask & Rule))
+          continue;
+        auto DIt = R.Dist.find(Sk);
+        if (DIt != R.Dist.end())
+          Record(Sk, DIt->second, Sk);
+        auto CIt = Carrier.find(Sk);
+        if (CIt != Carrier.end())
+          Record(Sk, CIt->second.second, CIt->second.first);
+      }
+    }
+    Out.PathEdges += Tab.pathEdgeCount();
+  }
+  std::sort(Out.Issues.begin(), Out.Issues.end());
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- slicer/SlicerCommon.h - Shared slicer helpers -----------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the three slicer implementations (flow-path
+/// reconstruction for LCP report grouping).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_SLICER_SLICERCOMMON_H
+#define TAJ_SLICER_SLICERCOMMON_H
+
+#include "sdg/SDG.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace taj {
+namespace slicer_detail {
+
+/// Walks discovery parents from \p From back to a seed, collecting the
+/// statement path in source-to-sink order; \p Sink is appended when the
+/// walk starts elsewhere (taint-carrier flows end at the sink directly).
+/// \p HopParent supplies store->load hop links not present in \p Parent.
+inline std::vector<StmtId>
+reconstructPath(const SDG &G,
+                const std::unordered_map<SDGNodeId, SDGNodeId> &Parent,
+                const std::unordered_map<SDGNodeId, SDGNodeId> &HopParent,
+                SDGNodeId From, SDGNodeId Sink) {
+  std::vector<StmtId> Rev;
+  if (Sink != From && G.node(Sink).Kind == SDGNodeKind::Stmt)
+    Rev.push_back(G.node(Sink).S);
+  SDGNodeId Cur = From;
+  size_t Guard = 0;
+  while (Cur != InvalidId && Guard++ < 4096) {
+    const SDGNode &N = G.node(Cur);
+    StmtId S = ~0u;
+    if (N.Kind == SDGNodeKind::Stmt)
+      S = N.S;
+    else if ((N.Kind == SDGNodeKind::ActualIn ||
+              N.Kind == SDGNodeKind::ChanActualIn) &&
+             N.Aux != InvalidId)
+      S = G.node(N.Aux).S; // record the call site the flow entered through
+    if (S != ~0u && (Rev.empty() || Rev.back() != S))
+      Rev.push_back(S);
+    SDGNodeId Next = InvalidId;
+    auto PIt = Parent.find(Cur);
+    if (PIt != Parent.end() && PIt->second != InvalidId) {
+      Next = PIt->second;
+    } else {
+      auto HIt = HopParent.find(Cur);
+      if (HIt != HopParent.end())
+        Next = HIt->second;
+    }
+    Cur = Next;
+  }
+  std::reverse(Rev.begin(), Rev.end());
+  return Rev;
+}
+
+} // namespace slicer_detail
+} // namespace taj
+
+#endif // TAJ_SLICER_SLICERCOMMON_H

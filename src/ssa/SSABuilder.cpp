@@ -1,0 +1,221 @@
+//===- ssa/SSABuilder.cpp --------------------------------------*- C++ -*-===//
+
+#include "ssa/SSABuilder.h"
+#include "ssa/Dominators.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace taj;
+
+void taj::sealCfg(Method &M) {
+  int32_t N = static_cast<int32_t>(M.Blocks.size());
+  for (int32_t B = 0; B < N; ++B) {
+    M.Blocks[B].Succs.clear();
+    M.Blocks[B].Preds.clear();
+  }
+  for (int32_t B = 0; B < N; ++B) {
+    assert(!M.Blocks[B].Insts.empty() && "empty block");
+    const Instruction &Term = M.Blocks[B].Insts.back();
+    assert(Term.isTerminator() && "block not terminated");
+    switch (Term.Op) {
+    case Opcode::Goto:
+      M.Blocks[B].Succs.push_back(Term.Target);
+      break;
+    case Opcode::If:
+      M.Blocks[B].Succs.push_back(Term.Target);
+      if (Term.Target2 != Term.Target) {
+        assert(Term.Target2 >= 0 && "If without else target");
+        M.Blocks[B].Succs.push_back(Term.Target2);
+      }
+      break;
+    case Opcode::Return:
+    case Opcode::Throw:
+      break;
+    default:
+      assert(false && "unexpected terminator");
+    }
+  }
+  for (int32_t B = 0; B < N; ++B)
+    for (int32_t S : M.Blocks[B].Succs)
+      M.Blocks[S].Preds.push_back(B);
+}
+
+void taj::removeUnreachableBlocks(Method &M) {
+  int32_t N = static_cast<int32_t>(M.Blocks.size());
+  std::vector<uint8_t> Seen(N, 0);
+  std::vector<int32_t> Work = {0};
+  Seen[0] = 1;
+  while (!Work.empty()) {
+    int32_t B = Work.back();
+    Work.pop_back();
+    for (int32_t S : M.Blocks[B].Succs)
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Work.push_back(S);
+      }
+  }
+  bool AllReachable = true;
+  for (int32_t B = 0; B < N; ++B)
+    if (!Seen[B])
+      AllReachable = false;
+  if (AllReachable)
+    return;
+  std::vector<int32_t> NewIdx(N, -1);
+  std::vector<BasicBlock> NewBlocks;
+  for (int32_t B = 0; B < N; ++B) {
+    if (!Seen[B])
+      continue;
+    NewIdx[B] = static_cast<int32_t>(NewBlocks.size());
+    NewBlocks.push_back(std::move(M.Blocks[B]));
+  }
+  for (BasicBlock &BB : NewBlocks) {
+    for (Instruction &I : BB.Insts) {
+      if (I.Target != -1)
+        I.Target = NewIdx[I.Target];
+      if (I.Target2 != -1)
+        I.Target2 = NewIdx[I.Target2];
+    }
+  }
+  M.Blocks = std::move(NewBlocks);
+  sealCfg(M);
+}
+
+namespace {
+
+/// Renaming state for one buildSSA run.
+struct Renamer {
+  Method &M;
+  const Dominators &Dom;
+  uint32_t NumSlots;
+  /// Stack tops per slot; NoValue = undefined on this path.
+  std::vector<ValueId> Top;
+  /// Saved (slot, previous top) pairs per dominator-tree level.
+  std::vector<std::vector<std::pair<uint32_t, ValueId>>> Saved;
+  /// Slot each phi instruction stands for (by (block, instIdx)).
+  std::vector<std::vector<uint32_t>> PhiSlot;
+  ValueId NextValue;
+
+  void pushDef(uint32_t Slot, ValueId V) {
+    Saved.back().emplace_back(Slot, Top[Slot]);
+    Top[Slot] = V;
+  }
+
+  void walk(int32_t B) {
+    Saved.emplace_back();
+    BasicBlock &BB = M.Blocks[B];
+    for (size_t I = 0; I < BB.Insts.size(); ++I) {
+      Instruction &Ins = BB.Insts[I];
+      if (Ins.Op == Opcode::Phi) {
+        uint32_t Slot = PhiSlot[B][I];
+        ValueId NewV = NextValue++;
+        Ins.Dst = NewV;
+        pushDef(Slot, NewV);
+        continue;
+      }
+      for (ValueId &A : Ins.Args) {
+        if (A == NoValue)
+          continue;
+        A = Top[static_cast<uint32_t>(A)];
+      }
+      if (Ins.Dst != NoValue) {
+        uint32_t Slot = static_cast<uint32_t>(Ins.Dst);
+        ValueId NewV = NextValue++;
+        Ins.Dst = NewV;
+        pushDef(Slot, NewV);
+      }
+    }
+    // Fill phi operands in successors.
+    for (int32_t S : BB.Succs) {
+      // Which predecessor index are we for S?
+      size_t PredIdx = 0;
+      const auto &Preds = M.Blocks[S].Preds;
+      while (PredIdx < Preds.size() && Preds[PredIdx] != B)
+        ++PredIdx;
+      assert(PredIdx < Preds.size() && "CFG inconsistency");
+      BasicBlock &SB = M.Blocks[S];
+      for (size_t I = 0; I < SB.Insts.size(); ++I) {
+        Instruction &Ins = SB.Insts[I];
+        if (Ins.Op != Opcode::Phi)
+          break; // phis are contiguous at the head
+        Ins.Args[PredIdx] = Top[PhiSlot[S][I]];
+      }
+    }
+    for (int32_t Kid : Dom.children(B))
+      walk(Kid);
+    for (auto It = Saved.back().rbegin(); It != Saved.back().rend(); ++It)
+      Top[It->first] = It->second;
+    Saved.pop_back();
+  }
+};
+
+} // namespace
+
+void taj::buildSSA(Method &M) {
+  assert(!M.InSSA && "already in SSA form");
+  uint32_t NumSlots = M.NumValues;
+  int32_t N = static_cast<int32_t>(M.Blocks.size());
+  Dominators Dom(M);
+
+  // Collect definition blocks per slot. Parameters are defined at entry.
+  std::vector<std::unordered_set<int32_t>> DefBlocks(NumSlots);
+  for (uint32_t P = 0; P < M.NumParams; ++P)
+    DefBlocks[P].insert(0);
+  for (int32_t B = 0; B < N; ++B)
+    for (const Instruction &I : M.Blocks[B].Insts)
+      if (I.Dst != NoValue)
+        DefBlocks[static_cast<uint32_t>(I.Dst)].insert(B);
+
+  // Phi placement on iterated dominance frontiers (semi-pruned: only slots
+  // defined in more than one block need phis).
+  std::vector<std::vector<uint32_t>> PhiSlot(N);
+  std::vector<std::vector<uint32_t>> PhisFor(N); // slots with a phi in block
+  for (uint32_t Slot = 0; Slot < NumSlots; ++Slot) {
+    if (DefBlocks[Slot].size() < 2)
+      continue;
+    std::vector<int32_t> Work(DefBlocks[Slot].begin(), DefBlocks[Slot].end());
+    std::unordered_set<int32_t> HasPhi;
+    while (!Work.empty()) {
+      int32_t B = Work.back();
+      Work.pop_back();
+      if (!Dom.reachable(B))
+        continue;
+      for (int32_t F : Dom.frontier(B)) {
+        if (!HasPhi.insert(F).second)
+          continue;
+        PhisFor[F].push_back(Slot);
+        if (!DefBlocks[Slot].count(F))
+          Work.push_back(F);
+      }
+    }
+  }
+  // Materialize phi instructions at block heads.
+  for (int32_t B = 0; B < N; ++B) {
+    if (PhisFor[B].empty())
+      continue;
+    std::vector<Instruction> NewInsts;
+    NewInsts.reserve(M.Blocks[B].Insts.size() + PhisFor[B].size());
+    for (uint32_t Slot : PhisFor[B]) {
+      Instruction Phi;
+      Phi.Op = Opcode::Phi;
+      Phi.Dst = static_cast<ValueId>(Slot); // rewritten by renaming
+      Phi.Args.assign(M.Blocks[B].Preds.size(), NoValue);
+      NewInsts.push_back(std::move(Phi));
+      PhiSlot[B].push_back(Slot);
+    }
+    for (Instruction &I : M.Blocks[B].Insts)
+      NewInsts.push_back(std::move(I));
+    M.Blocks[B].Insts = std::move(NewInsts);
+  }
+
+  // Renaming walk. Parameters keep their ids.
+  Renamer R{M, Dom, NumSlots, {}, {}, PhiSlot,
+            static_cast<ValueId>(M.NumParams)};
+  R.Top.assign(NumSlots, NoValue);
+  for (uint32_t P = 0; P < M.NumParams; ++P)
+    R.Top[P] = static_cast<ValueId>(P);
+  R.walk(0);
+
+  M.NumValues = static_cast<uint32_t>(R.NextValue);
+  M.InSSA = true;
+}

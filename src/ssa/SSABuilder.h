@@ -1,0 +1,39 @@
+//===- ssa/SSABuilder.h - SSA construction ---------------------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conversion of pre-SSA method bodies (mutable local slots) into SSA form:
+/// phi placement on iterated dominance frontiers, followed by the classic
+/// renaming walk over the dominator tree. TAJ relies on SSA to obtain flow
+/// sensitivity for local variables (paper Section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_SSA_SSABUILDER_H
+#define TAJ_SSA_SSABUILDER_H
+
+#include "ir/Program.h"
+
+namespace taj {
+
+/// Computes Preds from branch targets and straight-line fallthrough.
+/// Every block must already end in a terminator.
+void sealCfg(Method &M);
+
+/// Deletes blocks unreachable from the entry and renumbers branch targets.
+/// Requires a sealed CFG; leaves the CFG sealed.
+void removeUnreachableBlocks(Method &M);
+
+/// Converts \p M to SSA in place. Requires a sealed CFG. After the call,
+/// M.InSSA is true, every value has a unique definition, parameters keep
+/// ids 0..NumParams-1, and Phi instructions sit at block heads with one
+/// argument per predecessor (NoValue for paths where the slot was never
+/// assigned).
+void buildSSA(Method &M);
+
+} // namespace taj
+
+#endif // TAJ_SSA_SSABUILDER_H

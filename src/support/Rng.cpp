@@ -1,0 +1,29 @@
+//===- support/Rng.cpp ----------------------------------------*- C++ -*-===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace taj;
+
+uint64_t Rng::next() {
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545f4914f6cdd1dull;
+}
+
+uint32_t Rng::below(uint32_t Bound) {
+  assert(Bound != 0 && "empty range");
+  return static_cast<uint32_t>(next() % Bound);
+}
+
+uint32_t Rng::range(uint32_t Lo, uint32_t Hi) {
+  assert(Lo <= Hi && "inverted range");
+  return Lo + below(Hi - Lo + 1);
+}
+
+bool Rng::chance(uint32_t Num, uint32_t Den) {
+  assert(Den != 0 && "zero denominator");
+  return below(Den) < Num;
+}

@@ -1,0 +1,45 @@
+//===- support/Rng.h - Deterministic random numbers -----------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic xorshift RNG used by the synthetic benchmark
+/// generator and the property tests. We intentionally avoid std::mt19937 so
+/// that generated programs are identical across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_SUPPORT_RNG_H
+#define TAJ_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace taj {
+
+/// Deterministic xorshift64* generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull)
+      : State(Seed ? Seed : 1) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint32_t below(uint32_t Bound);
+
+  /// Uniform integer in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  uint32_t range(uint32_t Lo, uint32_t Hi);
+
+  /// Bernoulli trial with probability Num/Den.
+  bool chance(uint32_t Num, uint32_t Den);
+
+private:
+  uint64_t State;
+};
+
+} // namespace taj
+
+#endif // TAJ_SUPPORT_RNG_H

@@ -1,0 +1,16 @@
+//===- support/Stats.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Stats.h"
+
+using namespace taj;
+
+std::string Stats::toString() const {
+  std::string Out;
+  for (const auto &[Name, Value] : Counters) {
+    Out += Name;
+    Out += '=';
+    Out += std::to_string(Value);
+    Out += '\n';
+  }
+  return Out;
+}

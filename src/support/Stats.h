@@ -1,0 +1,98 @@
+//===- support/Stats.h - Counters, timers, analysis budgets ---*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight statistics counters, a wall-clock timer, and the Budget
+/// object used by the bounded-analysis techniques of TAJ Section 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_SUPPORT_STATS_H
+#define TAJ_SUPPORT_STATS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace taj {
+
+/// Named counters collected during an analysis run.
+class Stats {
+public:
+  /// Adds \p Delta to counter \p Name.
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Returns the value of counter \p Name (0 if never touched).
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// Renders all counters as "name=value" lines.
+  std::string toString() const;
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+/// Wall-clock timer with millisecond resolution.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Returns elapsed milliseconds since construction or last restart().
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+        .count();
+  }
+
+  /// Resets the timer to now.
+  void restart() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A consumable resource budget (call-graph nodes, heap transitions,
+/// CS-slicing memory units, ...). A zero limit means "unbounded".
+class Budget {
+public:
+  Budget() = default;
+  explicit Budget(uint64_t Limit) : Limit(Limit) {}
+
+  /// Consumes \p N units; returns false (and sets the exhausted flag) once
+  /// the limit would be exceeded.
+  bool consume(uint64_t N = 1) {
+    Used += N;
+    if (Limit != 0 && Used > Limit) {
+      Exceeded = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// True once consume() has failed at least once.
+  bool exhausted() const { return Exceeded; }
+
+  /// Units consumed so far.
+  uint64_t used() const { return Used; }
+
+  /// The configured limit (0 = unbounded).
+  uint64_t limit() const { return Limit; }
+
+private:
+  uint64_t Limit = 0;
+  uint64_t Used = 0;
+  bool Exceeded = false;
+};
+
+} // namespace taj
+
+#endif // TAJ_SUPPORT_STATS_H

@@ -1,0 +1,27 @@
+//===- support/StringPool.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/StringPool.h"
+
+#include <cassert>
+
+using namespace taj;
+
+Symbol StringPool::intern(std::string_view S) {
+  auto It = Map.find(S);
+  if (It != Map.end())
+    return It->second;
+  Strings.emplace_back(S);
+  Symbol Sym = static_cast<Symbol>(Strings.size() - 1);
+  Map.emplace(std::string_view(Strings.back()), Sym);
+  return Sym;
+}
+
+std::string_view StringPool::str(Symbol Sym) const {
+  assert(Sym < Strings.size() && "symbol out of range");
+  return Strings[Sym];
+}
+
+Symbol StringPool::lookup(std::string_view S) const {
+  auto It = Map.find(S);
+  return It == Map.end() ? ~0u : It->second;
+}

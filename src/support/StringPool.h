@@ -1,0 +1,54 @@
+//===- support/StringPool.h - String interning ----------------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple string interner. Every distinct string maps to a dense 32-bit
+/// Symbol; Symbol 0 is the empty string. Interned strings live for the
+/// lifetime of the pool, so returned string_views remain valid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_SUPPORT_STRINGPOOL_H
+#define TAJ_SUPPORT_STRINGPOOL_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace taj {
+
+/// Dense identifier of an interned string.
+using Symbol = uint32_t;
+
+/// Interns strings into dense Symbol ids.
+class StringPool {
+public:
+  StringPool() { intern(""); }
+
+  /// Returns the Symbol for \p S, interning it if new.
+  Symbol intern(std::string_view S);
+
+  /// Returns the string for \p Sym. \p Sym must have been interned.
+  std::string_view str(Symbol Sym) const;
+
+  /// Returns the number of interned strings.
+  size_t size() const { return Strings.size(); }
+
+  /// Returns the Symbol for \p S if already interned, or ~0u otherwise.
+  Symbol lookup(std::string_view S) const;
+
+private:
+  // Deque keeps element addresses stable across growth, so the map's
+  // string_view keys stay valid.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, Symbol> Map;
+};
+
+} // namespace taj
+
+#endif // TAJ_SUPPORT_STRINGPOOL_H

@@ -1,0 +1,292 @@
+//===- tests/frontend_test.cpp - Lexer and parser unit tests -------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace taj;
+
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  std::vector<std::string> Errors;
+  Lexer L("class Foo { x = y.m(\"lit\", 42); } // comment", Errors);
+  EXPECT_TRUE(Errors.empty());
+  const auto &T = L.tokens();
+  ASSERT_GE(T.size(), 10u);
+  EXPECT_TRUE(T[0].isIdent("class"));
+  EXPECT_TRUE(T[1].isIdent("Foo"));
+  EXPECT_TRUE(T[2].is(TokKind::LBrace));
+  // Find the string literal and the int.
+  bool SawStr = false, SawInt = false;
+  for (const Token &Tok : T) {
+    if (Tok.is(TokKind::String) && Tok.Text == "lit")
+      SawStr = true;
+    if (Tok.is(TokKind::Int) && Tok.IntVal == 42)
+      SawInt = true;
+  }
+  EXPECT_TRUE(SawStr);
+  EXPECT_TRUE(SawInt);
+  EXPECT_TRUE(L.tokens().back().is(TokKind::Eof));
+}
+
+TEST(Lexer, TracksLines) {
+  std::vector<std::string> Errors;
+  Lexer L("a\nb\n  c", Errors);
+  const auto &T = L.tokens();
+  EXPECT_EQ(T[0].Line, 1u);
+  EXPECT_EQ(T[1].Line, 2u);
+  EXPECT_EQ(T[2].Line, 3u);
+  EXPECT_EQ(T[2].Col, 3u);
+}
+
+TEST(Lexer, ReportsUnterminatedString) {
+  std::vector<std::string> Errors;
+  Lexer L("\"oops", Errors);
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(Lexer, NegativeIntegers) {
+  std::vector<std::string> Errors;
+  Lexer L("x = -7;", Errors);
+  bool Saw = false;
+  for (const Token &T : L.tokens())
+    if (T.is(TokKind::Int) && T.IntVal == -7)
+      Saw = true;
+  EXPECT_TRUE(Saw);
+}
+
+/// A program with the root class and a couple of library methods, mimicking
+/// a miniature model library.
+const char *Prelude = R"(
+class Object {}
+class String extends Object [stringcarrier] {}
+class Request extends Object [library] {
+  method getParameter(this: Request, name: String): String
+    [source(all), intrinsic(sourcereturn)];
+}
+class Writer extends Object [library] {
+  method println(this: Writer, s: Object): void
+    [sink(xss), intrinsic(sinkconsume)];
+}
+)";
+
+Program parseOk(const std::string &Body) {
+  Program P;
+  std::vector<std::string> Errors;
+  bool Ok = parseTaj(P, std::string(Prelude) + Body, &Errors);
+  EXPECT_TRUE(Ok) << (Errors.empty() ? "?" : Errors.front());
+  return P;
+}
+
+TEST(Parser, ParsesPrelude) {
+  Program P = parseOk("");
+  EXPECT_NE(P.findClass("Object"), InvalidId);
+  ClassId Str = P.findClass("String");
+  ASSERT_NE(Str, InvalidId);
+  EXPECT_TRUE(P.cls(Str).is(classflags::StringCarrier));
+  ClassId Req = P.findClass("Request");
+  MethodId GetParam = P.findMethod(Req, "getParameter");
+  ASSERT_NE(GetParam, InvalidId);
+  EXPECT_EQ(P.method(GetParam).SourceRules, rules::All);
+  EXPECT_EQ(P.method(GetParam).Intr, Intrinsic::SourceReturn);
+  ClassId Wr = P.findClass("Writer");
+  MethodId Println = P.findMethod(Wr, "println");
+  ASSERT_NE(Println, InvalidId);
+  EXPECT_EQ(P.method(Println).SinkRules, rules::XSS);
+  EXPECT_EQ(P.method(Println).SinkParamMask, 0b10u);
+}
+
+TEST(Parser, SimpleServlet) {
+  Program P = parseOk(R"(
+class MyServlet extends Object {
+  field cache: String;
+  method doGet(this: MyServlet, req: Request, w: Writer): void [entry] {
+    t = req.getParameter("name");
+    this.cache = t;
+    u = this.cache;
+    w.println(u);
+  }
+}
+)");
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+  ClassId C = P.findClass("MyServlet");
+  MethodId M = P.findMethod(C, "doGet");
+  ASSERT_NE(M, InvalidId);
+  EXPECT_TRUE(P.method(M).IsEntry);
+  // The body contains a store and a load of the cache field.
+  int Stores = 0, Loads = 0, Calls = 0;
+  for (const BasicBlock &BB : P.method(M).Blocks)
+    for (const Instruction &I : BB.Insts) {
+      Stores += I.Op == Opcode::Store;
+      Loads += I.Op == Opcode::Load;
+      Calls += I.Op == Opcode::Call;
+    }
+  EXPECT_EQ(Stores, 1);
+  EXPECT_EQ(Loads, 1);
+  EXPECT_EQ(Calls, 2);
+}
+
+TEST(Parser, ControlFlowWithLabelsAndLoops) {
+  Program P = parseOk(R"(
+class Looper extends Object {
+  method run(this: Looper, n: int): int {
+    i = 0;
+    head:
+    c = i < n;
+    if c goto body;
+    goto done;
+    body:
+    i = i + 1;
+    goto head;
+    done:
+    return i;
+  }
+}
+)");
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+  const Method &M = P.method(P.findMethod(P.findClass("Looper"), "run"));
+  bool SawPhi = false;
+  for (const BasicBlock &BB : M.Blocks)
+    for (const Instruction &I : BB.Insts)
+      SawPhi |= I.Op == Opcode::Phi;
+  EXPECT_TRUE(SawPhi) << "loop variable needs a phi";
+}
+
+TEST(Parser, StaticFieldsAndCalls) {
+  Program P = parseOk(R"(
+class Holder extends Object {
+  static field shared: String;
+  static method put(v: String): void {
+    Holder.shared = v;
+  }
+  static method get(): String {
+    x = Holder.shared;
+    return x;
+  }
+}
+)");
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+  ClassId C = P.findClass("Holder");
+  const Method &Put = P.method(P.findMethod(C, "put"));
+  EXPECT_TRUE(Put.IsStatic);
+  bool SawStaticStore = false;
+  for (const BasicBlock &BB : Put.Blocks)
+    for (const Instruction &I : BB.Insts)
+      SawStaticStore |= I.Op == Opcode::StaticStore;
+  EXPECT_TRUE(SawStaticStore);
+}
+
+TEST(Parser, NewWithConstructor) {
+  Program P = parseOk(R"(
+class Box extends Object {
+  field v: Object;
+  method init(this: Box, x: Object): void {
+    this.v = x;
+  }
+}
+class Use extends Object {
+  method mk(this: Use, x: Object): Box {
+    b = new Box(x);
+    return b;
+  }
+}
+)");
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+  const Method &Mk = P.method(P.findMethod(P.findClass("Use"), "mk"));
+  bool SawSpecial = false;
+  for (const BasicBlock &BB : Mk.Blocks)
+    for (const Instruction &I : BB.Insts)
+      SawSpecial |=
+          I.Op == Opcode::Call && I.CKind == CallKind::Special;
+  EXPECT_TRUE(SawSpecial);
+}
+
+TEST(Parser, ArraysAndBinops) {
+  Program P = parseOk(R"(
+class ArrayUser extends Object {
+  method go(this: ArrayUser, s: String): String {
+    a = new String[];
+    a[] = s;
+    x = a[];
+    return x;
+  }
+}
+)");
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+TEST(Parser, ReportsUnknownLocal) {
+  Program P;
+  std::vector<std::string> Errors;
+  bool Ok = parseTaj(P,
+                     std::string(Prelude) +
+                         "class Bad extends Object {\n"
+                         "  method f(this: Bad): void { x = y; }\n}",
+                     &Errors);
+  EXPECT_FALSE(Ok);
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(Parser, ReportsUnknownType) {
+  Program P;
+  std::vector<std::string> Errors;
+  bool Ok = parseTaj(
+      P, "class A { method f(this: A, x: Missing): void { return; } }",
+      &Errors);
+  EXPECT_FALSE(Ok);
+}
+
+TEST(Parser, LocalReassignmentDoesNotAlias) {
+  Program P = parseOk(R"(
+class Alias extends Object {
+  method f(this: Alias, a: String, b: String): String {
+    x = a;
+    x = b;
+    return a;
+  }
+}
+)");
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+  // "return a" must still return parameter 1, not b.
+  const Method &M = P.method(P.findMethod(P.findClass("Alias"), "f"));
+  bool SawValueReturn = false;
+  for (const BasicBlock &BB : M.Blocks)
+    for (const Instruction &I : BB.Insts)
+      if (I.Op == Opcode::Return && !I.Args.empty()) {
+        SawValueReturn = true;
+        EXPECT_EQ(I.Args[0], 1);
+      }
+  EXPECT_TRUE(SawValueReturn);
+}
+
+TEST(Parser, CaughtAndThrow) {
+  Program P = parseOk(R"(
+class Exception extends Object [library] {
+  method getMessage(this: Exception): String
+    [source(leak), intrinsic(getmessage)];
+}
+class Thrower extends Object {
+  method f(this: Thrower, w: Writer): void {
+    e = caught;
+    m = e.getMessage();
+    w.println(m);
+    throw e;
+  }
+}
+)");
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+} // namespace

@@ -1,0 +1,247 @@
+//===- tests/ir_test.cpp - IR, builder, printer, CHA unit tests ----------===//
+
+#include "cha/ClassHierarchy.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace taj;
+
+namespace {
+
+TEST(StringPool, InternsAndDeduplicates) {
+  StringPool Pool;
+  Symbol A = Pool.intern("hello");
+  Symbol B = Pool.intern("world");
+  Symbol A2 = Pool.intern("hello");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Pool.str(A), "hello");
+  EXPECT_EQ(Pool.str(B), "world");
+}
+
+TEST(StringPool, EmptyStringIsSymbolZero) {
+  StringPool Pool;
+  EXPECT_EQ(Pool.intern(""), 0u);
+}
+
+TEST(StringPool, LookupWithoutIntern) {
+  StringPool Pool;
+  EXPECT_EQ(Pool.lookup("missing"), ~0u);
+  Pool.intern("present");
+  EXPECT_NE(Pool.lookup("present"), ~0u);
+}
+
+TEST(StringPool, StableViewsAcrossGrowth) {
+  StringPool Pool;
+  std::string_view First = Pool.str(Pool.intern("first"));
+  for (int I = 0; I < 1000; ++I)
+    Pool.intern("filler" + std::to_string(I));
+  EXPECT_EQ(First, "first");
+  EXPECT_EQ(Pool.str(Pool.lookup("first")), "first");
+}
+
+class IrFixture : public ::testing::Test {
+protected:
+  Program P;
+  Builder B{P};
+  ClassId Object = InvalidId, Widget = InvalidId;
+  FieldId F = InvalidId;
+
+  void SetUp() override {
+    Object = B.makeClass("Object", InvalidId);
+    Widget = B.makeClass("Widget", Object);
+    F = B.makeField(Widget, "f", Type::ref(Object));
+  }
+};
+
+TEST_F(IrFixture, ClassAndFieldLookup) {
+  EXPECT_EQ(P.findClass("Object"), Object);
+  EXPECT_EQ(P.findClass("Widget"), Widget);
+  EXPECT_EQ(P.findClass("Nope"), InvalidId);
+  EXPECT_EQ(P.findField(Widget, "f"), F);
+  EXPECT_EQ(P.findField(Widget, "g"), InvalidId);
+}
+
+TEST_F(IrFixture, StraightLineMethodIsValidSSA) {
+  MethodBuilder MB =
+      B.startMethod(Widget, "id", {Type::ref(Widget), Type::ref(Object)},
+                    Type::ref(Object));
+  MB.emitRet(MB.param(1));
+  MB.finish();
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+TEST_F(IrFixture, BranchingMethodGetsPhis) {
+  // v = cond ? a : b; return v;
+  MethodBuilder MB = B.startMethod(
+      Widget, "pick",
+      {Type::ref(Widget), Type::intTy(), Type::ref(Object), Type::ref(Object)},
+      Type::ref(Object));
+  ValueId Slot = MB.freshSlot();
+  int32_t Then = MB.newBlock();
+  int32_t Else = MB.newBlock();
+  int32_t Join = MB.newBlock();
+  MB.emitIf(MB.param(1), Then, Else);
+  MB.setBlock(Then);
+  MB.assign(Slot, MB.param(2));
+  MB.emitGoto(Join);
+  MB.setBlock(Else);
+  MB.assign(Slot, MB.param(3));
+  MB.emitGoto(Join);
+  MB.setBlock(Join);
+  MB.emitRet(Slot);
+  MB.finish();
+
+  std::vector<std::string> Errors = verifyProgram(P);
+  ASSERT_TRUE(Errors.empty()) << Errors.front();
+
+  // The join block must start with a phi.
+  const Method &M = P.Methods[P.findMethod(Widget, "pick")];
+  bool FoundPhi = false;
+  for (const BasicBlock &BB : M.Blocks)
+    for (const Instruction &I : BB.Insts)
+      if (I.Op == Opcode::Phi) {
+        FoundPhi = true;
+        EXPECT_EQ(I.Args.size(), 2u);
+      }
+  EXPECT_TRUE(FoundPhi);
+}
+
+TEST_F(IrFixture, LoopSSA) {
+  // i = 0; while (i < n) i = i + 1; return;
+  MethodBuilder MB = B.startMethod(Widget, "loop",
+                                   {Type::ref(Widget), Type::intTy()},
+                                   Type::voidTy());
+  ValueId I = MB.freshSlot();
+  MB.assign(I, MB.constInt(0));
+  int32_t Head = MB.newBlock();
+  int32_t Body = MB.newBlock();
+  int32_t Exit = MB.newBlock();
+  MB.emitGoto(Head);
+  MB.setBlock(Head);
+  ValueId Cond = MB.emitBinop(BinopKind::Lt, I, MB.param(1));
+  MB.emitIf(Cond, Body, Exit);
+  MB.setBlock(Body);
+  MB.assign(I, MB.emitBinop(BinopKind::Add, I, MB.constInt(1)));
+  MB.emitGoto(Head);
+  MB.setBlock(Exit);
+  MB.emitRet();
+  MB.finish();
+
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+TEST_F(IrFixture, StatementIndexRoundTrips) {
+  MethodBuilder MB =
+      B.startMethod(Widget, "mk", {Type::ref(Widget)}, Type::ref(Widget));
+  ValueId V = MB.emitNew(Widget);
+  MB.emitStore(V, F, MB.param(0));
+  MB.emitRet(V);
+  MB.finish();
+  P.indexStatements();
+  ASSERT_GT(P.numStmts(), 0u);
+  for (StmtId S = 0; S < P.numStmts(); ++S) {
+    const StmtRef &R = P.stmtRef(S);
+    EXPECT_EQ(P.stmtId(R.M, R.Block, R.Index), S);
+  }
+}
+
+TEST_F(IrFixture, PrinterProducesText) {
+  MethodBuilder MB =
+      B.startMethod(Widget, "mk", {Type::ref(Widget)}, Type::ref(Widget));
+  ValueId V = MB.emitNew(Widget);
+  MB.emitStore(V, F, MB.param(0));
+  MB.emitRet(V);
+  MB.finish();
+  std::string Text = printMethod(P, P.findMethod(Widget, "mk"));
+  EXPECT_NE(Text.find("new Widget"), std::string::npos);
+  EXPECT_NE(Text.find(".f ="), std::string::npos);
+  EXPECT_NE(Text.find("return"), std::string::npos);
+}
+
+TEST_F(IrFixture, ClassHierarchyQueries) {
+  ClassId Gadget = B.makeClass("Gadget", Widget);
+  MethodBuilder MB =
+      B.startMethod(Widget, "run", {Type::ref(Widget)}, Type::voidTy());
+  MB.emitRet();
+  MB.finish();
+
+  ClassHierarchy CHA(P);
+  EXPECT_TRUE(CHA.isSubclassOf(Gadget, Object));
+  EXPECT_TRUE(CHA.isSubclassOf(Gadget, Widget));
+  EXPECT_FALSE(CHA.isSubclassOf(Widget, Gadget));
+  EXPECT_EQ(CHA.depth(Object), 0u);
+  EXPECT_EQ(CHA.depth(Gadget), 2u);
+
+  Symbol Run = P.Pool.intern("run");
+  // Gadget inherits run from Widget.
+  EXPECT_EQ(CHA.resolveVirtual(Gadget, Run), P.findMethod(Widget, "run"));
+  EXPECT_EQ(CHA.resolveVirtual(Object, Run), InvalidId);
+
+  // Subtype enumeration includes self and descendants.
+  const std::vector<ClassId> &Subs = CHA.subtypes(Widget);
+  EXPECT_EQ(Subs.size(), 2u);
+
+  // Field resolution walks up the hierarchy.
+  Symbol FName = P.Pool.intern("f");
+  EXPECT_EQ(CHA.resolveField(Gadget, FName), F);
+}
+
+TEST_F(IrFixture, VerifierCatchesMissingTerminator) {
+  MethodBuilder MB =
+      B.startMethod(Widget, "bad", {Type::ref(Widget)}, Type::voidTy());
+  MB.emitRet();
+  MB.finish();
+  Method &M = P.Methods[P.findMethod(Widget, "bad")];
+  M.Blocks[0].Insts.pop_back(); // strip the return
+  M.Blocks[0].Insts.push_back([] {
+    Instruction I;
+    I.Op = Opcode::ConstInt;
+    I.Dst = 1;
+    return I;
+  }());
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(10), 10u);
+  for (int I = 0; I < 1000; ++I) {
+    uint32_t V = R.range(5, 9);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 9u);
+  }
+}
+
+TEST(Budget, EnforcesLimit) {
+  Budget Bd(3);
+  EXPECT_TRUE(Bd.consume());
+  EXPECT_TRUE(Bd.consume());
+  EXPECT_TRUE(Bd.consume());
+  EXPECT_FALSE(Bd.consume());
+  EXPECT_TRUE(Bd.exhausted());
+}
+
+TEST(Budget, ZeroMeansUnbounded) {
+  Budget Bd;
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_TRUE(Bd.consume());
+  EXPECT_FALSE(Bd.exhausted());
+}
+
+} // namespace

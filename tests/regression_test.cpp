@@ -1,0 +1,95 @@
+//===- tests/regression_test.cpp - Whole-pipeline properties -------------===//
+//
+// Cross-cutting properties over the generated benchmark suite:
+//  - determinism: repeated runs produce identical issue sets;
+//  - budget monotonicity: flows found under a call-graph budget are a
+//    subset of the unbounded flows (the truncated call graph is a
+//    subgraph, and the analysis is monotone in it);
+//  - bound monotonicity: loosening the §6.2 bounds never loses flows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Generator.h"
+#include "core/TaintAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace taj;
+
+namespace {
+
+std::set<std::tuple<StmtId, StmtId, RuleMask>>
+issueSet(const AnalysisResult &R) {
+  std::set<std::tuple<StmtId, StmtId, RuleMask>> Out;
+  for (const Issue &I : R.Issues)
+    Out.insert({I.Source, I.Sink, I.Rule});
+  return Out;
+}
+
+class RegressionTest : public ::testing::TestWithParam<const char *> {
+protected:
+  const AppSpec &spec() {
+    static std::vector<AppSpec> Suite = benchmarkSuite();
+    for (const AppSpec &S : Suite)
+      if (S.Name == GetParam())
+        return S;
+    return Suite[0];
+  }
+};
+
+TEST_P(RegressionTest, AnalysisIsDeterministic) {
+  for (const char *Cfg : {"hybrid", "ci"}) {
+    GeneratedApp A1 = generateApp(spec());
+    GeneratedApp A2 = generateApp(spec());
+    AnalysisConfig C1 = Cfg == std::string("hybrid")
+                            ? AnalysisConfig::hybridUnbounded()
+                            : AnalysisConfig::ci();
+    AnalysisConfig C2 = C1;
+    TaintAnalysis T1(*A1.P, std::move(C1));
+    TaintAnalysis T2(*A2.P, std::move(C2));
+    AnalysisResult R1 = T1.run({A1.Root});
+    AnalysisResult R2 = T2.run({A2.Root});
+    EXPECT_EQ(issueSet(R1), issueSet(R2))
+        << spec().Name << "/" << Cfg << ": nondeterministic issue set";
+  }
+}
+
+TEST_P(RegressionTest, BudgetedFlowsAreSubsetOfUnbounded) {
+  GeneratedApp Full = generateApp(spec());
+  TaintAnalysis TF(*Full.P, AnalysisConfig::hybridUnbounded());
+  auto Unbounded = issueSet(TF.run({Full.Root}));
+  for (uint32_t Budget : {50u, 200u, 800u}) {
+    GeneratedApp App = generateApp(spec());
+    AnalysisConfig C = AnalysisConfig::hybridPrioritized(Budget);
+    TaintAnalysis TA(*App.P, std::move(C));
+    AnalysisResult R = TA.run({App.Root});
+    for (const auto &T : issueSet(R))
+      EXPECT_TRUE(Unbounded.count(T))
+          << spec().Name << " budget=" << Budget
+          << ": budgeted run invented a flow";
+  }
+}
+
+TEST_P(RegressionTest, LooserBoundsNeverLoseFlows) {
+  GeneratedApp App = generateApp(spec());
+  auto RunWith = [&](uint32_t Len, uint32_t Depth, uint32_t Hops) {
+    GeneratedApp A = generateApp(spec());
+    AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+    C.MaxFlowLength = Len;
+    C.NestedTaintDepth = Depth;
+    C.MaxHeapTransitions = Hops;
+    TaintAnalysis TA(*A.P, std::move(C));
+    return issueSet(TA.run({A.Root}));
+  };
+  auto Tight = RunWith(8, 1, 4);
+  auto Loose = RunWith(0, 32, 0);
+  for (const auto &T : Tight)
+    EXPECT_TRUE(Loose.count(T))
+        << spec().Name << ": tightening a bound added a flow";
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, RegressionTest,
+                         ::testing::Values("A", "BlueBlog", "I", "SBM",
+                                           "Webgoat"));
+
+} // namespace

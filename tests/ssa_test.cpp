@@ -1,0 +1,207 @@
+//===- tests/ssa_test.cpp - Dominators and SSA property tests ------------===//
+//
+// Property-based tests: random CFGs with random slot assignments must
+// produce verifier-clean SSA, and dominator facts must match a brute-force
+// reachability-based oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "ssa/Dominators.h"
+#include "ssa/SSABuilder.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace taj;
+
+namespace {
+
+/// Builds a random method CFG: NumBlocks blocks, each assigning random
+/// slots and ending with a random branch among the later-created blocks
+/// (plus back edges with some probability).
+void buildRandomMethod(Builder &B, ClassId C, int Idx, Rng &R) {
+  int NumBlocks = static_cast<int>(R.range(1, 8));
+  int NumSlots = static_cast<int>(R.range(1, 5));
+  MethodBuilder MB =
+      B.startMethod(C, "rand" + std::to_string(Idx),
+                    {Type::ref(C), Type::intTy()}, Type::intTy());
+  std::vector<ValueId> Slots;
+  // Initialize every slot in the entry block so uses are always dominated.
+  for (int S = 0; S < NumSlots; ++S) {
+    ValueId V = MB.freshSlot();
+    MB.assign(V, MB.constInt(S));
+    Slots.push_back(V);
+  }
+  std::vector<int32_t> Blocks = {0};
+  for (int I = 1; I < NumBlocks; ++I)
+    Blocks.push_back(MB.newBlock());
+  for (int I = 0; I < NumBlocks; ++I) {
+    MB.setBlock(Blocks[I]);
+    // Random straight-line body: reassign slots from other slots / consts.
+    int BodyLen = static_cast<int>(R.range(0, 4));
+    for (int K = 0; K < BodyLen; ++K) {
+      ValueId Src = R.chance(1, 2) ? Slots[R.below(Slots.size())]
+                                   : MB.constInt(R.below(100));
+      MB.assign(Slots[R.below(Slots.size())], Src);
+    }
+    // Terminator: return, goto, or if.
+    uint32_t Kind = R.below(3);
+    if (I == NumBlocks - 1 || Kind == 0) {
+      MB.emitRet(Slots[R.below(Slots.size())]);
+      continue;
+    }
+    int32_t T1 = Blocks[R.below(NumBlocks)];
+    if (Kind == 1) {
+      MB.emitGoto(T1);
+      continue;
+    }
+    int32_t T2 = Blocks[R.below(NumBlocks)];
+    if (T1 == T2) {
+      MB.emitGoto(T1);
+      continue;
+    }
+    MB.emitIf(Slots[R.below(Slots.size())], T1, T2);
+  }
+  MB.finish();
+}
+
+class SsaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SsaPropertyTest, RandomCfgsVerifyCleanly) {
+  Rng R(GetParam());
+  Program P;
+  Builder B(P);
+  ClassId Obj = B.makeClass("Object", InvalidId);
+  for (int I = 0; I < 25; ++I)
+    buildRandomMethod(B, Obj, I, R);
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsaPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+/// Brute-force dominance: A dominates B iff removing A disconnects B from
+/// the entry (or A == B).
+bool bruteDominates(const Method &M, int32_t A, int32_t B) {
+  if (A == B)
+    return true;
+  std::vector<uint8_t> Seen(M.Blocks.size(), 0);
+  std::vector<int32_t> Work;
+  if (A != 0) {
+    Work.push_back(0);
+    Seen[0] = 1;
+  }
+  while (!Work.empty()) {
+    int32_t X = Work.back();
+    Work.pop_back();
+    for (int32_t S : M.Blocks[X].Succs) {
+      if (S == A || Seen[S])
+        continue;
+      Seen[S] = 1;
+      Work.push_back(S);
+    }
+  }
+  return !Seen[B];
+}
+
+bool bruteReachable(const Method &M, int32_t B) {
+  std::vector<uint8_t> Seen(M.Blocks.size(), 0);
+  std::vector<int32_t> Work = {0};
+  Seen[0] = 1;
+  while (!Work.empty()) {
+    int32_t X = Work.back();
+    Work.pop_back();
+    for (int32_t S : M.Blocks[X].Succs)
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Work.push_back(S);
+      }
+  }
+  return Seen[B];
+}
+
+class DomPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DomPropertyTest, MatchesBruteForceOracle) {
+  Rng R(GetParam());
+  Program P;
+  Builder B(P);
+  ClassId Obj = B.makeClass("Object", InvalidId);
+  for (int I = 0; I < 10; ++I)
+    buildRandomMethod(B, Obj, I, R);
+  for (const Method &M : P.Methods) {
+    if (!M.hasBody())
+      continue;
+    Dominators Dom(M);
+    int32_t N = static_cast<int32_t>(M.Blocks.size());
+    for (int32_t A = 0; A < N; ++A) {
+      EXPECT_EQ(Dom.reachable(A), bruteReachable(M, A));
+      if (!Dom.reachable(A))
+        continue;
+      for (int32_t Bk = 0; Bk < N; ++Bk) {
+        if (!Dom.reachable(Bk))
+          continue;
+        EXPECT_EQ(Dom.dominates(A, Bk), bruteDominates(M, A, Bk))
+            << "blocks " << A << " -> " << Bk;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomPropertyTest,
+                         ::testing::Values(7, 11, 17, 23, 31));
+
+TEST(Dominators, DiamondFrontiers) {
+  // 0 -> {1,2} -> 3 : DF(1) = DF(2) = {3}; idom(3) = 0.
+  Program P;
+  Builder B(P);
+  ClassId Obj = B.makeClass("Object", InvalidId);
+  MethodBuilder MB =
+      B.startMethod(Obj, "d", {Type::ref(Obj), Type::intTy()}, Type::voidTy());
+  int32_t B1 = MB.newBlock(), B2 = MB.newBlock(), B3 = MB.newBlock();
+  MB.emitIf(MB.param(1), B1, B2);
+  MB.setBlock(B1);
+  MB.emitGoto(B3);
+  MB.setBlock(B2);
+  MB.emitGoto(B3);
+  MB.setBlock(B3);
+  MB.emitRet();
+  Method &M = P.Methods[MB.id()];
+  // Seal manually to inspect dominators pre-SSA.
+  for (auto &BB : M.Blocks)
+    (void)BB;
+  sealCfg(M);
+  Dominators Dom(M);
+  EXPECT_EQ(Dom.idom(B1), 0);
+  EXPECT_EQ(Dom.idom(B2), 0);
+  EXPECT_EQ(Dom.idom(B3), 0);
+  ASSERT_EQ(Dom.frontier(B1).size(), 1u);
+  EXPECT_EQ(Dom.frontier(B1)[0], B3);
+  ASSERT_EQ(Dom.frontier(B2).size(), 1u);
+  EXPECT_EQ(Dom.frontier(B2)[0], B3);
+}
+
+TEST(SSABuilder, RemovesUnreachableBlocks) {
+  Program P;
+  Builder B(P);
+  ClassId Obj = B.makeClass("Object", InvalidId);
+  MethodBuilder MB =
+      B.startMethod(Obj, "u", {Type::ref(Obj)}, Type::voidTy());
+  int32_t Dead = MB.newBlock();
+  int32_t End = MB.newBlock();
+  MB.emitGoto(End);
+  MB.setBlock(Dead); // unreachable
+  MB.emitRet();
+  MB.setBlock(End);
+  MB.emitRet();
+  MB.finish();
+  const Method &M = P.Methods[MB.id()];
+  EXPECT_EQ(M.Blocks.size(), 2u) << "dead block should be removed";
+  std::vector<std::string> Errors = verifyProgram(P);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+} // namespace
