@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bounds.dir/ablation_bounds.cpp.o"
+  "CMakeFiles/ablation_bounds.dir/ablation_bounds.cpp.o.d"
+  "ablation_bounds"
+  "ablation_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hsdg.dir/fig2_hsdg.cpp.o"
+  "CMakeFiles/fig2_hsdg.dir/fig2_hsdg.cpp.o.d"
+  "fig2_hsdg"
+  "fig2_hsdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hsdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

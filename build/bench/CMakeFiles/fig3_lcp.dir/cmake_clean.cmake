@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lcp.dir/fig3_lcp.cpp.o"
+  "CMakeFiles/fig3_lcp.dir/fig3_lcp.cpp.o.d"
+  "fig3_lcp"
+  "fig3_lcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

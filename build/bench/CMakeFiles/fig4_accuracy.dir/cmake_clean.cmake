@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_accuracy.dir/fig4_accuracy.cpp.o"
+  "CMakeFiles/fig4_accuracy.dir/fig4_accuracy.cpp.o.d"
+  "fig4_accuracy"
+  "fig4_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

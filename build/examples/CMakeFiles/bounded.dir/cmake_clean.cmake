@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded.dir/bounded.cpp.o"
+  "CMakeFiles/bounded.dir/bounded.cpp.o.d"
+  "bounded"
+  "bounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

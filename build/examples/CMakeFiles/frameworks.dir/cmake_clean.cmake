@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frameworks.dir/frameworks.cpp.o"
+  "CMakeFiles/frameworks.dir/frameworks.cpp.o.d"
+  "frameworks"
+  "frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

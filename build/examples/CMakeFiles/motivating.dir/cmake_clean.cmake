@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivating.dir/motivating.cpp.o"
+  "CMakeFiles/motivating.dir/motivating.cpp.o.d"
+  "motivating"
+  "motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/callgraph/CallGraph.cpp" "src/CMakeFiles/taj_analysis.dir/callgraph/CallGraph.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/callgraph/CallGraph.cpp.o.d"
+  "/root/repo/src/heapgraph/HeapGraph.cpp" "src/CMakeFiles/taj_analysis.dir/heapgraph/HeapGraph.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/heapgraph/HeapGraph.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/taj_analysis.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/pointsto/Context.cpp" "src/CMakeFiles/taj_analysis.dir/pointsto/Context.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/pointsto/Context.cpp.o.d"
+  "/root/repo/src/pointsto/ContextPolicy.cpp" "src/CMakeFiles/taj_analysis.dir/pointsto/ContextPolicy.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/pointsto/ContextPolicy.cpp.o.d"
+  "/root/repo/src/pointsto/Keys.cpp" "src/CMakeFiles/taj_analysis.dir/pointsto/Keys.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/pointsto/Keys.cpp.o.d"
+  "/root/repo/src/pointsto/Priority.cpp" "src/CMakeFiles/taj_analysis.dir/pointsto/Priority.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/pointsto/Priority.cpp.o.d"
+  "/root/repo/src/pointsto/Solver.cpp" "src/CMakeFiles/taj_analysis.dir/pointsto/Solver.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/pointsto/Solver.cpp.o.d"
+  "/root/repo/src/rhs/Tabulation.cpp" "src/CMakeFiles/taj_analysis.dir/rhs/Tabulation.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/rhs/Tabulation.cpp.o.d"
+  "/root/repo/src/sdg/HeapChannels.cpp" "src/CMakeFiles/taj_analysis.dir/sdg/HeapChannels.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/sdg/HeapChannels.cpp.o.d"
+  "/root/repo/src/sdg/SDG.cpp" "src/CMakeFiles/taj_analysis.dir/sdg/SDG.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/sdg/SDG.cpp.o.d"
+  "/root/repo/src/slicer/CIThinSlicer.cpp" "src/CMakeFiles/taj_analysis.dir/slicer/CIThinSlicer.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/slicer/CIThinSlicer.cpp.o.d"
+  "/root/repo/src/slicer/CSThinSlicer.cpp" "src/CMakeFiles/taj_analysis.dir/slicer/CSThinSlicer.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/slicer/CSThinSlicer.cpp.o.d"
+  "/root/repo/src/slicer/HeapEdges.cpp" "src/CMakeFiles/taj_analysis.dir/slicer/HeapEdges.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/slicer/HeapEdges.cpp.o.d"
+  "/root/repo/src/slicer/HybridThinSlicer.cpp" "src/CMakeFiles/taj_analysis.dir/slicer/HybridThinSlicer.cpp.o" "gcc" "src/CMakeFiles/taj_analysis.dir/slicer/HybridThinSlicer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taj_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taj_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taj_analysis.dir/callgraph/CallGraph.cpp.o"
+  "CMakeFiles/taj_analysis.dir/callgraph/CallGraph.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/heapgraph/HeapGraph.cpp.o"
+  "CMakeFiles/taj_analysis.dir/heapgraph/HeapGraph.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/interp/Interpreter.cpp.o"
+  "CMakeFiles/taj_analysis.dir/interp/Interpreter.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/pointsto/Context.cpp.o"
+  "CMakeFiles/taj_analysis.dir/pointsto/Context.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/pointsto/ContextPolicy.cpp.o"
+  "CMakeFiles/taj_analysis.dir/pointsto/ContextPolicy.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/pointsto/Keys.cpp.o"
+  "CMakeFiles/taj_analysis.dir/pointsto/Keys.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/pointsto/Priority.cpp.o"
+  "CMakeFiles/taj_analysis.dir/pointsto/Priority.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/pointsto/Solver.cpp.o"
+  "CMakeFiles/taj_analysis.dir/pointsto/Solver.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/rhs/Tabulation.cpp.o"
+  "CMakeFiles/taj_analysis.dir/rhs/Tabulation.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/sdg/HeapChannels.cpp.o"
+  "CMakeFiles/taj_analysis.dir/sdg/HeapChannels.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/sdg/SDG.cpp.o"
+  "CMakeFiles/taj_analysis.dir/sdg/SDG.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/slicer/CIThinSlicer.cpp.o"
+  "CMakeFiles/taj_analysis.dir/slicer/CIThinSlicer.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/slicer/CSThinSlicer.cpp.o"
+  "CMakeFiles/taj_analysis.dir/slicer/CSThinSlicer.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/slicer/HeapEdges.cpp.o"
+  "CMakeFiles/taj_analysis.dir/slicer/HeapEdges.cpp.o.d"
+  "CMakeFiles/taj_analysis.dir/slicer/HybridThinSlicer.cpp.o"
+  "CMakeFiles/taj_analysis.dir/slicer/HybridThinSlicer.cpp.o.d"
+  "libtaj_analysis.a"
+  "libtaj_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taj_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

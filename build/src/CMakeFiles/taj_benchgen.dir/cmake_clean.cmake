@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taj_benchgen.dir/benchgen/AppSpec.cpp.o"
+  "CMakeFiles/taj_benchgen.dir/benchgen/AppSpec.cpp.o.d"
+  "CMakeFiles/taj_benchgen.dir/benchgen/Generator.cpp.o"
+  "CMakeFiles/taj_benchgen.dir/benchgen/Generator.cpp.o.d"
+  "CMakeFiles/taj_benchgen.dir/benchgen/Patterns.cpp.o"
+  "CMakeFiles/taj_benchgen.dir/benchgen/Patterns.cpp.o.d"
+  "libtaj_benchgen.a"
+  "libtaj_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taj_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

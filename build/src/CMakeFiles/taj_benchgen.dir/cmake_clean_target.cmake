@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtaj_benchgen.a"
+)

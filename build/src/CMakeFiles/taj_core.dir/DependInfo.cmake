@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AnalysisConfig.cpp" "src/CMakeFiles/taj_core.dir/core/AnalysisConfig.cpp.o" "gcc" "src/CMakeFiles/taj_core.dir/core/AnalysisConfig.cpp.o.d"
+  "/root/repo/src/core/SecurityRules.cpp" "src/CMakeFiles/taj_core.dir/core/SecurityRules.cpp.o" "gcc" "src/CMakeFiles/taj_core.dir/core/SecurityRules.cpp.o.d"
+  "/root/repo/src/core/TaintAnalysis.cpp" "src/CMakeFiles/taj_core.dir/core/TaintAnalysis.cpp.o" "gcc" "src/CMakeFiles/taj_core.dir/core/TaintAnalysis.cpp.o.d"
+  "/root/repo/src/model/BuiltinLibrary.cpp" "src/CMakeFiles/taj_core.dir/model/BuiltinLibrary.cpp.o" "gcc" "src/CMakeFiles/taj_core.dir/model/BuiltinLibrary.cpp.o.d"
+  "/root/repo/src/model/Ejb.cpp" "src/CMakeFiles/taj_core.dir/model/Ejb.cpp.o" "gcc" "src/CMakeFiles/taj_core.dir/model/Ejb.cpp.o.d"
+  "/root/repo/src/model/Entrypoints.cpp" "src/CMakeFiles/taj_core.dir/model/Entrypoints.cpp.o" "gcc" "src/CMakeFiles/taj_core.dir/model/Entrypoints.cpp.o.d"
+  "/root/repo/src/model/Struts.cpp" "src/CMakeFiles/taj_core.dir/model/Struts.cpp.o" "gcc" "src/CMakeFiles/taj_core.dir/model/Struts.cpp.o.d"
+  "/root/repo/src/model/Whitelist.cpp" "src/CMakeFiles/taj_core.dir/model/Whitelist.cpp.o" "gcc" "src/CMakeFiles/taj_core.dir/model/Whitelist.cpp.o.d"
+  "/root/repo/src/report/Lcp.cpp" "src/CMakeFiles/taj_core.dir/report/Lcp.cpp.o" "gcc" "src/CMakeFiles/taj_core.dir/report/Lcp.cpp.o.d"
+  "/root/repo/src/report/ReportGenerator.cpp" "src/CMakeFiles/taj_core.dir/report/ReportGenerator.cpp.o" "gcc" "src/CMakeFiles/taj_core.dir/report/ReportGenerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taj_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taj_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taj_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

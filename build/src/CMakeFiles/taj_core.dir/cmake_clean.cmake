@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taj_core.dir/core/AnalysisConfig.cpp.o"
+  "CMakeFiles/taj_core.dir/core/AnalysisConfig.cpp.o.d"
+  "CMakeFiles/taj_core.dir/core/SecurityRules.cpp.o"
+  "CMakeFiles/taj_core.dir/core/SecurityRules.cpp.o.d"
+  "CMakeFiles/taj_core.dir/core/TaintAnalysis.cpp.o"
+  "CMakeFiles/taj_core.dir/core/TaintAnalysis.cpp.o.d"
+  "CMakeFiles/taj_core.dir/model/BuiltinLibrary.cpp.o"
+  "CMakeFiles/taj_core.dir/model/BuiltinLibrary.cpp.o.d"
+  "CMakeFiles/taj_core.dir/model/Ejb.cpp.o"
+  "CMakeFiles/taj_core.dir/model/Ejb.cpp.o.d"
+  "CMakeFiles/taj_core.dir/model/Entrypoints.cpp.o"
+  "CMakeFiles/taj_core.dir/model/Entrypoints.cpp.o.d"
+  "CMakeFiles/taj_core.dir/model/Struts.cpp.o"
+  "CMakeFiles/taj_core.dir/model/Struts.cpp.o.d"
+  "CMakeFiles/taj_core.dir/model/Whitelist.cpp.o"
+  "CMakeFiles/taj_core.dir/model/Whitelist.cpp.o.d"
+  "CMakeFiles/taj_core.dir/report/Lcp.cpp.o"
+  "CMakeFiles/taj_core.dir/report/Lcp.cpp.o.d"
+  "CMakeFiles/taj_core.dir/report/ReportGenerator.cpp.o"
+  "CMakeFiles/taj_core.dir/report/ReportGenerator.cpp.o.d"
+  "libtaj_core.a"
+  "libtaj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cha/ClassHierarchy.cpp" "src/CMakeFiles/taj_ir.dir/cha/ClassHierarchy.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/cha/ClassHierarchy.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/taj_ir.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/taj_ir.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/ir/Builder.cpp" "src/CMakeFiles/taj_ir.dir/ir/Builder.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/ir/Builder.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/taj_ir.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/taj_ir.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/CMakeFiles/taj_ir.dir/ir/Program.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/ir/Program.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/taj_ir.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/ir/Type.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/taj_ir.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/ssa/Dominators.cpp" "src/CMakeFiles/taj_ir.dir/ssa/Dominators.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/ssa/Dominators.cpp.o.d"
+  "/root/repo/src/ssa/SSABuilder.cpp" "src/CMakeFiles/taj_ir.dir/ssa/SSABuilder.cpp.o" "gcc" "src/CMakeFiles/taj_ir.dir/ssa/SSABuilder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taj_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taj_ir.dir/cha/ClassHierarchy.cpp.o"
+  "CMakeFiles/taj_ir.dir/cha/ClassHierarchy.cpp.o.d"
+  "CMakeFiles/taj_ir.dir/frontend/Lexer.cpp.o"
+  "CMakeFiles/taj_ir.dir/frontend/Lexer.cpp.o.d"
+  "CMakeFiles/taj_ir.dir/frontend/Parser.cpp.o"
+  "CMakeFiles/taj_ir.dir/frontend/Parser.cpp.o.d"
+  "CMakeFiles/taj_ir.dir/ir/Builder.cpp.o"
+  "CMakeFiles/taj_ir.dir/ir/Builder.cpp.o.d"
+  "CMakeFiles/taj_ir.dir/ir/Instruction.cpp.o"
+  "CMakeFiles/taj_ir.dir/ir/Instruction.cpp.o.d"
+  "CMakeFiles/taj_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/taj_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/taj_ir.dir/ir/Program.cpp.o"
+  "CMakeFiles/taj_ir.dir/ir/Program.cpp.o.d"
+  "CMakeFiles/taj_ir.dir/ir/Type.cpp.o"
+  "CMakeFiles/taj_ir.dir/ir/Type.cpp.o.d"
+  "CMakeFiles/taj_ir.dir/ir/Verifier.cpp.o"
+  "CMakeFiles/taj_ir.dir/ir/Verifier.cpp.o.d"
+  "CMakeFiles/taj_ir.dir/ssa/Dominators.cpp.o"
+  "CMakeFiles/taj_ir.dir/ssa/Dominators.cpp.o.d"
+  "CMakeFiles/taj_ir.dir/ssa/SSABuilder.cpp.o"
+  "CMakeFiles/taj_ir.dir/ssa/SSABuilder.cpp.o.d"
+  "libtaj_ir.a"
+  "libtaj_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taj_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taj_support.dir/support/Rng.cpp.o"
+  "CMakeFiles/taj_support.dir/support/Rng.cpp.o.d"
+  "CMakeFiles/taj_support.dir/support/Stats.cpp.o"
+  "CMakeFiles/taj_support.dir/support/Stats.cpp.o.d"
+  "CMakeFiles/taj_support.dir/support/StringPool.cpp.o"
+  "CMakeFiles/taj_support.dir/support/StringPool.cpp.o.d"
+  "libtaj_support.a"
+  "libtaj_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taj_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdg_test.dir/sdg_test.cpp.o"
+  "CMakeFiles/sdg_test.dir/sdg_test.cpp.o.d"
+  "sdg_test"
+  "sdg_test.pdb"
+  "sdg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

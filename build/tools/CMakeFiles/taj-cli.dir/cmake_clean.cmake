@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taj-cli.dir/taj-cli.cpp.o"
+  "CMakeFiles/taj-cli.dir/taj-cli.cpp.o.d"
+  "taj-cli"
+  "taj-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taj-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
