@@ -1,6 +1,7 @@
 //===- callgraph/CallGraph.cpp ---------------------------------*- C++ -*-===//
 
 #include "callgraph/CallGraph.h"
+#include "support/RunGuard.h"
 
 #include <algorithm>
 
@@ -14,6 +15,8 @@ CGNodeId CallGraph::ensureNode(MethodId M, CtxId Ctx, bool &IsNew) {
     return It->second;
   }
   IsNew = true;
+  if (Guard)
+    Guard->checkpoint(); // expansion work tick; the solver enforces stops
   CGNode N;
   N.M = M;
   N.Ctx = Ctx;
@@ -32,6 +35,8 @@ bool CallGraph::addEdge(CGNodeId Caller, StmtId Site, CGNodeId Callee) {
                  Callee;
   if (!EdgeSet.insert(Key).second)
     return false;
+  if (Guard)
+    Guard->checkpoint();
   Out[Caller].push_back({Site, Callee});
   In[Callee].push_back(Caller);
   MethodId CalleeM = Nodes[Callee].M;

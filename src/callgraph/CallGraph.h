@@ -26,6 +26,8 @@
 
 namespace taj {
 
+class RunGuard;
+
 /// One call-graph node.
 struct CGNode {
   MethodId M = InvalidId;
@@ -43,6 +45,11 @@ struct CGEdge {
 /// The call graph under construction.
 class CallGraph {
 public:
+  /// Attributes expansion work (node/edge creation) to \p G; not owned.
+  /// The graph only ticks the guard — enforcement of a stop stays with the
+  /// solver loop driving the expansion.
+  void setGuard(RunGuard *G) { Guard = G; }
+
   /// Interns node (\p M, \p Ctx); \p IsNew reports whether it was created.
   CGNodeId ensureNode(MethodId M, CtxId Ctx, bool &IsNew);
 
@@ -93,6 +100,7 @@ private:
   std::unordered_map<MethodId, std::vector<CGNodeId>> ByMethod;
   std::unordered_map<StmtId, std::vector<MethodId>> SiteCallees;
   uint32_t Processed = 0;
+  RunGuard *Guard = nullptr;
 };
 
 } // namespace taj

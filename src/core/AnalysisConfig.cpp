@@ -14,6 +14,14 @@ PointsToOptions AnalysisConfig::pointsToOptions() const {
   return O;
 }
 
+RunGuard::Limits AnalysisConfig::guardLimits() const {
+  RunGuard::Limits L;
+  L.DeadlineMs = DeadlineMs;
+  L.MaxMemoryBytes = MaxMemoryMb * 1024 * 1024;
+  L.FailAtCheckpoint = FailAtCheckpoint;
+  return L;
+}
+
 SlicerOptions AnalysisConfig::slicerOptions() const {
   SlicerOptions O;
   O.MaxHeapTransitions = MaxHeapTransitions;

@@ -18,6 +18,7 @@
 
 #include "pointsto/Solver.h"
 #include "slicer/Slicer.h"
+#include "support/RunGuard.h"
 
 #include <string>
 
@@ -50,6 +51,25 @@ struct AnalysisConfig {
 
   /// Memory budget (channel nodes) for CS thin slicing.
   uint64_t CsChanBudget = 20000;
+
+  //===--------------------------------------------------------------------===//
+  // Run governance (§6 bounded analysis, generalized)
+  //===--------------------------------------------------------------------===//
+
+  /// Wall-clock deadline for the whole run in milliseconds (0 = none).
+  double DeadlineMs = 0;
+  /// Resident-memory ceiling in MiB (0 = none).
+  uint64_t MaxMemoryMb = 0;
+  /// Deterministic fault injection: trip the run guard at the Nth
+  /// checkpoint (1-based; 0 = off). Test-only degradation forcing.
+  uint64_t FailAtCheckpoint = 0;
+  /// Optional externally-owned guard, e.g. to cancel() a run from another
+  /// thread. When set it governs the run and the three limits above are
+  /// ignored. Not owned; must outlive the run.
+  RunGuard *ExternalGuard = nullptr;
+
+  /// The RunGuard limits implied by this configuration.
+  RunGuard::Limits guardLimits() const;
 
   /// Deployment-descriptor bindings (§4.2.2), forwarded to the solver.
   std::unordered_map<std::string, ClassId> JndiBindings;

@@ -13,30 +13,95 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   AnalysisResult Out;
   Timer T;
 
+  // One guard governs the whole run: config limits overlaid with the
+  // TAJ_DEADLINE_MS / TAJ_MAX_MEMORY_MB / TAJ_FAIL_AT environment knobs,
+  // unless the caller supplied an external guard (e.g. for cancellation).
+  RunGuard OwnGuard(RunGuard::limitsFromEnv(Config.guardLimits()));
+  RunGuard &G = Config.ExternalGuard ? *Config.ExternalGuard : OwnGuard;
+
+  auto report = [&](RunPhase Ph, PhaseOutcome O, CutoffReason R) {
+    PhaseReport PR;
+    PR.Phase = Ph;
+    PR.Outcome = O;
+    PR.Reason = R;
+    PR.WorkDone = G.workOf(Ph);
+    Out.Status.Phases.push_back(PR);
+  };
+
   // Phase 1: pointer analysis and call-graph construction (§3.1).
   const_cast<Program &>(P).indexStatements();
-  Solver =
-      std::make_unique<PointsToSolver>(P, CHA, Config.pointsToOptions());
-  Solver->solve(Roots);
+  G.beginPhase(RunPhase::PointerAnalysis);
+  PointsToOptions PO = Config.pointsToOptions();
+  PO.Guard = &G;
+  Solver = std::make_unique<PointsToSolver>(P, CHA, PO);
+  try {
+    Solver->solve(Roots);
+  } catch (...) {
+    // Unexpected failure (e.g. bad_alloc): degrade instead of crashing.
+    G.markInternalError();
+  }
   Out.BudgetExhausted = Solver->budgetExhausted();
   Out.CgNodesProcessed = Solver->callGraph().numProcessed();
+  if (G.stopped())
+    report(RunPhase::PointerAnalysis, PhaseOutcome::Truncated, G.reason());
+  else if (Solver->budgetExhausted())
+    report(RunPhase::PointerAnalysis, PhaseOutcome::Truncated,
+           CutoffReason::NodeBudget);
+  else
+    report(RunPhase::PointerAnalysis, PhaseOutcome::Completed,
+           CutoffReason::None);
 
-  // Phase 2: thin slicing from sources (§3.2).
-  SliceRunResult SR;
-  switch (Config.Slicer) {
-  case SlicerKind::Hybrid:
-    SR = runHybridSlicer(P, CHA, *Solver, Config.slicerOptions());
-    break;
-  case SlicerKind::CS:
-    SR = runCsSlicer(P, CHA, *Solver, Config.slicerOptions());
-    break;
-  case SlicerKind::CI:
-    SR = runCiSlicer(P, CHA, *Solver, Config.slicerOptions());
-    break;
+  // Phase 2: thin slicing from sources (§3.2). Once the run is stopped
+  // there is no envelope left, so the remaining phases are skipped; a
+  // node-budget truncation (above) is phase-local and slicing proceeds
+  // over the partial call graph, exactly as in the paper's §6.1.
+  if (G.stopped()) {
+    report(RunPhase::SdgBuild, PhaseOutcome::Skipped, G.reason());
+    report(RunPhase::Slicing, PhaseOutcome::Skipped, G.reason());
+  } else {
+    SlicerOptions SLO = Config.slicerOptions();
+    SLO.Guard = &G;
+    SliceRunResult SR;
+    try {
+      switch (Config.Slicer) {
+      case SlicerKind::Hybrid:
+        SR = runHybridSlicer(P, CHA, *Solver, SLO);
+        break;
+      case SlicerKind::CS:
+        SR = runCsSlicer(P, CHA, *Solver, SLO);
+        break;
+      case SlicerKind::CI:
+        SR = runCiSlicer(P, CHA, *Solver, SLO);
+        break;
+      }
+    } catch (...) {
+      G.markInternalError();
+      SR.Issues.clear(); // a half-built issue list is not trustworthy
+    }
+    Out.Completed = SR.Completed;
+    Out.Issues = std::move(SR.Issues);
+    Out.SliceWork = SR.PathEdges;
+
+    if (!SR.Completed) {
+      // CS channel extension exceeded its memory budget before slicing.
+      report(RunPhase::SdgBuild, PhaseOutcome::Truncated,
+             CutoffReason::Memory);
+      report(RunPhase::Slicing, PhaseOutcome::Skipped, CutoffReason::Memory);
+    } else if (G.stopped() && G.cutoffPhase() == RunPhase::SdgBuild) {
+      report(RunPhase::SdgBuild, PhaseOutcome::Truncated, G.reason());
+      report(RunPhase::Slicing, PhaseOutcome::Skipped, G.reason());
+    } else if (G.stopped()) {
+      report(RunPhase::SdgBuild, PhaseOutcome::Completed,
+             CutoffReason::None);
+      report(RunPhase::Slicing, PhaseOutcome::Truncated, G.reason());
+    } else {
+      report(RunPhase::SdgBuild, PhaseOutcome::Completed,
+             CutoffReason::None);
+      report(RunPhase::Slicing, PhaseOutcome::Completed, CutoffReason::None);
+    }
   }
-  Out.Completed = SR.Completed;
-  Out.Issues = std::move(SR.Issues);
-  Out.SliceWork = SR.PathEdges;
+
+  G.exportStats(Out.RunStats);
   Out.Millis = T.elapsedMs();
   return Out;
 }

@@ -28,6 +28,7 @@
 #include "cha/ClassHierarchy.h"
 #include "core/AnalysisConfig.h"
 #include "slicer/Issue.h"
+#include "support/RunGuard.h"
 #include "support/Stats.h"
 
 #include <memory>
@@ -48,6 +49,16 @@ struct AnalysisResult {
   uint64_t SliceWork = 0;
   /// Call-graph nodes processed.
   uint32_t CgNodesProcessed = 0;
+  /// Structured per-phase outcome of the governed run: which phases
+  /// completed, which were truncated (results underapproximate), which
+  /// were skipped, and why.
+  RunStatus Status;
+  /// Governance counters (guard.checkpoints, guard.cutoff.<reason>, ...).
+  Stats RunStats;
+
+  /// True when any phase was cut short: issues are still valid flows, but
+  /// the list may be incomplete.
+  bool degraded() const { return Status.degraded(); }
 };
 
 /// Runs the two TAJ phases on a finished program.

@@ -144,7 +144,8 @@ private:
     if (!at(TokKind::LBracket))
       return Out;
     take();
-    while (!at(TokKind::RBracket) && !at(TokKind::Eof)) {
+    while (!at(TokKind::RBracket) && !at(TokKind::Eof) && !TooManyErrors) {
+      size_t Before = Pos;
       Attr A;
       A.Name = expectIdent("attribute name");
       if (at(TokKind::LParen)) {
@@ -165,6 +166,8 @@ private:
       }
       Out.push_back(std::move(A));
       if (at(TokKind::Comma))
+        take();
+      if (Pos == Before) // malformed attribute: force progress
         take();
     }
     expect(TokKind::RBracket, "']'");
@@ -219,8 +222,19 @@ private:
     }
     take();
     std::string Name = expectIdent("class name");
+    if (Name.empty()) {
+      // "class" without a name (truncated or malformed input): the error is
+      // already recorded; skip the body so parsing can continue after it.
+      sync(TokKind::RBrace);
+      return;
+    }
     ClassId C = P.findClass(Name);
-    assert(C != InvalidId && "pass 1 must have registered the class");
+    if (C == InvalidId) {
+      // Pass 1 only pre-registers "class <ident>" pairs; anything else that
+      // reaches here (e.g. a keyword collision in malformed input) is
+      // recovered by registering the class now instead of aborting.
+      C = B.makeClass(Name, InvalidId);
+    }
     if (atIdent("extends")) {
       take();
       std::string SuperName = expectIdent("superclass name");
@@ -291,12 +305,15 @@ private:
     expect(TokKind::LParen, "'('");
     std::vector<Type> ParamTypes;
     std::vector<std::string> ParamNames;
-    while (!at(TokKind::RParen) && !at(TokKind::Eof)) {
+    while (!at(TokKind::RParen) && !at(TokKind::Eof) && !TooManyErrors) {
+      size_t Before = Pos;
       std::string PName = expectIdent("parameter name");
       expect(TokKind::Colon, "':'");
       ParamTypes.push_back(parseType());
       ParamNames.push_back(PName);
       if (at(TokKind::Comma))
+        take();
+      if (Pos == Before) // malformed parameter: force progress
         take();
     }
     expect(TokKind::RParen, "')'");

@@ -2,6 +2,7 @@
 
 #include "pointsto/Solver.h"
 #include "pointsto/Priority.h"
+#include "support/RunGuard.h"
 
 #include <algorithm>
 #include <cassert>
@@ -221,6 +222,7 @@ PointsToSolver::intrinsicCalleesAt(StmtId Site) const {
 void PointsToSolver::solve(const std::vector<MethodId> &Entries) {
   assert(!Solved && "solve() called twice");
   Solved = true;
+  CG.setGuard(Opts.Guard);
   for (MethodId E : Entries)
     ensureNode(E, EverywhereCtx);
 
@@ -229,6 +231,13 @@ void PointsToSolver::solve(const std::vector<MethodId> &Entries) {
         CG.numProcessed() >= Opts.MaxCallGraphNodes) {
       BudgetHit = true;
       Counters.add("cg.budget_hit");
+      break;
+    }
+    if (Opts.Guard && !Opts.Guard->checkpoint()) {
+      // Deadline/memory/cancellation cutoff: the call graph (and thus the
+      // analysis) is deliberately underapproximate, like a node budget.
+      BudgetHit = true;
+      Counters.add("cg.guard_stop");
       break;
     }
     CGNodeId N = Prio->pop();
@@ -246,6 +255,12 @@ void PointsToSolver::solve(const std::vector<MethodId> &Entries) {
 void PointsToSolver::propagate() {
   growTables();
   while (!Worklist.empty()) {
+    if (Opts.Guard && !Opts.Guard->checkpoint()) {
+      // Leave the remaining frontier unprocessed; points-to sets stay an
+      // underapproximation of the fixpoint, which every client tolerates.
+      Counters.add("pts.guard_stop");
+      break;
+    }
     PKId PK = Worklist.back();
     Worklist.pop_back();
     OnWorklist[PK] = false;

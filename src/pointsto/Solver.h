@@ -37,8 +37,14 @@
 
 namespace taj {
 
+class RunGuard;
+
 /// Configuration of one pointer-analysis run.
 struct PointsToOptions {
+  /// Optional run-governance guard (deadline/memory/cancellation); the
+  /// solver polls it per processed node and per propagation step. Not
+  /// owned.
+  RunGuard *Guard = nullptr;
   /// Use the §6.1 priority-driven constraint-adding order (vs chaotic).
   bool Prioritized = false;
   /// Call-graph node budget; 0 = unbounded.

@@ -46,8 +46,14 @@ std::vector<Report> taj::generateReports(const Program &P,
 }
 
 std::string taj::renderReports(const Program &P,
-                               const std::vector<Report> &Rs) {
+                               const std::vector<Report> &Rs,
+                               const RunStatus *Status) {
   std::string Out;
+  if (Status && Status->degraded()) {
+    Out += "## degraded run (";
+    Out += Status->toString();
+    Out += "): reported issues are a lower bound\n";
+  }
   for (const Report &R : Rs) {
     Out += rules::ruleName(R.Representative.Rule);
     Out += ": ";

@@ -17,6 +17,7 @@
 #define TAJ_REPORT_REPORTGENERATOR_H
 
 #include "report/Lcp.h"
+#include "support/RunGuard.h"
 
 #include <string>
 #include <vector>
@@ -37,7 +38,10 @@ std::vector<Report> generateReports(const Program &P,
                                     const std::vector<Issue> &Issues);
 
 /// Renders reports as human-readable text ("source -> LCP -> sink").
-std::string renderReports(const Program &P, const std::vector<Report> &Rs);
+/// When \p Status names a degraded run, a banner states which phase was
+/// cut short and why, so readers know the issue list is a lower bound.
+std::string renderReports(const Program &P, const std::vector<Report> &Rs,
+                          const RunStatus *Status = nullptr);
 
 /// Renders one statement as "Class.method:line#stmt".
 std::string describeStmt(const Program &P, StmtId S);

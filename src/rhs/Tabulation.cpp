@@ -1,12 +1,14 @@
 //===- rhs/Tabulation.cpp --------------------------------------*- C++ -*-===//
 
 #include "rhs/Tabulation.h"
+#include "support/RunGuard.h"
 
 #include <cassert>
 
 using namespace taj;
 
-Tabulation::Tabulation(const SDG &G, RuleMask Rule) : G(G), Rule(Rule) {}
+Tabulation::Tabulation(const SDG &G, RuleMask Rule, RunGuard *Guard)
+    : G(G), Rule(Rule), Guard(Guard) {}
 
 bool Tabulation::isBarrier(SDGNodeId N) const {
   const SDGNode &Node = G.node(N);
@@ -77,6 +79,12 @@ void Tabulation::recordSummaryOut(SDGNodeId FIn, SDGNodeId FOut, uint32_t D) {
 
 void Tabulation::drainSummaries() {
   while (!SummaryWork.empty()) {
+    if (Guard && !Guard->checkpoint()) {
+      // Cutoff: drop pending summary work; partially drained summaries
+      // only shrink the slice (underapproximate), never grow it.
+      SummaryWork.clear();
+      return;
+    }
     auto [FIn, N, D] = SummaryWork.front();
     SummaryWork.pop_front();
     ++PathEdgeCount;
@@ -137,6 +145,8 @@ void Tabulation::forwardSlice(
       Q.emplace_back(S, D, InvalidId);
     std::unordered_set<SDGNodeId> Local;
     while (!Q.empty()) {
+      if (Guard && !Guard->checkpoint())
+        break; // cutoff: keep what phase 1 reached so far
       auto [N, D, Par] = Q.front();
       Q.pop_front();
       if (!Local.insert(N).second)
@@ -181,6 +191,8 @@ void Tabulation::forwardSlice(
       Q.emplace_back(N, D, InvalidId);
     std::unordered_set<SDGNodeId> Local;
     while (!Q.empty()) {
+      if (Guard && !Guard->checkpoint())
+        break; // cutoff: return the partial slice
       auto [N, D, Par] = Q.front();
       Q.pop_front();
       if (!Local.insert(N).second)

@@ -29,12 +29,18 @@
 
 namespace taj {
 
+class RunGuard;
+
 /// Demand-driven tabulation over one SDG for one security rule. Summaries
 /// are memoized across slice requests, so reuse one instance per
 /// (SDG, rule) pair.
+///
+/// When a RunGuard is supplied, every worklist pop checkpoints it; on a
+/// cutoff the pending work is dropped and the slice computed so far is
+/// returned as-is (an underapproximation of realizable reachability).
 class Tabulation {
 public:
-  Tabulation(const SDG &G, RuleMask Rule);
+  Tabulation(const SDG &G, RuleMask Rule, RunGuard *Guard = nullptr);
 
   /// Persistent slice state; pass the same object to forwardSlice to grow
   /// a slice incrementally (the hybrid slicer adds store->load hop seeds).
@@ -74,6 +80,7 @@ private:
 
   const SDG &G;
   RuleMask Rule;
+  RunGuard *Guard = nullptr;
   uint64_t PathEdgeCount = 0;
 
   // Same-level path edges: (FIn, node) -> dist.

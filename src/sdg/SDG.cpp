@@ -1,6 +1,7 @@
 //===- sdg/SDG.cpp - SDG construction --------------------------*- C++ -*-===//
 
 #include "sdg/SDG.h"
+#include "support/RunGuard.h"
 
 #include <algorithm>
 #include <cassert>
@@ -263,8 +264,11 @@ void SdgBuilder::build() {
     }
   }
   createSkeleton();
-  for (SDGOwnerId O = 0; O < G.Owners.size(); ++O)
+  for (SDGOwnerId O = 0; O < G.Owners.size(); ++O) {
+    if (Opts.Guard && !Opts.Guard->checkpoint())
+      return; // cutoff: remaining owners stay unwired (partial graph)
     wireOwner(O);
+  }
   if (Opts.WithChanParams)
     buildChannels();
 }
@@ -713,6 +717,8 @@ void SdgBuilder::buildChannels() {
   };
 
   for (SDGOwnerId O = 0; O < G.Owners.size(); ++O) {
+    if (Opts.Guard && !Opts.Guard->checkpoint())
+      return; // cutoff mid channel extension: partial graph
     auto It = G.OwnerChans.find(O);
     if (It == G.OwnerChans.end())
       continue;

@@ -110,6 +110,10 @@ struct CallSiteInfo {
 
 /// Build options.
 struct SDGOptions {
+  /// Optional run-governance guard; construction checkpoints per wired
+  /// subgraph owner and stops early (partial graph) when it trips. Not
+  /// owned.
+  RunGuard *Guard = nullptr;
   /// One subgraph per call-graph node (hybrid/CS) vs per method (CI).
   bool ContextExpanded = true;
   /// Build the channel-extended graph (CS thin slicing).

@@ -3,6 +3,7 @@
 #include "slicer/HeapEdges.h"
 #include "slicer/Slicer.h"
 #include "slicer/SlicerCommon.h"
+#include "support/RunGuard.h"
 
 #include <algorithm>
 #include <deque>
@@ -13,20 +14,30 @@ using namespace taj;
 SliceRunResult taj::runCiSlicer(const Program &P, const ClassHierarchy &CHA,
                                 const PointsToSolver &Solver,
                                 const SlicerOptions &Opts) {
+  RunGuard *Guard = Opts.Guard;
+  if (Guard)
+    Guard->beginPhase(RunPhase::SdgBuild);
   SDGOptions SO;
+  SO.Guard = Guard;
   SO.ContextExpanded = false;
   SO.WithChanParams = false;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
   SDG G(P, CHA, Solver, SO);
   HeapGraph HG(Solver);
-  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth);
+  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
 
   SliceRunResult Out;
   std::set<Issue> Dedup;
 
+  if (Guard)
+    Guard->beginPhase(RunPhase::Slicing);
   for (int RB = 0; RB < rules::NumRules; ++RB) {
+    if (Guard && Guard->stopped())
+      break; // cutoff: report what earlier rules found
     RuleMask Rule = static_cast<RuleMask>(1u << RB);
     for (SDGNodeId Src : G.sourceNodes(Rule)) {
+      if (Guard && !Guard->checkpoint())
+        break;
       // Plain BFS: every SDG edge is followed with no call/return
       // matching, plus direct store->load heap edges — CI thin slicing.
       std::unordered_map<SDGNodeId, uint32_t> Dist;
@@ -37,6 +48,8 @@ SliceRunResult taj::runCiSlicer(const Program &P, const ClassHierarchy &CHA,
       Parent[Src] = InvalidId;
       Q.push_back(Src);
       while (!Q.empty()) {
+        if (Guard && !Guard->checkpoint())
+          break; // cutoff: keep the partial reachability computed so far
         SDGNodeId N = Q.front();
         Q.pop_front();
         ++Out.PathEdges;

@@ -4,6 +4,7 @@
 #include "slicer/HeapEdges.h"
 #include "slicer/Slicer.h"
 #include "slicer/SlicerCommon.h"
+#include "support/RunGuard.h"
 
 #include <algorithm>
 #include <set>
@@ -13,7 +14,11 @@ using namespace taj;
 SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
                                 const PointsToSolver &Solver,
                                 const SlicerOptions &Opts) {
+  RunGuard *Guard = Opts.Guard;
+  if (Guard)
+    Guard->beginPhase(RunPhase::SdgBuild);
   SDGOptions SO;
+  SO.Guard = Guard;
   SO.ContextExpanded = true;
   SO.WithChanParams = true;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
@@ -29,14 +34,20 @@ SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
   }
 
   HeapGraph HG(Solver);
-  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth);
+  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
   std::set<Issue> Dedup;
   const std::unordered_map<SDGNodeId, SDGNodeId> NoHops;
 
+  if (Guard)
+    Guard->beginPhase(RunPhase::Slicing);
   for (int RB = 0; RB < rules::NumRules; ++RB) {
+    if (Guard && Guard->stopped())
+      break; // cutoff: report what earlier rules found
     RuleMask Rule = static_cast<RuleMask>(1u << RB);
-    Tabulation Tab(G, Rule);
+    Tabulation Tab(G, Rule, Guard);
     for (SDGNodeId Src : G.sourceNodes(Rule)) {
+      if (Guard && !Guard->checkpoint())
+        break;
       Tabulation::SliceResult R;
       Tab.forwardSlice({{Src, 0}}, R);
 

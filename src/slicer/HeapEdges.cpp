@@ -1,6 +1,7 @@
 //===- slicer/HeapEdges.cpp ------------------------------------*- C++ -*-===//
 
 #include "slicer/HeapEdges.h"
+#include "support/RunGuard.h"
 
 #include <algorithm>
 
@@ -28,10 +29,13 @@ Symbol HeapEdges::mapKeyOf(SDGNodeId Node) const { return G.constKeyOf(Node); }
 
 HeapEdges::HeapEdges(const Program &P, const SDG &G,
                      const PointsToSolver &Solver, const HeapGraph &HG,
-                     uint32_t NestedDepth)
-    : P(P), G(G), Solver(Solver), HG(HG), NestedDepth(NestedDepth) {
+                     uint32_t NestedDepth, RunGuard *Guard)
+    : P(P), G(G), Solver(Solver), HG(HG), NestedDepth(NestedDepth),
+      Guard(Guard) {
   // Index all loads by access class.
   for (SDGNodeId L : G.loadNodes()) {
+    if (Guard && !Guard->checkpoint())
+      return; // cutoff: unindexed loads simply lose their heap hops
     const SDGNode &N = G.node(L);
     LoadInfo LI;
     LI.Node = L;
@@ -67,6 +71,8 @@ HeapEdges::HeapEdges(const Program &P, const SDG &G,
   // Invert sink-argument heap reachability: ik -> sinks whose sensitive
   // actuals reach it within the nested-taint depth (§4.1.1 steps 1-2).
   for (SDGNodeId SkNode : G.sinkNodes()) {
+    if (Guard && !Guard->checkpoint())
+      return; // cutoff: remaining sinks get no carrier edges
     const SDGNode &N = G.node(SkNode);
     const Instruction &I = P.stmt(N.S);
     uint32_t Mask = 0;
@@ -100,6 +106,8 @@ HeapEdges::StoreInfo &HeapEdges::compute(SDGNodeId Store) {
     return It->second;
   StoreInfo &SI = Cache[Store];
   SI.Done = true;
+  if (Guard && !Guard->checkpoint())
+    return SI; // cutoff: this store contributes no heap edges
 
   const SDGNode &N = G.node(Store);
   const Instruction &I = P.stmt(N.S);

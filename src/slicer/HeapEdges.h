@@ -27,11 +27,15 @@
 
 namespace taj {
 
-/// Demand-computed heap adjacency for one (SDG, solver) pair.
+/// Demand-computed heap adjacency for one (SDG, solver) pair. A governed
+/// instance (non-null \p Guard) checkpoints per indexed load/sink and per
+/// computed store; after a cutoff it serves empty adjacency, which only
+/// removes heap hops from slices (underapproximate).
 class HeapEdges {
 public:
   HeapEdges(const Program &P, const SDG &G, const PointsToSolver &Solver,
-            const HeapGraph &HG, uint32_t NestedDepth);
+            const HeapGraph &HG, uint32_t NestedDepth,
+            RunGuard *Guard = nullptr);
 
   /// Loads that may read what \p Store wrote.
   const std::vector<SDGNodeId> &loadsFor(SDGNodeId Store);
@@ -56,6 +60,7 @@ private:
   const PointsToSolver &Solver;
   const HeapGraph &HG;
   uint32_t NestedDepth;
+  RunGuard *Guard = nullptr;
 
   struct LoadInfo {
     SDGNodeId Node;

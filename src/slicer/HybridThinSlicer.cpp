@@ -4,6 +4,7 @@
 #include "slicer/HeapEdges.h"
 #include "slicer/Slicer.h"
 #include "slicer/SlicerCommon.h"
+#include "support/RunGuard.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -15,21 +16,31 @@ SliceRunResult taj::runHybridSlicer(const Program &P,
                                     const ClassHierarchy &CHA,
                                     const PointsToSolver &Solver,
                                     const SlicerOptions &Opts) {
+  RunGuard *Guard = Opts.Guard;
+  if (Guard)
+    Guard->beginPhase(RunPhase::SdgBuild);
   SDGOptions SO;
+  SO.Guard = Guard;
   SO.ContextExpanded = true;
   SO.WithChanParams = false;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
   SDG G(P, CHA, Solver, SO);
   HeapGraph HG(Solver);
-  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth);
+  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
 
   SliceRunResult Out;
   std::set<Issue> Dedup;
 
+  if (Guard)
+    Guard->beginPhase(RunPhase::Slicing);
   for (int RB = 0; RB < rules::NumRules; ++RB) {
+    if (Guard && Guard->stopped())
+      break; // cutoff: report what earlier rules found
     RuleMask Rule = static_cast<RuleMask>(1u << RB);
-    Tabulation Tab(G, Rule);
+    Tabulation Tab(G, Rule, Guard);
     for (SDGNodeId Src : G.sourceNodes(Rule)) {
+      if (Guard && !Guard->checkpoint())
+        break;
       Tabulation::SliceResult R;
       std::vector<std::pair<SDGNodeId, uint32_t>> Seeds = {{Src, 0}};
       // §6.2.1: bound on store->load expansions of the slice.

@@ -27,6 +27,9 @@ namespace taj {
 
 /// Bounds applied during slicing (TAJ §6.2). Zero disables a bound.
 struct SlicerOptions {
+  /// Optional run-governance guard; polled during SDG construction and
+  /// every traversal loop. Not owned.
+  RunGuard *Guard = nullptr;
   /// Max store->load hop expansions during hybrid slicing (§6.2.1).
   uint32_t MaxHeapTransitions = 0;
   /// Flows longer than this are dropped (§6.2.2).

@@ -1,0 +1,123 @@
+//===- support/RunGuard.cpp ------------------------------------*- C++ -*-===//
+
+#include "support/RunGuard.h"
+
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <cstdio>
+#include <unistd.h>
+#endif
+
+using namespace taj;
+
+const char *taj::phaseName(RunPhase P) {
+  switch (P) {
+  case RunPhase::Frontend:
+    return "frontend";
+  case RunPhase::PointerAnalysis:
+    return "pointer-analysis";
+  case RunPhase::SdgBuild:
+    return "sdg-build";
+  case RunPhase::Slicing:
+    return "slicing";
+  case RunPhase::Reporting:
+    return "reporting";
+  }
+  return "unknown";
+}
+
+const char *taj::cutoffReasonName(CutoffReason R) {
+  switch (R) {
+  case CutoffReason::None:
+    return "none";
+  case CutoffReason::Deadline:
+    return "deadline";
+  case CutoffReason::Memory:
+    return "memory";
+  case CutoffReason::NodeBudget:
+    return "node-budget";
+  case CutoffReason::Cancelled:
+    return "cancelled";
+  case CutoffReason::FaultInjected:
+    return "fault-injected";
+  case CutoffReason::InternalError:
+    return "internal-error";
+  }
+  return "unknown";
+}
+
+const char *taj::phaseOutcomeName(PhaseOutcome O) {
+  switch (O) {
+  case PhaseOutcome::Completed:
+    return "completed";
+  case PhaseOutcome::Truncated:
+    return "truncated";
+  case PhaseOutcome::Skipped:
+    return "skipped";
+  }
+  return "unknown";
+}
+
+std::string RunStatus::toString() const {
+  std::string Out;
+  for (const PhaseReport &PR : Phases) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += phaseName(PR.Phase);
+    Out += ": ";
+    Out += phaseOutcomeName(PR.Outcome);
+    if (PR.Outcome != PhaseOutcome::Completed &&
+        PR.Reason != CutoffReason::None) {
+      Out += " (";
+      Out += cutoffReasonName(PR.Reason);
+      Out += ')';
+    }
+    if (PR.Outcome == PhaseOutcome::Truncated) {
+      Out += " after ";
+      Out += std::to_string(PR.WorkDone);
+      Out += " units";
+    }
+  }
+  return Out;
+}
+
+RunGuard::Limits RunGuard::limitsFromEnv(Limits Base) {
+  // The environment only fills limits the caller left unset, so explicit
+  // configuration (e.g. CLI flags) always wins over TAJ_* variables.
+  const char *E;
+  if (Base.DeadlineMs <= 0 && (E = std::getenv("TAJ_DEADLINE_MS")))
+    Base.DeadlineMs = std::atof(E);
+  if (Base.MaxMemoryBytes == 0 && (E = std::getenv("TAJ_MAX_MEMORY_MB")))
+    Base.MaxMemoryBytes =
+        static_cast<uint64_t>(std::atoll(E)) * 1024 * 1024;
+  if (Base.FailAtCheckpoint == 0 && (E = std::getenv("TAJ_FAIL_AT")))
+    Base.FailAtCheckpoint = static_cast<uint64_t>(std::atoll(E));
+  return Base;
+}
+
+void RunGuard::exportStats(Stats &S) const {
+  S.add("guard.checkpoints", Checkpoints);
+  if (stopped()) {
+    S.add(std::string("guard.cutoff.") + cutoffReasonName(Reason));
+    S.add(std::string("guard.cutoff_phase.") + phaseName(CutPhase));
+  }
+}
+
+uint64_t RunGuard::currentRssBytes() {
+#if defined(__linux__)
+  // /proc/self/statm field 2 is the resident set in pages.
+  FILE *F = std::fopen("/proc/self/statm", "r");
+  if (!F)
+    return 0;
+  unsigned long long Size = 0, Resident = 0;
+  int Got = std::fscanf(F, "%llu %llu", &Size, &Resident);
+  std::fclose(F);
+  if (Got != 2)
+    return 0;
+  long Page = sysconf(_SC_PAGESIZE);
+  return Resident * static_cast<uint64_t>(Page > 0 ? Page : 4096);
+#else
+  return 0;
+#endif
+}

@@ -1,0 +1,234 @@
+//===- support/RunGuard.h - Run governance & degradation ------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-cutting run-governance layer behind TAJ's bounded-analysis
+/// discipline (§6): a RunGuard combines a wall-clock deadline, a memory
+/// ceiling, cooperative cancellation and a deterministic fault-injection
+/// hook behind one cheap checkpoint() call that every long-running loop of
+/// the pipeline polls. When a limit trips, the guard latches the phase and
+/// reason of the cutoff; phases observe the stop at their next checkpoint
+/// and unwind with whatever partial (underapproximate) results they hold.
+///
+/// The structured outcome of a governed run is a RunStatus: one PhaseReport
+/// per pipeline phase stating whether it completed, was truncated (its
+/// results are an underapproximation), or was skipped entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_SUPPORT_RUNGUARD_H
+#define TAJ_SUPPORT_RUNGUARD_H
+
+#include "support/Stats.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taj {
+
+/// The pipeline phases a guard can attribute work (and a cutoff) to.
+enum class RunPhase : uint8_t {
+  Frontend,        ///< parsing + IR verification (CLI only)
+  PointerAnalysis, ///< Andersen solver + on-the-fly call graph (§3.1)
+  SdgBuild,        ///< SDG / heap-edge construction (§3.2 prep)
+  Slicing,         ///< thin slicing / RHS tabulation (§3.2)
+  Reporting,       ///< LCP grouping and rendering (§5)
+};
+
+/// Why a run was cut off.
+enum class CutoffReason : uint8_t {
+  None,          ///< not cut off
+  Deadline,      ///< wall-clock deadline expired
+  Memory,        ///< memory ceiling exceeded
+  NodeBudget,    ///< call-graph node budget exhausted (§6.1)
+  Cancelled,     ///< external cancellation request
+  FaultInjected, ///< deterministic test-only fault injection
+  InternalError, ///< unexpected internal failure
+};
+
+/// Outcome of one phase under governance.
+enum class PhaseOutcome : uint8_t {
+  Completed, ///< ran to its natural fixpoint
+  Truncated, ///< cut off mid-way; results are underapproximate
+  Skipped,   ///< never ran (an earlier phase exhausted the run)
+};
+
+const char *phaseName(RunPhase P);
+const char *cutoffReasonName(CutoffReason R);
+const char *phaseOutcomeName(PhaseOutcome O);
+
+/// Structured diagnostic for one phase of a governed run.
+struct PhaseReport {
+  RunPhase Phase = RunPhase::PointerAnalysis;
+  PhaseOutcome Outcome = PhaseOutcome::Completed;
+  CutoffReason Reason = CutoffReason::None;
+  /// Work units (checkpoints) the phase performed before finishing or
+  /// being cut off.
+  uint64_t WorkDone = 0;
+};
+
+/// Structured outcome of a whole governed run, carried on AnalysisResult.
+struct RunStatus {
+  std::vector<PhaseReport> Phases;
+
+  /// True when any phase did not complete (results underapproximate).
+  bool degraded() const {
+    for (const PhaseReport &PR : Phases)
+      if (PR.Outcome != PhaseOutcome::Completed)
+        return true;
+    return false;
+  }
+
+  /// First non-completed phase report, or nullptr when the run was clean.
+  const PhaseReport *firstDegraded() const {
+    for (const PhaseReport &PR : Phases)
+      if (PR.Outcome != PhaseOutcome::Completed)
+        return &PR;
+    return nullptr;
+  }
+
+  PhaseOutcome outcomeOf(RunPhase P) const {
+    for (const PhaseReport &PR : Phases)
+      if (PR.Phase == P)
+        return PR.Outcome;
+    return PhaseOutcome::Skipped;
+  }
+
+  /// "pointer-analysis: truncated (deadline) after 123 units; ..."
+  std::string toString() const;
+};
+
+/// Governs one analysis run. Long-running loops call checkpoint(); once a
+/// limit trips, checkpoint() latches the cutoff and returns false forever,
+/// and every phase unwinds cooperatively. All limits are optional (zero
+/// disables). cancel() may be called from another thread.
+class RunGuard {
+public:
+  struct Limits {
+    /// Wall-clock deadline in milliseconds (0 = none).
+    double DeadlineMs = 0;
+    /// Resident-set ceiling in bytes (0 = none).
+    uint64_t MaxMemoryBytes = 0;
+    /// Fault injection: trip at the Nth checkpoint (1-based; 0 = off).
+    uint64_t FailAtCheckpoint = 0;
+  };
+
+  RunGuard() = default;
+  explicit RunGuard(const Limits &L) : Lim(L) {}
+
+  /// Overlays TAJ_DEADLINE_MS / TAJ_MAX_MEMORY_MB / TAJ_FAIL_AT environment
+  /// variables onto \p Base, filling only limits \p Base leaves unset —
+  /// explicit configuration always beats the environment.
+  static Limits limitsFromEnv(Limits Base);
+  static Limits limitsFromEnv() { return limitsFromEnv(Limits()); }
+
+  /// Marks the start of pipeline phase \p Ph; subsequent work (and a
+  /// cutoff, if one happens) is attributed to it.
+  void beginPhase(RunPhase Ph) {
+    PhaseWorkAcc[static_cast<size_t>(CurPhase)] +=
+        Checkpoints - PhaseStartWork;
+    CurPhase = Ph;
+    PhaseStartWork = Checkpoints;
+  }
+  RunPhase phase() const { return CurPhase; }
+
+  /// Total checkpoints attributed to phase \p Ph so far.
+  uint64_t workOf(RunPhase Ph) const {
+    uint64_t W = PhaseWorkAcc[static_cast<size_t>(Ph)];
+    if (Ph == CurPhase)
+      W += Checkpoints - PhaseStartWork;
+    return W;
+  }
+
+  /// One unit of work. Returns true to continue, false once the run is
+  /// stopped; cheap enough for per-iteration use in hot loops (deadline
+  /// and memory are polled every PollInterval checkpoints).
+  bool checkpoint() {
+    if (StopFlag.load(std::memory_order_relaxed))
+      return false;
+    ++Checkpoints;
+    if (Lim.FailAtCheckpoint != 0 && Checkpoints >= Lim.FailAtCheckpoint)
+      return stop(CutoffReason::FaultInjected);
+    if (CancelFlag.load(std::memory_order_relaxed))
+      return stop(CutoffReason::Cancelled);
+    if ((Checkpoints & (PollInterval - 1)) == 0)
+      return poll();
+    return true;
+  }
+
+  /// True once any limit has tripped (sticky).
+  bool stopped() const { return StopFlag.load(std::memory_order_relaxed); }
+
+  /// Requests cooperative cancellation; safe from any thread. Takes effect
+  /// at the next checkpoint.
+  void cancel() { CancelFlag.store(true, std::memory_order_relaxed); }
+
+  /// Records an unexpected internal failure as the cutoff.
+  void markInternalError() { stop(CutoffReason::InternalError); }
+
+  CutoffReason reason() const { return Reason; }
+  /// Phase the cutoff happened in (meaningful only when stopped()).
+  RunPhase cutoffPhase() const { return CutPhase; }
+  /// Total checkpoints passed so far.
+  uint64_t checkpointCount() const { return Checkpoints; }
+  /// Checkpoints passed since the current phase began.
+  uint64_t phaseWork() const { return Checkpoints - PhaseStartWork; }
+  /// Checkpoint index at which the run stopped (0 if still running).
+  uint64_t workAtCutoff() const { return CutoffAt; }
+  /// Milliseconds since the guard was constructed.
+  double elapsedMs() const { return T.elapsedMs(); }
+
+  /// Exports guard.checkpoints / guard.cutoff.<reason> counters (§ stats).
+  void exportStats(Stats &S) const;
+
+  /// Current resident set size in bytes (0 when unknown on this platform).
+  static uint64_t currentRssBytes();
+
+private:
+  /// Deadline/memory checks are amortized over this many checkpoints
+  /// (must be a power of two).
+  static constexpr uint64_t PollInterval = 128;
+
+  bool stop(CutoffReason R) {
+    bool Expected = false;
+    if (StopFlag.compare_exchange_strong(Expected, true,
+                                         std::memory_order_relaxed)) {
+      Reason = R;
+      CutPhase = CurPhase;
+      CutoffAt = Checkpoints;
+    }
+    return false;
+  }
+
+  bool poll() {
+    if (Lim.DeadlineMs > 0 && T.elapsedMs() > Lim.DeadlineMs)
+      return stop(CutoffReason::Deadline);
+    if (Lim.MaxMemoryBytes != 0) {
+      uint64_t Rss = currentRssBytes();
+      if (Rss != 0 && Rss > Lim.MaxMemoryBytes)
+        return stop(CutoffReason::Memory);
+    }
+    return true;
+  }
+
+  Limits Lim;
+  Timer T;
+  uint64_t Checkpoints = 0;
+  uint64_t PhaseStartWork = 0;
+  uint64_t PhaseWorkAcc[5] = {0, 0, 0, 0, 0};
+  uint64_t CutoffAt = 0;
+  RunPhase CurPhase = RunPhase::PointerAnalysis;
+  RunPhase CutPhase = RunPhase::PointerAnalysis;
+  CutoffReason Reason = CutoffReason::None;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<bool> CancelFlag{false};
+};
+
+} // namespace taj
+
+#endif // TAJ_SUPPORT_RUNGUARD_H

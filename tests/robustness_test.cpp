@@ -1,0 +1,327 @@
+//===- tests/robustness_test.cpp - Governed-run & degradation tests ------===//
+//
+// Exercises the run-governance layer: deterministic fault injection at every
+// checkpoint, deadline expiry, memory ceilings, cooperative cancellation,
+// node-budget truncation, guard statistics, and a malformed-input parser
+// corpus. The invariant throughout: a governed run never crashes, and every
+// issue it reports is one the unbounded run also reports (truncation only
+// shrinks the result, per TAJ §6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Generator.h"
+#include "core/TaintAnalysis.h"
+#include "frontend/Parser.h"
+#include "ir/Verifier.h"
+#include "model/BuiltinLibrary.h"
+#include "model/Entrypoints.h"
+#include "support/RunGuard.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <tuple>
+
+using namespace taj;
+
+namespace {
+
+/// A small application with several distinct flows so truncation has
+/// something to cut: two XSS flows, one SQLi flow, one sanitized flow.
+const char *AppSource = R"(
+class App extends Servlet {
+  method doGet(this: App, req: Request, resp: Response, db: Database): void [entry] {
+    t1 = req.getParameter("name");
+    t2 = req.getParameter("query");
+    t3 = req.getParameter("safe");
+    w = resp.getWriter();
+    w.println(t1);
+    s = this.shuffle(t2);
+    db.executeQuery(s);
+    e = Encoder.encode(t3);
+    w.println(e);
+  }
+  method shuffle(this: App, x: String): String {
+    return x;
+  }
+}
+)";
+
+struct Pipeline {
+  Program P;
+  MethodId Root = InvalidId;
+
+  explicit Pipeline(const std::string &Src) {
+    installBuiltinLibrary(P);
+    std::vector<std::string> Errors;
+    bool Ok = parseTaj(P, Src, &Errors);
+    EXPECT_TRUE(Ok) << (Errors.empty() ? "?" : Errors.front());
+    std::vector<std::string> VErrors = verifyProgram(P);
+    EXPECT_TRUE(VErrors.empty()) << (VErrors.empty() ? "" : VErrors.front());
+    Root = synthesizeEntrypointDriver(P);
+  }
+
+  AnalysisResult run(AnalysisConfig C) {
+    TaintAnalysis TA(P, std::move(C));
+    return TA.run({Root});
+  }
+};
+
+using FlowKey = std::tuple<StmtId, StmtId, RuleMask>;
+
+std::set<FlowKey> flowSet(const AnalysisResult &R) {
+  std::set<FlowKey> S;
+  for (const Issue &I : R.Issues)
+    S.insert({I.Source, I.Sink, I.Rule});
+  return S;
+}
+
+/// A generated app large enough that the guard's amortized deadline/memory
+/// poll (every 128 checkpoints) is guaranteed to run many times.
+GeneratedApp largeApp() {
+  AppSpec Spec;
+  Spec.Name = "robustness-large";
+  Spec.Seed = 7;
+  Spec.Plants.TpDirect = 20;
+  Spec.Plants.TpWrapped = 10;
+  Spec.Plants.TpMap = 10;
+  Spec.Plants.Sanitized = 10;
+  Spec.Plants.FillerMethods = 400;
+  Spec.Plants.LibFillerMethods = 100;
+  return generateApp(Spec);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, FaultInjectionSweepNeverCrashesAndStaysUnderapproximate) {
+  Pipeline PL(AppSource);
+  AnalysisResult Base = PL.run(AnalysisConfig::hybridUnbounded());
+  ASSERT_FALSE(Base.degraded());
+  uint64_t Total = Base.RunStats.get("guard.checkpoints");
+  ASSERT_GT(Total, 0u);
+  std::set<FlowKey> BaseFlows = flowSet(Base);
+  ASSERT_GE(BaseFlows.size(), 2u);
+
+  for (uint64_t N = 1; N <= Total + 2; ++N) {
+    AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+    C.FailAtCheckpoint = N;
+    AnalysisResult R = PL.run(std::move(C));
+    SCOPED_TRACE("fail-at=" + std::to_string(N));
+    if (N <= Total) {
+      EXPECT_TRUE(R.degraded());
+      const PhaseReport *PR = R.Status.firstDegraded();
+      ASSERT_NE(PR, nullptr);
+      EXPECT_EQ(PR->Reason, CutoffReason::FaultInjected);
+      EXPECT_EQ(R.RunStats.get("guard.cutoff.fault-injected"), 1u);
+    } else {
+      // Injection point past the run's natural end: no degradation and
+      // bit-identical results.
+      EXPECT_FALSE(R.degraded());
+      EXPECT_EQ(flowSet(R), BaseFlows);
+    }
+    // Monotonicity: truncation only removes flows, never invents them.
+    for (const FlowKey &K : flowSet(R))
+      EXPECT_TRUE(BaseFlows.count(K));
+  }
+}
+
+TEST(Robustness, FaultAtFirstCheckpointSkipsDownstreamPhases) {
+  Pipeline PL(AppSource);
+  AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+  C.FailAtCheckpoint = 1;
+  AnalysisResult R = PL.run(std::move(C));
+  EXPECT_TRUE(R.degraded());
+  EXPECT_EQ(R.Status.outcomeOf(RunPhase::PointerAnalysis),
+            PhaseOutcome::Truncated);
+  EXPECT_EQ(R.Status.outcomeOf(RunPhase::SdgBuild), PhaseOutcome::Skipped);
+  EXPECT_EQ(R.Status.outcomeOf(RunPhase::Slicing), PhaseOutcome::Skipped);
+  EXPECT_TRUE(R.Issues.empty());
+  // The banner names the truncated phase and the reason.
+  std::string S = R.Status.toString();
+  EXPECT_NE(S.find("pointer-analysis"), std::string::npos);
+  EXPECT_NE(S.find("fault-injected"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline and memory limits
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, TinyDeadlineTruncatesLargeRunWithoutHanging) {
+  GeneratedApp App = largeApp();
+  AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+  C.DeadlineMs = 0.001; // expired by the guard's first poll
+  TaintAnalysis TA(*App.P, std::move(C));
+  AnalysisResult R = TA.run({App.Root});
+  ASSERT_TRUE(R.degraded());
+  const PhaseReport *PR = R.Status.firstDegraded();
+  ASSERT_NE(PR, nullptr);
+  EXPECT_EQ(PR->Reason, CutoffReason::Deadline);
+  EXPECT_EQ(R.RunStats.get("guard.cutoff.deadline"), 1u);
+}
+
+TEST(Robustness, GenerousDeadlineDoesNotDegrade) {
+  Pipeline PL(AppSource);
+  AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+  C.DeadlineMs = 1e9;
+  AnalysisResult R = PL.run(std::move(C));
+  EXPECT_FALSE(R.degraded());
+  EXPECT_GE(flowSet(R).size(), 2u);
+}
+
+TEST(Robustness, MemoryCeilingTruncatesLargeRun) {
+  if (RunGuard::currentRssBytes() == 0)
+    GTEST_SKIP() << "RSS measurement unavailable on this platform";
+  GeneratedApp App = largeApp();
+  AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+  C.MaxMemoryMb = 1; // any real process exceeds 1 MiB resident
+  TaintAnalysis TA(*App.P, std::move(C));
+  AnalysisResult R = TA.run({App.Root});
+  ASSERT_TRUE(R.degraded());
+  const PhaseReport *PR = R.Status.firstDegraded();
+  ASSERT_NE(PR, nullptr);
+  EXPECT_EQ(PR->Reason, CutoffReason::Memory);
+}
+
+//===----------------------------------------------------------------------===//
+// Cancellation and node budget
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, ExternalCancellationStopsTheRun) {
+  Pipeline PL(AppSource);
+  RunGuard G;
+  G.cancel(); // as if another thread requested cancellation up front
+  AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+  C.ExternalGuard = &G;
+  AnalysisResult R = PL.run(std::move(C));
+  ASSERT_TRUE(R.degraded());
+  const PhaseReport *PR = R.Status.firstDegraded();
+  ASSERT_NE(PR, nullptr);
+  EXPECT_EQ(PR->Reason, CutoffReason::Cancelled);
+  EXPECT_TRUE(R.Issues.empty());
+}
+
+TEST(Robustness, NodeBudgetIsPhaseLocalSlicingStillRuns) {
+  Pipeline PL(AppSource);
+  AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+  C.MaxCallGraphNodes = 2;
+  AnalysisResult R = PL.run(std::move(C));
+  EXPECT_TRUE(R.BudgetExhausted);
+  EXPECT_TRUE(R.degraded());
+  EXPECT_EQ(R.Status.outcomeOf(RunPhase::PointerAnalysis),
+            PhaseOutcome::Truncated);
+  const PhaseReport *PR = R.Status.firstDegraded();
+  ASSERT_NE(PR, nullptr);
+  EXPECT_EQ(PR->Reason, CutoffReason::NodeBudget);
+  // Unlike a guard stop, the node budget does not exhaust the run: slicing
+  // proceeds over the partial call graph (§6.1).
+  EXPECT_EQ(R.Status.outcomeOf(RunPhase::SdgBuild), PhaseOutcome::Completed);
+  EXPECT_EQ(R.Status.outcomeOf(RunPhase::Slicing), PhaseOutcome::Completed);
+}
+
+//===----------------------------------------------------------------------===//
+// Guard statistics and environment knobs
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, GuardStatsExported) {
+  Pipeline PL(AppSource);
+  AnalysisResult R = PL.run(AnalysisConfig::hybridUnbounded());
+  EXPECT_GT(R.RunStats.get("guard.checkpoints"), 0u);
+  EXPECT_EQ(R.RunStats.get("guard.cutoff.deadline"), 0u);
+
+  AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+  C.FailAtCheckpoint = 5;
+  AnalysisResult R2 = PL.run(std::move(C));
+  EXPECT_EQ(R2.RunStats.get("guard.cutoff.fault-injected"), 1u);
+  EXPECT_EQ(R2.RunStats.get("guard.cutoff_phase.pointer-analysis"), 1u);
+}
+
+TEST(Robustness, LimitsFromEnvOverlay) {
+  setenv("TAJ_DEADLINE_MS", "250", 1);
+  setenv("TAJ_MAX_MEMORY_MB", "64", 1);
+  setenv("TAJ_FAIL_AT", "9", 1);
+  RunGuard::Limits L = RunGuard::limitsFromEnv();
+  EXPECT_DOUBLE_EQ(L.DeadlineMs, 250.0);
+  EXPECT_EQ(L.MaxMemoryBytes, 64ull * 1024 * 1024);
+  EXPECT_EQ(L.FailAtCheckpoint, 9u);
+  // Explicit configuration beats the environment.
+  RunGuard::Limits Explicit;
+  Explicit.FailAtCheckpoint = 1000;
+  EXPECT_EQ(RunGuard::limitsFromEnv(Explicit).FailAtCheckpoint, 1000u);
+  unsetenv("TAJ_DEADLINE_MS");
+  unsetenv("TAJ_MAX_MEMORY_MB");
+  unsetenv("TAJ_FAIL_AT");
+  // Base limits survive when the environment is silent.
+  RunGuard::Limits Base;
+  Base.DeadlineMs = 7;
+  RunGuard::Limits L2 = RunGuard::limitsFromEnv(Base);
+  EXPECT_DOUBLE_EQ(L2.DeadlineMs, 7.0);
+  EXPECT_EQ(L2.FailAtCheckpoint, 0u);
+}
+
+TEST(Robustness, RunStatusToStringNamesEveryPhase) {
+  Pipeline PL(AppSource);
+  AnalysisResult R = PL.run(AnalysisConfig::hybridUnbounded());
+  ASSERT_FALSE(R.degraded());
+  ASSERT_EQ(R.Status.Phases.size(), 3u);
+  std::string S = R.Status.toString();
+  EXPECT_NE(S.find("pointer-analysis"), std::string::npos);
+  EXPECT_NE(S.find("sdg-build"), std::string::npos);
+  EXPECT_NE(S.find("slicing"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed-input parser corpus
+//===----------------------------------------------------------------------===//
+
+/// Parsing bad input must fail with diagnostics, never crash or assert.
+void expectParseFails(const std::string &Src) {
+  Program P;
+  installBuiltinLibrary(P);
+  std::vector<std::string> Errors;
+  bool Ok = parseTaj(P, Src, &Errors);
+  EXPECT_FALSE(Ok) << "accepted: " << Src.substr(0, 60);
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(Robustness, ParserRejectsMalformedInputsWithoutCrashing) {
+  expectParseFails("class");
+  expectParseFails("class {");
+  expectParseFails("class A extends {}");
+  expectParseFails("class A { method }");
+  expectParseFails("class A { field x }");
+  expectParseFails("class A { method m(: A): void { } }");
+  expectParseFails("class A { method m(this: A): { x = } }");
+  expectParseFails("class A [123] { }");
+  expectParseFails("class A { method m(, ,): void { } }");
+  expectParseFails("%%$$ @@!! not a program");
+  expectParseFails(std::string(2000, '{'));
+  expectParseFails("class A { method m(this: A): void { " +
+                   std::string(500, '(') + " } }");
+}
+
+TEST(Robustness, ParserSurvivesTruncatedSources) {
+  std::string Full = AppSource;
+  for (size_t Len = 0; Len < Full.size(); Len += 7) {
+    Program P;
+    installBuiltinLibrary(P);
+    std::vector<std::string> Errors;
+    // Any outcome is fine; the invariant is "no crash, no assert".
+    parseTaj(P, Full.substr(0, Len), &Errors);
+  }
+}
+
+TEST(Robustness, ClassWithUnregisteredNameRecovers) {
+  // "class" followed by a non-identifier token: the parser must emit a
+  // diagnostic and resynchronize instead of tripping an assertion.
+  Program P;
+  installBuiltinLibrary(P);
+  std::vector<std::string> Errors;
+  bool Ok = parseTaj(P, "class 123 { }\nclass Good { }", &Errors);
+  EXPECT_FALSE(Ok);
+  EXPECT_FALSE(Errors.empty());
+}
+
+} // namespace

@@ -9,9 +9,22 @@
 //   --budget=<n>          call-graph node budget (0 = unbounded)
 //   --max-flow-length=<n> drop flows longer than n
 //   --nested-depth=<n>    taint-carrier field-dereference bound
+//   --deadline-ms=<n>     wall-clock deadline for the analysis run
+//   --max-memory-mb=<n>   resident-memory ceiling for the analysis run
+//   --fail-at=<n>         fault injection: trip the guard at checkpoint n
 //   --raw                 print raw flows instead of LCP-grouped reports
 //   --dump-ir             print the parsed (SSA) program and exit
 //   --stats               print analysis statistics
+//
+// The governance knobs are also readable from the environment
+// (TAJ_DEADLINE_MS, TAJ_MAX_MEMORY_MB, TAJ_FAIL_AT); explicit flags win.
+//
+// Exit codes (the documented contract):
+//   0  clean: the analysis ran to completion (issues, if any, printed)
+//   2  completed with truncation: a deadline/memory/budget/fault cutoff
+//      degraded the run; partial results printed, run-status on stderr
+//   1  error: bad usage, unreadable input, parse/verify failure, or an
+//      internal error that prevented analysis
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,31 +36,66 @@
 #include "model/Entrypoints.h"
 #include "report/ReportGenerator.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include <sys/stat.h>
+
 using namespace taj;
 
 namespace {
+
+enum ExitCode { ExitClean = 0, ExitError = 1, ExitTruncated = 2 };
 
 void usage() {
   std::fprintf(
       stderr,
       "usage: taj-cli [--config=NAME] [--budget=N] [--max-flow-length=N]\n"
-      "               [--nested-depth=N] [--raw] [--dump-ir] [--stats]\n"
-      "               file.taj [more.taj ...]\n");
+      "               [--nested-depth=N] [--deadline-ms=N]\n"
+      "               [--max-memory-mb=N] [--fail-at=N] [--raw] [--dump-ir]\n"
+      "               [--stats] file.taj [more.taj ...]\n");
 }
 
-bool readFile(const char *Path, std::string &Out) {
-  std::ifstream In(Path);
-  if (!In)
+bool readFile(const char *Path, std::string &Out, std::string &Err) {
+  struct stat St;
+  if (::stat(Path, &St) != 0) {
+    Err = std::strerror(errno);
     return false;
+  }
+  if (S_ISDIR(St.st_mode)) {
+    Err = "is a directory";
+    return false;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    Err = std::strerror(errno);
+    return false;
+  }
   std::ostringstream SS;
   SS << In.rdbuf();
+  if (In.bad()) {
+    Err = "read failed";
+    return false;
+  }
   Out = SS.str();
+  return true;
+}
+
+/// Strict numeric flag parsing: "--fail-at=abc" or "--deadline-ms=" must be
+/// a usage error, not a silently ignored limit.
+bool parseNum(const char *Flag, const char *Text, double &Out) {
+  char *End = nullptr;
+  Out = std::strtod(Text, &End);
+  if (*Text == '\0' || *End != '\0' || Out < 0) {
+    std::fprintf(stderr, "error: %s requires a non-negative number, got '%s'\n",
+                 Flag, Text);
+    return false;
+  }
   return true;
 }
 
@@ -56,6 +104,8 @@ bool readFile(const char *Path, std::string &Out) {
 int main(int Argc, char **Argv) {
   std::string ConfigName = "hybrid";
   uint32_t Budget = 0, MaxLen = 0, NestedDepth = 32;
+  double DeadlineMs = 0;
+  uint64_t MaxMemoryMb = 0, FailAt = 0;
   bool Raw = false, DumpIr = false, ShowStats = false;
   std::vector<const char *> Files;
 
@@ -69,6 +119,20 @@ int main(int Argc, char **Argv) {
       MaxLen = static_cast<uint32_t>(std::atoi(A + 18));
     else if (std::strncmp(A, "--nested-depth=", 15) == 0)
       NestedDepth = static_cast<uint32_t>(std::atoi(A + 15));
+    else if (std::strncmp(A, "--deadline-ms=", 14) == 0) {
+      if (!parseNum("--deadline-ms", A + 14, DeadlineMs))
+        return ExitError;
+    } else if (std::strncmp(A, "--max-memory-mb=", 16) == 0) {
+      double V;
+      if (!parseNum("--max-memory-mb", A + 16, V))
+        return ExitError;
+      MaxMemoryMb = static_cast<uint64_t>(V);
+    } else if (std::strncmp(A, "--fail-at=", 10) == 0) {
+      double V;
+      if (!parseNum("--fail-at", A + 10, V))
+        return ExitError;
+      FailAt = static_cast<uint64_t>(V);
+    }
     else if (std::strcmp(A, "--raw") == 0)
       Raw = true;
     else if (std::strcmp(A, "--dump-ir") == 0)
@@ -76,40 +140,50 @@ int main(int Argc, char **Argv) {
     else if (std::strcmp(A, "--stats") == 0)
       ShowStats = true;
     else if (A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A);
       usage();
-      return 2;
+      return ExitError;
     } else
       Files.push_back(A);
   }
   if (Files.empty()) {
     usage();
-    return 2;
+    return ExitError;
   }
 
+  // Frontend: every input file gets its own diagnostics; one bad file does
+  // not silently hide behind another, and none aborts the process.
   Program P;
   installBuiltinLibrary(P);
+  bool InputError = false;
   for (const char *F : Files) {
-    std::string Src;
-    if (!readFile(F, Src)) {
-      std::fprintf(stderr, "error: cannot read '%s'\n", F);
-      return 1;
+    std::string Src, IoErr;
+    if (!readFile(F, Src, IoErr)) {
+      std::fprintf(stderr, "error: cannot read '%s': %s\n", F,
+                   IoErr.c_str());
+      InputError = true;
+      continue;
     }
     std::vector<std::string> Errors;
     if (!parseTaj(P, Src, &Errors)) {
+      if (Errors.empty())
+        std::fprintf(stderr, "%s: parse failed\n", F);
       for (const std::string &E : Errors)
         std::fprintf(stderr, "%s:%s\n", F, E.c_str());
-      return 1;
+      InputError = true;
     }
   }
+  if (InputError)
+    return ExitError;
   std::vector<std::string> VErrors = verifyProgram(P);
   if (!VErrors.empty()) {
     for (const std::string &E : VErrors)
       std::fprintf(stderr, "verifier: %s\n", E.c_str());
-    return 1;
+    return ExitError;
   }
   if (DumpIr) {
     std::printf("%s", printProgram(P).c_str());
-    return 0;
+    return ExitClean;
   }
 
   AnalysisConfig C;
@@ -124,24 +198,33 @@ int main(int Argc, char **Argv) {
   else if (ConfigName == "ci")
     C = AnalysisConfig::ci();
   else {
-    std::fprintf(stderr, "error: unknown config '%s'\n",
-                 ConfigName.c_str());
-    return 2;
+    std::fprintf(stderr, "error: unknown config '%s'\n", ConfigName.c_str());
+    return ExitError;
   }
   if (Budget)
     C.MaxCallGraphNodes = Budget;
   if (MaxLen)
     C.MaxFlowLength = MaxLen;
   C.NestedTaintDepth = NestedDepth;
+  // Explicit flags win over the TAJ_* environment (TaintAnalysis overlays
+  // the environment only onto unset limits, since flags default to 0 the
+  // overlay applies exactly when no flag was given).
+  if (DeadlineMs > 0)
+    C.DeadlineMs = DeadlineMs;
+  if (MaxMemoryMb)
+    C.MaxMemoryMb = MaxMemoryMb;
+  if (FailAt)
+    C.FailAtCheckpoint = FailAt;
 
   MethodId Root = synthesizeEntrypointDriver(P);
   TaintAnalysis TA(P, std::move(C));
   AnalysisResult R = TA.run({Root});
 
-  if (!R.Completed) {
-    std::fprintf(stderr,
-                 "analysis did not complete (CS memory budget exceeded)\n");
-    return 3;
+  if (!R.Completed && !R.degraded()) {
+    // Legacy CS failure channel with no structured status (should not
+    // happen: TaintAnalysis reports it as a memory truncation).
+    std::fprintf(stderr, "analysis did not complete\n");
+    return ExitError;
   }
   if (Raw) {
     for (const Issue &I : R.Issues)
@@ -150,14 +233,17 @@ int main(int Argc, char **Argv) {
                   describeStmt(P, I.Sink).c_str(), I.Length);
   } else {
     std::printf("%s",
-                renderReports(P, generateReports(P, R.Issues)).c_str());
+                renderReports(P, generateReports(P, R.Issues), &R.Status)
+                    .c_str());
   }
+  if (R.degraded())
+    std::fprintf(stderr, "run-status: %s\n", R.Status.toString().c_str());
   if (ShowStats) {
-    std::fprintf(stderr,
-                 "-- %zu raw flows, %.1f ms, %u call-graph nodes%s\n",
+    std::fprintf(stderr, "-- %zu raw flows, %.1f ms, %u call-graph nodes%s\n",
                  R.Issues.size(), R.Millis, R.CgNodesProcessed,
                  R.BudgetExhausted ? " (budget exhausted)" : "");
     std::fprintf(stderr, "%s", TA.solver().stats().toString().c_str());
+    std::fprintf(stderr, "%s", R.RunStats.toString().c_str());
   }
-  return R.Issues.empty() ? 0 : 4;
+  return R.degraded() ? ExitTruncated : ExitClean;
 }
