@@ -24,6 +24,7 @@ RunGuard::Limits AnalysisConfig::guardLimits() const {
 
 SlicerOptions AnalysisConfig::slicerOptions() const {
   SlicerOptions O;
+  O.Threads = Threads;
   O.MaxHeapTransitions = MaxHeapTransitions;
   O.MaxFlowLength = MaxFlowLength;
   O.NestedTaintDepth = NestedTaintDepth;

@@ -49,6 +49,11 @@ struct AnalysisConfig {
   /// §4.1.2 exception modeling.
   bool ModelExceptionSources = true;
 
+  /// Worker threads for the per-source slicing loops (1 = sequential,
+  /// 0 = auto: TAJ_THREADS env var, then hardware concurrency). Output is
+  /// byte-identical at every thread count.
+  uint32_t Threads = 1;
+
   /// Memory budget (channel nodes) for CS thin slicing.
   uint64_t CsChanBudget = 20000;
 

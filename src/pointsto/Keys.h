@@ -107,6 +107,17 @@ public:
   const PointerKeyData &data(PKId I) const { return Keys[I]; }
   size_t size() const { return Keys.size(); }
 
+  /// Read-only lookup: the id of \p D if it was ever interned, InvalidId
+  /// otherwise. Never mutates the table, so it is safe on post-solve read
+  /// paths (and from concurrent slicing workers).
+  PKId lookup(const PointerKeyData &D) const {
+    auto It = Map.find(D);
+    return It == Map.end() ? InvalidId : It->second;
+  }
+  PKId localLookup(CGNodeId N, ValueId V) const {
+    return lookup({PKKind::Local, N, static_cast<uint32_t>(V)});
+  }
+
   PKId local(CGNodeId N, ValueId V) {
     return intern({PKKind::Local, N, static_cast<uint32_t>(V)});
   }

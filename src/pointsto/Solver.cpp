@@ -18,6 +18,9 @@ PointsToSolver::PointsToSolver(const Program &P, const ClassHierarchy &CHA,
     : P(P), CHA(CHA), Opts(std::move(Opts)), Policy(P, Ctxs, IKs,
                                                     this->Opts.Policy) {
   Prio = new PriorityManager(P, CG, this->Opts.Prioritized);
+  HPtsEntries = Counters.handle("pts.entries");
+  HCgNodes = Counters.handle("cg.nodes");
+  HCgProcessed = Counters.handle("cg.processed");
   StringClass = P.findClass("String");
   ExceptionClass = P.findClass("Exception");
   WildChan = internSym("@map:*");
@@ -35,22 +38,19 @@ Symbol PointsToSolver::internSym(std::string_view S) const {
 
 std::vector<IKId> PointsToSolver::pointsToOfLocal(CGNodeId N,
                                                   ValueId V) const {
-  // Interning a missing key yields an empty set; semantically benign.
-  PKId PK = const_cast<PointerKeyTable &>(PKs).local(N, V);
-  return pointsTo(PK);
+  // Read-only lookup: a key never interned during solving has an empty
+  // set, so nothing is created on this post-solve path.
+  return pointsTo(PKs.localLookup(N, V));
 }
 
 std::vector<IKId> PointsToSolver::pointsToMerged(MethodId M,
                                                  ValueId V) const {
   std::vector<IKId> Out;
-  for (CGNodeId N : CG.nodesOf(M)) {
-    // Pointer keys are interned lazily; look up without creating.
-    PKId PK = const_cast<PointerKeyTable &>(PKs).local(N, V);
-    for (IKId IK : pointsTo(PK))
-      if (std::find(Out.begin(), Out.end(), IK) == Out.end())
-        Out.push_back(IK);
-  }
+  for (CGNodeId N : CG.nodesOf(M))
+    for (IKId IK : pointsTo(PKs.localLookup(N, V)))
+      Out.push_back(IK);
   std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
   return Out;
 }
 
@@ -83,7 +83,7 @@ bool PointsToSolver::insertPointsTo(PKId PK, IKId IK) {
   if (It != Set.end() && *It == IK)
     return false;
   Set.insert(It, IK);
-  Counters.add("pts.entries");
+  Counters.addTo(HPtsEntries);
   Delta[PK].push_back(IK);
   if (!OnWorklist[PK]) {
     OnWorklist[PK] = true;
@@ -195,7 +195,7 @@ CGNodeId PointsToSolver::ensureNode(MethodId M, CtxId Ctx) {
   bool IsNew = false;
   CGNodeId N = CG.ensureNode(M, Ctx, IsNew);
   if (IsNew) {
-    Counters.add("cg.nodes");
+    Counters.addTo(HCgNodes);
     Prio->onNodeCreated(N);
   }
   return N;
@@ -242,7 +242,7 @@ void PointsToSolver::solve(const std::vector<MethodId> &Entries) {
     }
     CGNodeId N = Prio->pop();
     CG.markProcessed(N);
-    Counters.add("cg.processed");
+    Counters.addTo(HCgProcessed);
     addConstraints(N);
     // Solve before relaxing priorities: virtual dispatch discovers callee
     // nodes during propagation, and the locality rule must see them.

@@ -185,6 +185,11 @@ private:
   CallGraph CG;
   ContextPolicy Policy;
   Stats Counters;
+  /// Pre-resolved handles for per-tuple / per-node hot-loop counters, so
+  /// the propagation loop never pays a string-keyed map lookup.
+  Stats::Handle HPtsEntries = 0;
+  Stats::Handle HCgNodes = 0;
+  Stats::Handle HCgProcessed = 0;
   bool BudgetHit = false;
   bool Solved = false;
 

@@ -4,12 +4,109 @@
 #include "slicer/Slicer.h"
 #include "slicer/SlicerCommon.h"
 #include "support/RunGuard.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 #include <deque>
-#include <set>
 
 using namespace taj;
+using slicer_detail::SliceItem;
+
+namespace {
+
+/// Plain BFS from one source: every SDG edge is followed with no
+/// call/return matching, plus direct store->load heap edges — CI thin
+/// slicing. Store->load expansion is metered by the §6.2.1 heap budget,
+/// exactly as in the hybrid slicer; taint-carrier recording is not.
+void sliceOneCi(const SDG &G, const HeapEdges &HE, const SliceItem &It,
+                const SlicerOptions &Opts, RunGuard *Guard,
+                std::vector<Issue> &Buf, uint64_t &Edges) {
+  RuleMask Rule = static_cast<RuleMask>(1u << It.RuleBit);
+  SDGNodeId Src = It.Src;
+  Budget HeapBudget(Opts.MaxHeapTransitions);
+  std::unordered_map<SDGNodeId, uint32_t> Dist;
+  std::unordered_map<SDGNodeId, SDGNodeId> Parent;
+  std::unordered_map<SDGNodeId, std::pair<SDGNodeId, uint32_t>> Carrier;
+  std::deque<SDGNodeId> Q;
+  Dist[Src] = 0;
+  Parent[Src] = InvalidId;
+  Q.push_back(Src);
+  while (!Q.empty()) {
+    if (Guard && !Guard->checkpoint())
+      break; // cutoff: the caller discards this in-flight item
+    SDGNodeId N = Q.front();
+    Q.pop_front();
+    ++Edges;
+    uint32_t D = Dist[N];
+    const SDGNode &Node = G.node(N);
+    bool Barrier = Node.Kind == SDGNodeKind::Stmt &&
+                   ((Node.SanitizeMask & Rule) || (Node.SinkMask & Rule));
+    if (!Barrier) {
+      for (const SDGEdge &E : G.succs(N)) {
+        if (!Dist.count(E.To)) {
+          Dist[E.To] = D + 1;
+          Parent[E.To] = N;
+          Q.push_back(E.To);
+        }
+      }
+      // Heap hops at stores.
+      switch (Node.Access) {
+      case HeapAccess::FieldStore:
+      case HeapAccess::ArrayStore:
+      case HeapAccess::StaticStore:
+      case HeapAccess::MapPut:
+      case HeapAccess::CollAdd: {
+        for (SDGNodeId Sk : HE.carrierSinksFor(N)) {
+          if (!(G.node(Sk).SinkMask & Rule))
+            continue;
+          auto CIt = Carrier.find(Sk);
+          if (CIt == Carrier.end() || CIt->second.second > D + 1)
+            Carrier[Sk] = {N, D + 1};
+        }
+        // Direct store->load edges, metered by the heap budget (§6.2.1).
+        if (!HeapBudget.consume())
+          break;
+        for (SDGNodeId L : HE.loadsFor(N)) {
+          if (!Dist.count(L)) {
+            Dist[L] = D + 1;
+            Parent[L] = N;
+            Q.push_back(L);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  const std::unordered_map<SDGNodeId, SDGNodeId> NoHops;
+  auto Record = [&](SDGNodeId Sk, uint32_t Len, SDGNodeId PathFrom) {
+    if (Opts.MaxFlowLength != 0 && Len > Opts.MaxFlowLength)
+      return;
+    Issue Iss;
+    Iss.Source = G.node(Src).S;
+    Iss.Sink = G.node(Sk).S;
+    Iss.Rule = Rule;
+    Iss.Length = Len;
+    Iss.Path =
+        slicer_detail::reconstructPath(G, Parent, NoHops, PathFrom, Sk);
+    Buf.push_back(std::move(Iss));
+  };
+  for (SDGNodeId Sk : G.sinkNodes()) {
+    if (!(G.node(Sk).SinkMask & Rule))
+      continue;
+    auto DIt = Dist.find(Sk);
+    if (DIt != Dist.end())
+      Record(Sk, DIt->second, Sk);
+    auto CIt = Carrier.find(Sk);
+    if (CIt != Carrier.end())
+      Record(Sk, CIt->second.second, CIt->second.first);
+  }
+}
+
+} // namespace
 
 SliceRunResult taj::runCiSlicer(const Program &P, const ClassHierarchy &CHA,
                                 const PointsToSolver &Solver,
@@ -22,104 +119,18 @@ SliceRunResult taj::runCiSlicer(const Program &P, const ClassHierarchy &CHA,
   SO.ContextExpanded = false;
   SO.WithChanParams = false;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
-  SDG G(P, CHA, Solver, SO);
-  HeapGraph HG(Solver);
-  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
+  const SDG G(P, CHA, Solver, SO);
+  const HeapGraph HG(Solver);
+  const HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
 
   SliceRunResult Out;
-  std::set<Issue> Dedup;
-
   if (Guard)
     Guard->beginPhase(RunPhase::Slicing);
-  for (int RB = 0; RB < rules::NumRules; ++RB) {
-    if (Guard && Guard->stopped())
-      break; // cutoff: report what earlier rules found
-    RuleMask Rule = static_cast<RuleMask>(1u << RB);
-    for (SDGNodeId Src : G.sourceNodes(Rule)) {
-      if (Guard && !Guard->checkpoint())
-        break;
-      // Plain BFS: every SDG edge is followed with no call/return
-      // matching, plus direct store->load heap edges — CI thin slicing.
-      std::unordered_map<SDGNodeId, uint32_t> Dist;
-      std::unordered_map<SDGNodeId, SDGNodeId> Parent;
-      std::unordered_map<SDGNodeId, std::pair<SDGNodeId, uint32_t>> Carrier;
-      std::deque<SDGNodeId> Q;
-      Dist[Src] = 0;
-      Parent[Src] = InvalidId;
-      Q.push_back(Src);
-      while (!Q.empty()) {
-        if (Guard && !Guard->checkpoint())
-          break; // cutoff: keep the partial reachability computed so far
-        SDGNodeId N = Q.front();
-        Q.pop_front();
-        ++Out.PathEdges;
-        uint32_t D = Dist[N];
-        const SDGNode &Node = G.node(N);
-        bool Barrier = Node.Kind == SDGNodeKind::Stmt &&
-                       ((Node.SanitizeMask & Rule) || (Node.SinkMask & Rule));
-        if (!Barrier) {
-          for (const SDGEdge &E : G.succs(N)) {
-            if (!Dist.count(E.To)) {
-              Dist[E.To] = D + 1;
-              Parent[E.To] = N;
-              Q.push_back(E.To);
-            }
-          }
-          // Heap hops at stores.
-          switch (Node.Access) {
-          case HeapAccess::FieldStore:
-          case HeapAccess::ArrayStore:
-          case HeapAccess::StaticStore:
-          case HeapAccess::MapPut:
-          case HeapAccess::CollAdd: {
-            for (SDGNodeId L : HE.loadsFor(N)) {
-              if (!Dist.count(L)) {
-                Dist[L] = D + 1;
-                Parent[L] = N;
-                Q.push_back(L);
-              }
-            }
-            for (SDGNodeId Sk : HE.carrierSinksFor(N)) {
-              if (!(G.node(Sk).SinkMask & Rule))
-                continue;
-              auto CIt = Carrier.find(Sk);
-              if (CIt == Carrier.end() || CIt->second.second > D + 1)
-                Carrier[Sk] = {N, D + 1};
-            }
-            break;
-          }
-          default:
-            break;
-          }
-        }
-      }
-
-      const std::unordered_map<SDGNodeId, SDGNodeId> NoHops;
-      auto Record = [&](SDGNodeId Sk, uint32_t Len, SDGNodeId PathFrom) {
-        if (Opts.MaxFlowLength != 0 && Len > Opts.MaxFlowLength)
-          return;
-        Issue Iss;
-        Iss.Source = G.node(Src).S;
-        Iss.Sink = G.node(Sk).S;
-        Iss.Rule = Rule;
-        Iss.Length = Len;
-        Iss.Path =
-            slicer_detail::reconstructPath(G, Parent, NoHops, PathFrom, Sk);
-        if (Dedup.insert(Iss).second)
-          Out.Issues.push_back(std::move(Iss));
-      };
-      for (SDGNodeId Sk : G.sinkNodes()) {
-        if (!(G.node(Sk).SinkMask & Rule))
-          continue;
-        auto DIt = Dist.find(Sk);
-        if (DIt != Dist.end())
-          Record(Sk, DIt->second, Sk);
-        auto CIt = Carrier.find(Sk);
-        if (CIt != Carrier.end())
-          Record(Sk, CIt->second.second, CIt->second.first);
-      }
-    }
-  }
-  std::sort(Out.Issues.begin(), Out.Issues.end());
+  std::vector<SliceItem> Items = slicer_detail::collectSliceItems(G);
+  struct CiWorkerState {}; // the BFS carries no cross-item state
+  slicer_detail::runSliceItems(
+      Opts.Threads, Items, Guard, Out, [] { return CiWorkerState(); },
+      [&](CiWorkerState &, const SliceItem &It, std::vector<Issue> &Buf,
+          uint64_t &Edges) { sliceOneCi(G, HE, It, Opts, Guard, Buf, Edges); });
   return Out;
 }

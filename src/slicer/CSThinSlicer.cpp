@@ -7,9 +7,69 @@
 #include "support/RunGuard.h"
 
 #include <algorithm>
-#include <set>
+#include <array>
+#include <memory>
 
 using namespace taj;
+using slicer_detail::SliceItem;
+
+namespace {
+
+/// Worker-private state: one memoized Tabulation per rule (see the hybrid
+/// slicer for the rationale).
+struct CsWorkerState {
+  std::array<std::unique_ptr<Tabulation>, rules::NumRules> Tabs;
+
+  Tabulation &tab(const SDG &G, int RuleBit, RunGuard *Guard) {
+    auto &T = Tabs[RuleBit];
+    if (!T)
+      T = std::make_unique<Tabulation>(
+          G, static_cast<RuleMask>(1u << RuleBit), Guard);
+    return *T;
+  }
+};
+
+void sliceOneCs(const SDG &G, const HeapEdges &HE, Tabulation &Tab,
+                const SliceItem &It, const SlicerOptions &Opts,
+                std::vector<Issue> &Buf) {
+  RuleMask Rule = static_cast<RuleMask>(1u << It.RuleBit);
+  SDGNodeId Src = It.Src;
+  const std::unordered_map<SDGNodeId, SDGNodeId> NoHops;
+  Tabulation::SliceResult R;
+  Tab.forwardSlice({{Src, 0}}, R);
+
+  auto Record = [&](SDGNodeId Sk, uint32_t Len, SDGNodeId PathFrom) {
+    if (Opts.MaxFlowLength != 0 && Len > Opts.MaxFlowLength)
+      return;
+    Issue Iss;
+    Iss.Source = G.node(Src).S;
+    Iss.Sink = G.node(Sk).S;
+    Iss.Rule = Rule;
+    Iss.Length = Len;
+    Iss.Path =
+        slicer_detail::reconstructPath(G, R.Parent, NoHops, PathFrom, Sk);
+    Buf.push_back(std::move(Iss));
+  };
+
+  for (SDGNodeId Sk : G.sinkNodes()) {
+    if (!(G.node(Sk).SinkMask & Rule))
+      continue;
+    auto DIt = R.Dist.find(Sk);
+    if (DIt != R.Dist.end())
+      Record(Sk, DIt->second, Sk);
+  }
+  // Nested taint via carrier edges at reached stores.
+  for (SDGNodeId St : G.storeNodes()) {
+    auto DIt = R.Dist.find(St);
+    if (DIt == R.Dist.end())
+      continue;
+    for (SDGNodeId Sk : HE.carrierSinksFor(St))
+      if (G.node(Sk).SinkMask & Rule)
+        Record(Sk, DIt->second + 1, St);
+  }
+}
+
+} // namespace
 
 SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
                                 const PointsToSolver &Solver,
@@ -23,7 +83,7 @@ SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
   SO.WithChanParams = true;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
   SO.ChanNodeBudget = Opts.CsChanBudget;
-  SDG G(P, CHA, Solver, SO);
+  const SDG G(P, CHA, Solver, SO);
 
   SliceRunResult Out;
   if (G.chanBudgetExceeded()) {
@@ -33,57 +93,20 @@ SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
     return Out;
   }
 
-  HeapGraph HG(Solver);
-  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
-  std::set<Issue> Dedup;
-  const std::unordered_map<SDGNodeId, SDGNodeId> NoHops;
+  const HeapGraph HG(Solver);
+  const HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
 
   if (Guard)
     Guard->beginPhase(RunPhase::Slicing);
-  for (int RB = 0; RB < rules::NumRules; ++RB) {
-    if (Guard && Guard->stopped())
-      break; // cutoff: report what earlier rules found
-    RuleMask Rule = static_cast<RuleMask>(1u << RB);
-    Tabulation Tab(G, Rule, Guard);
-    for (SDGNodeId Src : G.sourceNodes(Rule)) {
-      if (Guard && !Guard->checkpoint())
-        break;
-      Tabulation::SliceResult R;
-      Tab.forwardSlice({{Src, 0}}, R);
-
-      auto Record = [&](SDGNodeId Sk, uint32_t Len, SDGNodeId PathFrom) {
-        if (Opts.MaxFlowLength != 0 && Len > Opts.MaxFlowLength)
-          return;
-        Issue Iss;
-        Iss.Source = G.node(Src).S;
-        Iss.Sink = G.node(Sk).S;
-        Iss.Rule = Rule;
-        Iss.Length = Len;
-        Iss.Path =
-            slicer_detail::reconstructPath(G, R.Parent, NoHops, PathFrom, Sk);
-        if (Dedup.insert(Iss).second)
-          Out.Issues.push_back(std::move(Iss));
-      };
-
-      for (SDGNodeId Sk : G.sinkNodes()) {
-        if (!(G.node(Sk).SinkMask & Rule))
-          continue;
-        auto DIt = R.Dist.find(Sk);
-        if (DIt != R.Dist.end())
-          Record(Sk, DIt->second, Sk);
-      }
-      // Nested taint via carrier edges at reached stores.
-      for (SDGNodeId St : G.storeNodes()) {
-        auto DIt = R.Dist.find(St);
-        if (DIt == R.Dist.end())
-          continue;
-        for (SDGNodeId Sk : HE.carrierSinksFor(St))
-          if (G.node(Sk).SinkMask & Rule)
-            Record(Sk, DIt->second + 1, St);
-      }
-    }
-    Out.PathEdges += Tab.pathEdgeCount();
-  }
-  std::sort(Out.Issues.begin(), Out.Issues.end());
+  std::vector<SliceItem> Items = slicer_detail::collectSliceItems(G);
+  slicer_detail::runSliceItems(
+      Opts.Threads, Items, Guard, Out, [] { return CsWorkerState(); },
+      [&](CsWorkerState &WS, const SliceItem &It, std::vector<Issue> &Buf,
+          uint64_t &PathEdges) {
+        Tabulation &Tab = WS.tab(G, It.RuleBit, Guard);
+        uint64_t Before = Tab.pathEdgeCount();
+        sliceOneCs(G, HE, Tab, It, Opts, Buf);
+        PathEdges += Tab.pathEdgeCount() - Before;
+      });
   return Out;
 }

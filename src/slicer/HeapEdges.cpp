@@ -30,8 +30,7 @@ Symbol HeapEdges::mapKeyOf(SDGNodeId Node) const { return G.constKeyOf(Node); }
 HeapEdges::HeapEdges(const Program &P, const SDG &G,
                      const PointsToSolver &Solver, const HeapGraph &HG,
                      uint32_t NestedDepth, RunGuard *Guard)
-    : P(P), G(G), Solver(Solver), HG(HG), NestedDepth(NestedDepth),
-      Guard(Guard) {
+    : P(P), G(G), Solver(Solver), HG(HG), NestedDepth(NestedDepth) {
   // Index all loads by access class.
   for (SDGNodeId L : G.loadNodes()) {
     if (Guard && !Guard->checkpoint())
@@ -98,16 +97,16 @@ HeapEdges::HeapEdges(const Program &P, const SDG &G,
     for (IKId IK : HG.reachable(ArgIKs, NestedDepth - 1))
       IkToSinks[IK].push_back(SkNode);
   }
+  // Materialize every store's adjacency now, while still single-threaded:
+  // slicing workers must only ever read this object.
+  for (SDGNodeId St : G.storeNodes())
+    computeStore(St, Guard);
 }
 
-HeapEdges::StoreInfo &HeapEdges::compute(SDGNodeId Store) {
-  auto It = Cache.find(Store);
-  if (It != Cache.end() && It->second.Done)
-    return It->second;
-  StoreInfo &SI = Cache[Store];
-  SI.Done = true;
+void HeapEdges::computeStore(SDGNodeId Store, RunGuard *Guard) {
+  StoreInfo &SI = Stores[Store];
   if (Guard && !Guard->checkpoint())
-    return SI; // cutoff: this store contributes no heap edges
+    return; // cutoff: this store contributes no heap edges
 
   const SDGNode &N = G.node(Store);
   const Instruction &I = P.stmt(N.S);
@@ -124,7 +123,7 @@ HeapEdges::StoreInfo &HeapEdges::compute(SDGNodeId Store) {
     for (const LoadInfo &L : StaticLoads)
       if (L.Field == I.Field)
         SI.Loads.push_back(L.Node);
-    return SI; // statics have no base object: no carrier edges
+    return; // statics have no base object: no carrier edges
   }
   case HeapAccess::FieldStore: {
     std::vector<IKId> Base = baseIKs(Store);
@@ -169,13 +168,17 @@ HeapEdges::StoreInfo &HeapEdges::compute(SDGNodeId Store) {
   SI.CarrierSinks.erase(
       std::unique(SI.CarrierSinks.begin(), SI.CarrierSinks.end()),
       SI.CarrierSinks.end());
-  return SI;
 }
 
-const std::vector<SDGNodeId> &HeapEdges::loadsFor(SDGNodeId Store) {
-  return compute(Store).Loads;
+static const std::vector<SDGNodeId> EmptyAdjacency;
+
+const std::vector<SDGNodeId> &HeapEdges::loadsFor(SDGNodeId Store) const {
+  auto It = Stores.find(Store);
+  return It == Stores.end() ? EmptyAdjacency : It->second.Loads;
 }
 
-const std::vector<SDGNodeId> &HeapEdges::carrierSinksFor(SDGNodeId Store) {
-  return compute(Store).CarrierSinks;
+const std::vector<SDGNodeId> &
+HeapEdges::carrierSinksFor(SDGNodeId Store) const {
+  auto It = Stores.find(Store);
+  return It == Stores.end() ? EmptyAdjacency : It->second.CarrierSinks;
 }

@@ -14,6 +14,14 @@
 ///    sensitive actuals may reach the stored-into object in the heap graph
 ///    within the nested-taint depth bound (§6.2.3).
 ///
+/// The full store adjacency is materialized at construction time, before
+/// slicing begins; afterwards the object is immutable and loadsFor() /
+/// carrierSinksFor() are plain const lookups, safe for any number of
+/// concurrent slicing workers. A governed instance (non-null \p Guard)
+/// checkpoints per indexed load/sink and per materialized store; after a
+/// cutoff the remaining stores serve empty adjacency, which only removes
+/// heap hops from slices (underapproximate).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TAJ_SLICER_HEAPEDGES_H
@@ -27,10 +35,7 @@
 
 namespace taj {
 
-/// Demand-computed heap adjacency for one (SDG, solver) pair. A governed
-/// instance (non-null \p Guard) checkpoints per indexed load/sink and per
-/// computed store; after a cutoff it serves empty adjacency, which only
-/// removes heap hops from slices (underapproximate).
+/// Immutable heap adjacency for one (SDG, solver) pair.
 class HeapEdges {
 public:
   HeapEdges(const Program &P, const SDG &G, const PointsToSolver &Solver,
@@ -38,19 +43,19 @@ public:
             RunGuard *Guard = nullptr);
 
   /// Loads that may read what \p Store wrote.
-  const std::vector<SDGNodeId> &loadsFor(SDGNodeId Store);
+  const std::vector<SDGNodeId> &loadsFor(SDGNodeId Store) const;
 
   /// Sinks whose sensitive arguments may reach the object \p Store wrote
   /// into (nested taint, §4.1.1).
-  const std::vector<SDGNodeId> &carrierSinksFor(SDGNodeId Store);
+  const std::vector<SDGNodeId> &carrierSinksFor(SDGNodeId Store) const;
 
 private:
   struct StoreInfo {
     std::vector<SDGNodeId> Loads;
     std::vector<SDGNodeId> CarrierSinks;
-    bool Done = false;
   };
-  StoreInfo &compute(SDGNodeId Store);
+  /// Build-time only: materializes the adjacency of one store.
+  void computeStore(SDGNodeId Store, RunGuard *Guard);
 
   std::vector<IKId> baseIKs(SDGNodeId Node) const;
   Symbol mapKeyOf(SDGNodeId Node) const;
@@ -60,7 +65,6 @@ private:
   const PointsToSolver &Solver;
   const HeapGraph &HG;
   uint32_t NestedDepth;
-  RunGuard *Guard = nullptr;
 
   struct LoadInfo {
     SDGNodeId Node;
@@ -72,7 +76,7 @@ private:
   std::vector<LoadInfo> FieldLoads, StaticLoads, ArrayLoads, MapGets,
       CollGets;
   std::unordered_map<IKId, std::vector<SDGNodeId>> IkToSinks;
-  std::unordered_map<SDGNodeId, StoreInfo> Cache;
+  std::unordered_map<SDGNodeId, StoreInfo> Stores;
 };
 
 } // namespace taj

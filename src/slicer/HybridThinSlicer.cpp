@@ -8,9 +8,107 @@
 #include "support/Stats.h"
 
 #include <algorithm>
+#include <array>
+#include <memory>
 #include <set>
 
 using namespace taj;
+using slicer_detail::SliceItem;
+
+namespace {
+
+/// Worker-private state: one memoized Tabulation per rule, created on the
+/// first item of that rule the worker picks up (summaries are reused
+/// across all of the worker's sources for the rule, as the sequential
+/// per-rule loop reuses them across all sources).
+struct HybridWorkerState {
+  std::array<std::unique_ptr<Tabulation>, rules::NumRules> Tabs;
+
+  Tabulation &tab(const SDG &G, int RuleBit, RunGuard *Guard) {
+    auto &T = Tabs[RuleBit];
+    if (!T)
+      T = std::make_unique<Tabulation>(
+          G, static_cast<RuleMask>(1u << RuleBit), Guard);
+    return *T;
+  }
+};
+
+/// Slices one (rule, source) item: demand-driven HSDG traversal
+/// alternating context-sensitive no-heap slices with flow-insensitive
+/// store->load hops and taint-carrier edges. Appends every surviving
+/// Record attempt to \p Buf in discovery order (the caller dedups).
+void sliceOneHybrid(const SDG &G, const HeapEdges &HE, Tabulation &Tab,
+                    const SliceItem &It, const SlicerOptions &Opts,
+                    std::vector<Issue> &Buf) {
+  RuleMask Rule = static_cast<RuleMask>(1u << It.RuleBit);
+  SDGNodeId Src = It.Src;
+  Tabulation::SliceResult R;
+  std::vector<std::pair<SDGNodeId, uint32_t>> Seeds = {{Src, 0}};
+  // §6.2.1: bound on store->load expansions of the slice.
+  Budget HeapBudget(Opts.MaxHeapTransitions);
+  std::set<SDGNodeId> ExpandedStores;
+  std::unordered_map<SDGNodeId, SDGNodeId> HopParent;
+  // Carrier-discovered sinks: sink node -> (store parent, length).
+  std::unordered_map<SDGNodeId, std::pair<SDGNodeId, uint32_t>> Carrier;
+
+  bool More = true;
+  while (More) {
+    Tab.forwardSlice(Seeds, R);
+    Seeds.clear();
+    More = false;
+    for (SDGNodeId St : G.storeNodes()) {
+      auto DIt = R.Dist.find(St);
+      if (DIt == R.Dist.end() || !ExpandedStores.insert(St).second)
+        continue;
+      uint32_t D = DIt->second;
+      // Taint-carrier edges (§4.1.1): store -> sink.
+      for (SDGNodeId Sk : HE.carrierSinksFor(St)) {
+        if (!(G.node(Sk).SinkMask & Rule))
+          continue;
+        auto CIt = Carrier.find(Sk);
+        if (CIt == Carrier.end() || CIt->second.second > D + 1)
+          Carrier[Sk] = {St, D + 1};
+      }
+      // Direct store->load edges, metered by the heap budget.
+      if (!HeapBudget.consume())
+        continue;
+      for (SDGNodeId L : HE.loadsFor(St)) {
+        auto LIt = R.Dist.find(L);
+        if (LIt != R.Dist.end() && LIt->second <= D + 1)
+          continue;
+        Seeds.emplace_back(L, D + 1);
+        HopParent[L] = St;
+        More = true;
+      }
+    }
+  }
+
+  auto Record = [&](SDGNodeId Sk, uint32_t Len, SDGNodeId PathFrom) {
+    if (Opts.MaxFlowLength != 0 && Len > Opts.MaxFlowLength)
+      return; // flow-length filter (§6.2.2)
+    Issue Iss;
+    Iss.Source = G.node(Src).S;
+    Iss.Sink = G.node(Sk).S;
+    Iss.Rule = Rule;
+    Iss.Length = Len;
+    Iss.Path = slicer_detail::reconstructPath(G, R.Parent, HopParent,
+                                              PathFrom, Sk);
+    Buf.push_back(std::move(Iss));
+  };
+
+  for (SDGNodeId Sk : G.sinkNodes()) {
+    if (!(G.node(Sk).SinkMask & Rule))
+      continue;
+    auto DIt = R.Dist.find(Sk);
+    if (DIt != R.Dist.end())
+      Record(Sk, DIt->second, Sk);
+    auto CIt = Carrier.find(Sk);
+    if (CIt != Carrier.end())
+      Record(Sk, CIt->second.second, CIt->second.first);
+  }
+}
+
+} // namespace
 
 SliceRunResult taj::runHybridSlicer(const Program &P,
                                     const ClassHierarchy &CHA,
@@ -24,91 +122,22 @@ SliceRunResult taj::runHybridSlicer(const Program &P,
   SO.ContextExpanded = true;
   SO.WithChanParams = false;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
-  SDG G(P, CHA, Solver, SO);
-  HeapGraph HG(Solver);
-  HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
+  const SDG G(P, CHA, Solver, SO);
+  const HeapGraph HG(Solver);
+  const HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
 
   SliceRunResult Out;
-  std::set<Issue> Dedup;
-
   if (Guard)
     Guard->beginPhase(RunPhase::Slicing);
-  for (int RB = 0; RB < rules::NumRules; ++RB) {
-    if (Guard && Guard->stopped())
-      break; // cutoff: report what earlier rules found
-    RuleMask Rule = static_cast<RuleMask>(1u << RB);
-    Tabulation Tab(G, Rule, Guard);
-    for (SDGNodeId Src : G.sourceNodes(Rule)) {
-      if (Guard && !Guard->checkpoint())
-        break;
-      Tabulation::SliceResult R;
-      std::vector<std::pair<SDGNodeId, uint32_t>> Seeds = {{Src, 0}};
-      // §6.2.1: bound on store->load expansions of the slice.
-      Budget HeapBudget(Opts.MaxHeapTransitions);
-      std::set<SDGNodeId> ExpandedStores;
-      std::unordered_map<SDGNodeId, SDGNodeId> HopParent;
-      // Carrier-discovered sinks: sink node -> (store parent, length).
-      std::unordered_map<SDGNodeId, std::pair<SDGNodeId, uint32_t>> Carrier;
-
-      bool More = true;
-      while (More) {
-        Tab.forwardSlice(Seeds, R);
-        Seeds.clear();
-        More = false;
-        for (SDGNodeId St : G.storeNodes()) {
-          auto DIt = R.Dist.find(St);
-          if (DIt == R.Dist.end() || !ExpandedStores.insert(St).second)
-            continue;
-          uint32_t D = DIt->second;
-          // Taint-carrier edges (§4.1.1): store -> sink.
-          for (SDGNodeId Sk : HE.carrierSinksFor(St)) {
-            if (!(G.node(Sk).SinkMask & Rule))
-              continue;
-            auto CIt = Carrier.find(Sk);
-            if (CIt == Carrier.end() || CIt->second.second > D + 1)
-              Carrier[Sk] = {St, D + 1};
-          }
-          // Direct store->load edges, metered by the heap budget.
-          if (!HeapBudget.consume())
-            continue;
-          for (SDGNodeId L : HE.loadsFor(St)) {
-            auto LIt = R.Dist.find(L);
-            if (LIt != R.Dist.end() && LIt->second <= D + 1)
-              continue;
-            Seeds.emplace_back(L, D + 1);
-            HopParent[L] = St;
-            More = true;
-          }
-        }
-      }
-
-      auto Record = [&](SDGNodeId Sk, uint32_t Len, SDGNodeId PathFrom) {
-        Issue Iss;
-        Iss.Source = G.node(Src).S;
-        Iss.Sink = G.node(Sk).S;
-        Iss.Rule = Rule;
-        Iss.Length = Len;
-        if (Opts.MaxFlowLength != 0 && Len > Opts.MaxFlowLength)
-          return; // flow-length filter (§6.2.2)
-        Iss.Path = slicer_detail::reconstructPath(G, R.Parent, HopParent,
-                                                  PathFrom, Sk);
-        if (Dedup.insert(Iss).second)
-          Out.Issues.push_back(std::move(Iss));
-      };
-
-      for (SDGNodeId Sk : G.sinkNodes()) {
-        if (!(G.node(Sk).SinkMask & Rule))
-          continue;
-        auto DIt = R.Dist.find(Sk);
-        if (DIt != R.Dist.end())
-          Record(Sk, DIt->second, Sk);
-        auto CIt = Carrier.find(Sk);
-        if (CIt != Carrier.end())
-          Record(Sk, CIt->second.second, CIt->second.first);
-      }
-    }
-    Out.PathEdges += Tab.pathEdgeCount();
-  }
-  std::sort(Out.Issues.begin(), Out.Issues.end());
+  std::vector<SliceItem> Items = slicer_detail::collectSliceItems(G);
+  slicer_detail::runSliceItems(
+      Opts.Threads, Items, Guard, Out, [] { return HybridWorkerState(); },
+      [&](HybridWorkerState &WS, const SliceItem &It, std::vector<Issue> &Buf,
+          uint64_t &PathEdges) {
+        Tabulation &Tab = WS.tab(G, It.RuleBit, Guard);
+        uint64_t Before = Tab.pathEdgeCount();
+        sliceOneHybrid(G, HE, Tab, It, Opts, Buf);
+        PathEdges += Tab.pathEdgeCount() - Before;
+      });
   return Out;
 }

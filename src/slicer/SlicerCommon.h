@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Small helpers shared by the three slicer implementations (flow-path
-/// reconstruction for LCP report grouping).
+/// Helpers shared by the three slicer implementations: flow-path
+/// reconstruction for LCP report grouping, and the parallel per-source
+/// slicing engine (work-item collection, worker fan-out, deterministic
+/// merge).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,8 +16,12 @@
 #define TAJ_SLICER_SLICERCOMMON_H
 
 #include "sdg/SDG.h"
+#include "slicer/Issue.h"
+#include "support/Parallel.h"
+#include "support/RunGuard.h"
 
 #include <algorithm>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +66,100 @@ reconstructPath(const SDG &G,
   }
   std::reverse(Rev.begin(), Rev.end());
   return Rev;
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel per-source slicing engine
+//===----------------------------------------------------------------------===//
+//
+// All three slicers share the same outer shape: after the SDG / heap-edge
+// build, a strictly read-only traversal runs per (rule, source) pair. The
+// engine below fans those pairs out across a pool of workers and merges
+// the per-item issue buffers back into the exact sequence the sequential
+// rule-major loops would have produced:
+//
+//  - items are collected rule-major (rule bit outer, sourceNodes() order
+//    inner), matching the sequential iteration order;
+//  - worker w statically takes items w, w+T, w+2T, ... and appends each
+//    item's issues — every Record attempt surviving the flow-length
+//    filter, in discovery order — to a buffer private to that item;
+//  - the merge walks items in sequential order through one dedup set
+//    (first occurrence wins, as in the sequential loops) and finally
+//    sorts, so the output is byte-identical at every thread count;
+//  - under a guard cutoff, an item contributes only if it completed before
+//    the stop (worker-completion semantics): a worker observing the stop
+//    mid-item discards that item's buffer. Partial runs therefore stay
+//    strictly underapproximate, and the merged output is a pure function
+//    of the set of completed items.
+
+/// One unit of slicing work: one taint source under one security rule.
+struct SliceItem {
+  int RuleBit = 0;
+  SDGNodeId Src = InvalidId;
+};
+
+/// Collects the (rule, source) items in the sequential rule-major order.
+inline std::vector<SliceItem> collectSliceItems(const SDG &G) {
+  std::vector<SliceItem> Items;
+  for (int RB = 0; RB < rules::NumRules; ++RB)
+    for (SDGNodeId Src : G.sourceNodes(static_cast<RuleMask>(1u << RB)))
+      Items.push_back({RB, Src});
+  return Items;
+}
+
+/// Fans \p Items across \p Threads workers and merges deterministically.
+///
+/// \p MakeState builds one worker-private state object (e.g. the lazily
+/// created per-rule Tabulations); \p Slice runs one item:
+///   Slice(State &, const SliceItem &, std::vector<Issue> &Buf,
+///         uint64_t &PathEdges)
+/// appending the item's issues (in discovery order, duplicates included)
+/// to Buf and adding the item's traversal work to PathEdges.
+template <class MakeStateFn, class SliceFn>
+void runSliceItems(uint32_t Threads, const std::vector<SliceItem> &Items,
+                   RunGuard *Guard, SliceRunResult &Out,
+                   MakeStateFn MakeState, SliceFn Slice) {
+  unsigned W = resolveThreadCount(Threads);
+  if (W > Items.size() && !Items.empty())
+    W = static_cast<unsigned>(Items.size());
+  if (W == 0)
+    W = 1;
+
+  using StateT = decltype(MakeState());
+  std::vector<StateT> States;
+  States.reserve(W);
+  for (unsigned K = 0; K < W; ++K)
+    States.push_back(MakeState());
+  std::vector<std::vector<Issue>> Buffers(Items.size());
+  std::vector<char> Completed(Items.size(), 0);
+  std::vector<uint64_t> Edges(W, 0);
+
+  parallelForInterleaved(W, Items.size(), [&](unsigned Worker, size_t I) {
+    // One checkpoint per item, as in the sequential per-source loops; a
+    // failing checkpoint (or an already-stopped guard) skips the item.
+    if (Guard && !Guard->checkpoint())
+      return;
+    Slice(States[Worker], Items[I], Buffers[I], Edges[Worker]);
+    if (Guard && Guard->stopped()) {
+      Buffers[I].clear(); // discard the in-flight partial: underapproximate
+      return;
+    }
+    Completed[I] = 1;
+  });
+
+  // Deterministic merge: sequential item order through one dedup set
+  // (first occurrence keeps its Length/Path), then the final sort.
+  std::set<Issue> Dedup;
+  for (size_t I = 0; I < Items.size(); ++I) {
+    if (!Completed[I])
+      continue;
+    for (Issue &Iss : Buffers[I])
+      if (Dedup.insert(Iss).second)
+        Out.Issues.push_back(std::move(Iss));
+  }
+  for (uint64_t E : Edges)
+    Out.PathEdges += E;
+  std::sort(Out.Issues.begin(), Out.Issues.end());
 }
 
 } // namespace slicer_detail

@@ -1,0 +1,61 @@
+//===- support/Parallel.cpp ------------------------------------*- C++ -*-===//
+
+#include "support/Parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace taj;
+
+unsigned taj::resolveThreadCount(unsigned Requested) {
+  unsigned N = Requested;
+  if (N == 0) {
+    if (const char *E = std::getenv("TAJ_THREADS"))
+      N = static_cast<unsigned>(std::strtoul(E, nullptr, 10));
+    if (N == 0)
+      N = std::thread::hardware_concurrency();
+    if (N == 0)
+      N = 1; // hardware_concurrency() may be unknown
+  }
+  return std::clamp(N, 1u, 256u);
+}
+
+void taj::parallelForInterleaved(
+    unsigned Threads, size_t NumItems,
+    const std::function<void(unsigned, size_t)> &Fn) {
+  unsigned W = std::max(1u, Threads);
+  if (W > NumItems)
+    W = NumItems == 0 ? 1 : static_cast<unsigned>(NumItems);
+  if (W == 1) {
+    for (size_t I = 0; I < NumItems; ++I)
+      Fn(0, I);
+    return;
+  }
+
+  std::mutex ErrMutex;
+  std::exception_ptr FirstError;
+  auto Body = [&](unsigned Worker) {
+    try {
+      for (size_t I = Worker; I < NumItems; I += W)
+        Fn(Worker, I);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(ErrMutex);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(W - 1);
+  for (unsigned T = 1; T < W; ++T)
+    Pool.emplace_back(Body, T);
+  Body(0); // the calling thread is worker 0
+  for (std::thread &T : Pool)
+    T.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}

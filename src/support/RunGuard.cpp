@@ -97,7 +97,7 @@ RunGuard::Limits RunGuard::limitsFromEnv(Limits Base) {
 }
 
 void RunGuard::exportStats(Stats &S) const {
-  S.add("guard.checkpoints", Checkpoints);
+  S.add("guard.checkpoints", checkpointCount());
   if (stopped()) {
     S.add(std::string("guard.cutoff.") + cutoffReasonName(Reason));
     S.add(std::string("guard.cutoff_phase.") + phaseName(CutPhase));

@@ -107,6 +107,14 @@ struct RunStatus {
 /// limit trips, checkpoint() latches the cutoff and returns false forever,
 /// and every phase unwinds cooperatively. All limits are optional (zero
 /// disables). cancel() may be called from another thread.
+///
+/// Concurrency contract: checkpoint(), stopped(), cancel() and the cutoff
+/// accessors are safe from any number of threads (the parallel slicing
+/// workers all poll one guard). Phase bookkeeping — beginPhase() and
+/// workOf() — must only be called from the coordinating thread at phase
+/// boundaries, while no worker is checkpointing; within a phase the atomic
+/// global checkpoint counter attributes concurrent work to the phase that
+/// opened it.
 class RunGuard {
 public:
   struct Limits {
@@ -128,12 +136,12 @@ public:
   static Limits limitsFromEnv() { return limitsFromEnv(Limits()); }
 
   /// Marks the start of pipeline phase \p Ph; subsequent work (and a
-  /// cutoff, if one happens) is attributed to it.
+  /// cutoff, if one happens) is attributed to it. Coordinator-thread only.
   void beginPhase(RunPhase Ph) {
-    PhaseWorkAcc[static_cast<size_t>(CurPhase)] +=
-        Checkpoints - PhaseStartWork;
+    uint64_t C = Checkpoints.load(std::memory_order_relaxed);
+    PhaseWorkAcc[static_cast<size_t>(CurPhase)] += C - PhaseStartWork;
     CurPhase = Ph;
-    PhaseStartWork = Checkpoints;
+    PhaseStartWork = C;
   }
   RunPhase phase() const { return CurPhase; }
 
@@ -141,28 +149,30 @@ public:
   uint64_t workOf(RunPhase Ph) const {
     uint64_t W = PhaseWorkAcc[static_cast<size_t>(Ph)];
     if (Ph == CurPhase)
-      W += Checkpoints - PhaseStartWork;
+      W += Checkpoints.load(std::memory_order_relaxed) - PhaseStartWork;
     return W;
   }
 
   /// One unit of work. Returns true to continue, false once the run is
   /// stopped; cheap enough for per-iteration use in hot loops (deadline
-  /// and memory are polled every PollInterval checkpoints).
+  /// and memory are polled every PollInterval checkpoints). Safe from any
+  /// thread; concurrent callers share one global checkpoint count, so a
+  /// fault-injection limit still trips at the Nth checkpoint overall.
   bool checkpoint() {
-    if (StopFlag.load(std::memory_order_relaxed))
+    if (StopFlag.load(std::memory_order_acquire))
       return false;
-    ++Checkpoints;
-    if (Lim.FailAtCheckpoint != 0 && Checkpoints >= Lim.FailAtCheckpoint)
+    uint64_t C = Checkpoints.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (Lim.FailAtCheckpoint != 0 && C >= Lim.FailAtCheckpoint)
       return stop(CutoffReason::FaultInjected);
     if (CancelFlag.load(std::memory_order_relaxed))
       return stop(CutoffReason::Cancelled);
-    if ((Checkpoints & (PollInterval - 1)) == 0)
+    if ((C & (PollInterval - 1)) == 0)
       return poll();
     return true;
   }
 
   /// True once any limit has tripped (sticky).
-  bool stopped() const { return StopFlag.load(std::memory_order_relaxed); }
+  bool stopped() const { return StopFlag.load(std::memory_order_acquire); }
 
   /// Requests cooperative cancellation; safe from any thread. Takes effect
   /// at the next checkpoint.
@@ -175,9 +185,13 @@ public:
   /// Phase the cutoff happened in (meaningful only when stopped()).
   RunPhase cutoffPhase() const { return CutPhase; }
   /// Total checkpoints passed so far.
-  uint64_t checkpointCount() const { return Checkpoints; }
+  uint64_t checkpointCount() const {
+    return Checkpoints.load(std::memory_order_relaxed);
+  }
   /// Checkpoints passed since the current phase began.
-  uint64_t phaseWork() const { return Checkpoints - PhaseStartWork; }
+  uint64_t phaseWork() const {
+    return Checkpoints.load(std::memory_order_relaxed) - PhaseStartWork;
+  }
   /// Checkpoint index at which the run stopped (0 if still running).
   uint64_t workAtCutoff() const { return CutoffAt; }
   /// Milliseconds since the guard was constructed.
@@ -195,12 +209,17 @@ private:
   static constexpr uint64_t PollInterval = 128;
 
   bool stop(CutoffReason R) {
+    // Two-step latch: a relaxed CAS elects the winner, which records the
+    // cutoff details and only then publishes StopFlag with release order,
+    // so any thread observing stopped() also observes Reason/CutPhase/
+    // CutoffAt.
     bool Expected = false;
-    if (StopFlag.compare_exchange_strong(Expected, true,
-                                         std::memory_order_relaxed)) {
+    if (StopClaim.compare_exchange_strong(Expected, true,
+                                          std::memory_order_relaxed)) {
       Reason = R;
       CutPhase = CurPhase;
-      CutoffAt = Checkpoints;
+      CutoffAt = Checkpoints.load(std::memory_order_relaxed);
+      StopFlag.store(true, std::memory_order_release);
     }
     return false;
   }
@@ -218,13 +237,14 @@ private:
 
   Limits Lim;
   Timer T;
-  uint64_t Checkpoints = 0;
+  std::atomic<uint64_t> Checkpoints{0};
   uint64_t PhaseStartWork = 0;
   uint64_t PhaseWorkAcc[5] = {0, 0, 0, 0, 0};
   uint64_t CutoffAt = 0;
   RunPhase CurPhase = RunPhase::PointerAnalysis;
   RunPhase CutPhase = RunPhase::PointerAnalysis;
   CutoffReason Reason = CutoffReason::None;
+  std::atomic<bool> StopClaim{false};
   std::atomic<bool> StopFlag{false};
   std::atomic<bool> CancelFlag{false};
 };

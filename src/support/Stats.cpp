@@ -6,10 +6,10 @@ using namespace taj;
 
 std::string Stats::toString() const {
   std::string Out;
-  for (const auto &[Name, Value] : Counters) {
+  for (const auto &[Name, H] : Index) {
     Out += Name;
     Out += '=';
-    Out += std::to_string(Value);
+    Out += std::to_string(Slots[H]);
     Out += '\n';
   }
   return Out;

@@ -8,37 +8,72 @@
 /// Lightweight statistics counters, a wall-clock timer, and the Budget
 /// object used by the bounded-analysis techniques of TAJ Section 6.
 ///
+/// Counters are handle-based: a name is interned once into a dense handle
+/// (a slot index), and increments through the handle are lock-free atomic
+/// adds. Hot loops pre-resolve their handles up front instead of paying a
+/// string-keyed map lookup per increment; the string-keyed add() remains
+/// for cold paths. Interning handles is NOT safe concurrently with
+/// increments — resolve every handle before fanning work out to threads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TAJ_SUPPORT_STATS_H
 #define TAJ_SUPPORT_STATS_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace taj {
 
-/// Named counters collected during an analysis run.
+/// Named counters collected during an analysis run. Increments through a
+/// pre-interned handle are thread-safe (relaxed atomic adds); everything
+/// else (interning, reading, copying) must be quiescent.
 class Stats {
 public:
-  /// Adds \p Delta to counter \p Name.
+  /// Dense counter handle (slot index).
+  using Handle = uint32_t;
+
+  /// Interns \p Name, returning its handle. Idempotent. Not thread-safe;
+  /// resolve handles before any concurrent addTo().
+  Handle handle(const std::string &Name) {
+    auto It = Index.find(Name);
+    if (It != Index.end())
+      return It->second;
+    Handle H = static_cast<Handle>(Slots.size());
+    Slots.push_back(0);
+    Index.emplace(Name, H);
+    return H;
+  }
+
+  /// Adds \p Delta to the counter behind \p H. Thread-safe for handles
+  /// interned before the concurrent phase began.
+  void addTo(Handle H, uint64_t Delta = 1) {
+    std::atomic_ref<uint64_t>(Slots[H]).fetch_add(Delta,
+                                                  std::memory_order_relaxed);
+  }
+
+  /// Adds \p Delta to counter \p Name (cold-path convenience; interns).
   void add(const std::string &Name, uint64_t Delta = 1) {
-    Counters[Name] += Delta;
+    addTo(handle(Name), Delta);
   }
 
   /// Returns the value of counter \p Name (0 if never touched).
   uint64_t get(const std::string &Name) const {
-    auto It = Counters.find(Name);
-    return It == Counters.end() ? 0 : It->second;
+    auto It = Index.find(Name);
+    return It == Index.end() ? 0 : Slots[It->second];
   }
 
-  /// Renders all counters as "name=value" lines.
+  /// Renders all counters as "name=value" lines (sorted by name).
   std::string toString() const;
 
 private:
-  std::map<std::string, uint64_t> Counters;
+  /// Name -> slot, ordered so toString() stays deterministic.
+  std::map<std::string, Handle> Index;
+  std::vector<uint64_t> Slots;
 };
 
 /// Wall-clock timer with millisecond resolution.

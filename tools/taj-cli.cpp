@@ -9,6 +9,8 @@
 //   --budget=<n>          call-graph node budget (0 = unbounded)
 //   --max-flow-length=<n> drop flows longer than n
 //   --nested-depth=<n>    taint-carrier field-dereference bound
+//   --threads=<n>         worker threads for slicing (0 = auto, default;
+//                         output is byte-identical at every thread count)
 //   --deadline-ms=<n>     wall-clock deadline for the analysis run
 //   --max-memory-mb=<n>   resident-memory ceiling for the analysis run
 //   --fail-at=<n>         fault injection: trip the guard at checkpoint n
@@ -17,7 +19,8 @@
 //   --stats               print analysis statistics
 //
 // The governance knobs are also readable from the environment
-// (TAJ_DEADLINE_MS, TAJ_MAX_MEMORY_MB, TAJ_FAIL_AT); explicit flags win.
+// (TAJ_DEADLINE_MS, TAJ_MAX_MEMORY_MB, TAJ_FAIL_AT); the thread count from
+// TAJ_THREADS. Explicit flags win.
 //
 // Exit codes (the documented contract):
 //   0  clean: the analysis ran to completion (issues, if any, printed)
@@ -56,7 +59,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: taj-cli [--config=NAME] [--budget=N] [--max-flow-length=N]\n"
-      "               [--nested-depth=N] [--deadline-ms=N]\n"
+      "               [--nested-depth=N] [--threads=N] [--deadline-ms=N]\n"
       "               [--max-memory-mb=N] [--fail-at=N] [--raw] [--dump-ir]\n"
       "               [--stats] file.taj [more.taj ...]\n");
 }
@@ -104,6 +107,7 @@ bool parseNum(const char *Flag, const char *Text, double &Out) {
 int main(int Argc, char **Argv) {
   std::string ConfigName = "hybrid";
   uint32_t Budget = 0, MaxLen = 0, NestedDepth = 32;
+  uint32_t Threads = 0; // 0 = auto (TAJ_THREADS, then hardware concurrency)
   double DeadlineMs = 0;
   uint64_t MaxMemoryMb = 0, FailAt = 0;
   bool Raw = false, DumpIr = false, ShowStats = false;
@@ -119,7 +123,12 @@ int main(int Argc, char **Argv) {
       MaxLen = static_cast<uint32_t>(std::atoi(A + 18));
     else if (std::strncmp(A, "--nested-depth=", 15) == 0)
       NestedDepth = static_cast<uint32_t>(std::atoi(A + 15));
-    else if (std::strncmp(A, "--deadline-ms=", 14) == 0) {
+    else if (std::strncmp(A, "--threads=", 10) == 0) {
+      double V;
+      if (!parseNum("--threads", A + 10, V))
+        return ExitError;
+      Threads = static_cast<uint32_t>(V);
+    } else if (std::strncmp(A, "--deadline-ms=", 14) == 0) {
       if (!parseNum("--deadline-ms", A + 14, DeadlineMs))
         return ExitError;
     } else if (std::strncmp(A, "--max-memory-mb=", 16) == 0) {
@@ -206,6 +215,7 @@ int main(int Argc, char **Argv) {
   if (MaxLen)
     C.MaxFlowLength = MaxLen;
   C.NestedTaintDepth = NestedDepth;
+  C.Threads = Threads; // 0 defers to TAJ_THREADS / hardware concurrency
   // Explicit flags win over the TAJ_* environment (TaintAnalysis overlays
   // the environment only onto unset limits, since flags default to 0 the
   // overlay applies exactly when no flag was given).
