@@ -7,10 +7,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
+#include "persist/Cache.h"
 #include "sdg/SDG.h"
 #include "slicer/Slicer.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
 
 using namespace taj;
 
@@ -102,6 +106,42 @@ void BM_SdgConstruction(benchmark::State &State) {
   State.SetLabel(Spec.Name);
 }
 BENCHMARK(BM_SdgConstruction)->DenseRange(0, 4);
+
+/// End-to-end analysis with the persistent artifact cache: the /0 row runs
+/// uncached (cold), the /1 row against a prefilled cache (warm: the
+/// points-to solution and SDG restore from disk instead of being computed).
+/// The warm/cold ratio is the headline number of the warm-start feature.
+void BM_ColdVsWarmAnalysis(benchmark::State &State) {
+  const AppSpec &Spec = appByIndex(4); // SBM, the largest app
+  const bool Warm = State.range(0) != 0;
+  GeneratedApp App = generateApp(Spec);
+
+  char DirBuf[] = "/tmp/taj-bench-cache-XXXXXX";
+  const char *Dir = ::mkdtemp(DirBuf);
+  auto MakeConfig = [&](persist::ArtifactCache *Cache) {
+    AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+    C.Cache = Cache;
+    C.InputFingerprint = std::string("bench:") + Spec.Name;
+    return C;
+  };
+  persist::ArtifactCache Cache(Dir ? Dir : "");
+  if (Warm) {
+    // Prefill so every timed iteration restores from disk.
+    TaintAnalysis TA(*App.P, MakeConfig(&Cache));
+    benchmark::DoNotOptimize(TA.run({App.Root}).Issues.size());
+  }
+  for (auto _ : State) {
+    TaintAnalysis TA(*App.P, MakeConfig(Warm ? &Cache : nullptr));
+    AnalysisResult R = TA.run({App.Root});
+    benchmark::DoNotOptimize(R.Issues.size());
+  }
+  State.SetLabel(Spec.Name + (Warm ? "/warm" : "/cold"));
+  if (Dir) {
+    std::error_code Ec;
+    std::filesystem::remove_all(Dir, Ec);
+  }
+}
+BENCHMARK(BM_ColdVsWarmAnalysis)->Arg(0)->Arg(1);
 
 void BM_Generation(benchmark::State &State) {
   const AppSpec &Spec = appByIndex(State.range(0));

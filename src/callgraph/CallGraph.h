@@ -28,6 +28,10 @@ namespace taj {
 
 class RunGuard;
 
+namespace persist {
+struct Access;
+}
+
 /// One call-graph node.
 struct CGNode {
   MethodId M = InvalidId;
@@ -92,6 +96,10 @@ public:
   std::string toDot(const Program &P) const;
 
 private:
+  /// Serialization (persist/Serialize.cpp) snapshots and restores the
+  /// post-solve state, including the per-site callee insertion order.
+  friend struct persist::Access;
+
   std::vector<CGNode> Nodes;
   std::vector<std::vector<CGEdge>> Out;
   std::vector<std::vector<CGNodeId>> In;

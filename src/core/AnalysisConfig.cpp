@@ -2,6 +2,8 @@
 
 #include "core/AnalysisConfig.h"
 
+#include <algorithm>
+
 using namespace taj;
 
 PointsToOptions AnalysisConfig::pointsToOptions() const {
@@ -20,6 +22,36 @@ RunGuard::Limits AnalysisConfig::guardLimits() const {
   L.MaxMemoryBytes = MaxMemoryMb * 1024 * 1024;
   L.FailAtCheckpoint = FailAtCheckpoint;
   return L;
+}
+
+std::string AnalysisConfig::pointsToFingerprint() const {
+  std::string S = "pts:prio=" + std::to_string(Prioritized) +
+                  ";maxcg=" + std::to_string(MaxCallGraphNodes) +
+                  ";nowl=" + std::to_string(ExcludeWhitelisted);
+  // Deployment bindings live in unordered maps; sort for a canonical form.
+  std::vector<std::pair<std::string, ClassId>> Jndi(JndiBindings.begin(),
+                                                    JndiBindings.end());
+  std::sort(Jndi.begin(), Jndi.end());
+  S += ";jndi=";
+  for (const auto &[Name, Cls] : Jndi)
+    S += Name + "->" + std::to_string(Cls) + ",";
+  std::vector<std::pair<ClassId, ClassId>> Ejb(EjbHomeToBean.begin(),
+                                               EjbHomeToBean.end());
+  std::sort(Ejb.begin(), Ejb.end());
+  S += ";ejb=";
+  for (const auto &[Home, Bean] : Ejb)
+    S += std::to_string(Home) + "->" + std::to_string(Bean) + ",";
+  return S;
+}
+
+std::string AnalysisConfig::sdgFingerprint() const {
+  std::string S = pointsToFingerprint() +
+                  "|sdg:slicer=" + std::to_string(static_cast<int>(Slicer)) +
+                  ";exc=" + std::to_string(ModelExceptionSources) +
+                  ";nested=" + std::to_string(NestedTaintDepth);
+  if (Slicer == SlicerKind::CS)
+    S += ";chan=" + std::to_string(CsChanBudget);
+  return S;
 }
 
 SlicerOptions AnalysisConfig::slicerOptions() const {

@@ -24,6 +24,10 @@
 
 namespace taj {
 
+namespace persist {
+class ArtifactCache;
+}
+
 /// Which slicing algorithm runs on top of the pointer analysis.
 enum class SlicerKind : uint8_t { Hybrid, CS, CI };
 
@@ -79,6 +83,29 @@ struct AnalysisConfig {
   /// Deployment-descriptor bindings (§4.2.2), forwarded to the solver.
   std::unordered_map<std::string, ClassId> JndiBindings;
   std::unordered_map<ClassId, ClassId> EjbHomeToBean;
+
+  //===--------------------------------------------------------------------===//
+  // Artifact cache (persist/Cache.h)
+  //===--------------------------------------------------------------------===//
+
+  /// Optional artifact cache for warm-starting the points-to and SDG
+  /// phases. Not owned; must outlive the run. Ignored unless
+  /// InputFingerprint is also set.
+  persist::ArtifactCache *Cache = nullptr;
+  /// Fingerprint of the analyzed input (e.g. hex FNV of the source bytes),
+  /// composed into every cache key. Empty disables caching for the run.
+  std::string InputFingerprint;
+
+  /// Canonical encoding of the config fields that shape the points-to
+  /// solution (priority order, call-graph budget, whitelist exclusion,
+  /// deployment bindings). Part of the pts and sdg cache keys.
+  std::string pointsToFingerprint() const;
+  /// Canonical encoding of the fields that additionally shape the SDG +
+  /// heap-edge bundle (slicer kind, exception modeling, nested-taint
+  /// depth, CS channel budget). Pure slicing bounds (flow length, heap
+  /// transitions, threads) are deliberately excluded so those runs reuse
+  /// the SDG prefix.
+  std::string sdgFingerprint() const;
 
   PointsToOptions pointsToOptions() const;
   SlicerOptions slicerOptions() const;

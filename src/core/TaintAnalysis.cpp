@@ -2,6 +2,8 @@
 
 #include "core/TaintAnalysis.h"
 
+#include "persist/Cache.h"
+
 using namespace taj;
 
 TaintAnalysis::TaintAnalysis(const Program &P, AnalysisConfig Config)
@@ -30,15 +32,68 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
 
   // Phase 1: pointer analysis and call-graph construction (§3.1).
   const_cast<Program &>(P).indexStatements();
+
+  // Artifact cache wiring: active only with a usable cache, a non-empty
+  // input fingerprint, and no fault injection (an injected cutoff is a
+  // test scenario whose truncation point must not be masked by a warm
+  // start). Keys cover the input bytes, the phase-relevant config fields
+  // and the format version, so any of those changing misses cleanly.
+  persist::ArtifactCache *Cache = Config.Cache;
+  const bool CacheOn = Cache && Cache->enabled() &&
+                       !Config.InputFingerprint.empty() &&
+                       G.limits().FailAtCheckpoint == 0;
+  std::string PtsKey, SdgKey;
+  // Counter baselines, so this run's RunStats carries per-run deltas (a
+  // shared batch cache accumulates across runs; summing the deltas of N
+  // runs then reproduces the lifetime totals).
+  uint64_t Hit0 = 0, Miss0 = 0, Store0 = 0, Evict0 = 0, Corrupt0 = 0;
+  if (Cache) {
+    Hit0 = Cache->hits();
+    Miss0 = Cache->misses();
+    Store0 = Cache->stores();
+    Evict0 = Cache->evictions();
+    Corrupt0 = Cache->corruptions();
+  }
+  if (CacheOn) {
+    PtsKey = persist::ArtifactCache::makeKey("pts", Config.InputFingerprint,
+                                             Config.pointsToFingerprint());
+    SdgKey = persist::ArtifactCache::makeKey("sdg", Config.InputFingerprint,
+                                             Config.sdgFingerprint());
+  }
+
   G.beginPhase(RunPhase::PointerAnalysis);
   PointsToOptions PO = Config.pointsToOptions();
   PO.Guard = &G;
   Solver = std::make_unique<PointsToSolver>(P, CHA, PO);
-  try {
-    Solver->solve(Roots);
-  } catch (...) {
-    // Unexpected failure (e.g. bad_alloc): degrade instead of crashing.
-    G.markInternalError();
+  bool PtsWarm = false;
+  if (CacheOn) {
+    if (std::optional<persist::LoadedPayload> Payload =
+            Cache->load(PtsKey, persist::ArtifactKind::PointsTo)) {
+      persist::Reader R(Payload->data(), Payload->size());
+      PtsWarm = persist::Access::restoreSolver(*Solver, R);
+      if (!PtsWarm) {
+        Cache->noteRestoreFailure(PtsKey);
+        // A failed restore may leave partial tables; recreate the solver
+        // so the cold path starts pristine.
+        Solver = std::make_unique<PointsToSolver>(P, CHA, PO);
+      }
+    }
+  }
+  if (!PtsWarm) {
+    try {
+      Solver->solve(Roots);
+    } catch (...) {
+      // Unexpected failure (e.g. bad_alloc): degrade instead of crashing.
+      G.markInternalError();
+    }
+    // Store only clean solutions: a governance stop is nondeterministic
+    // and a node-budget truncation alters the degraded-run banner's work
+    // counts, so neither may be replayed from cache.
+    if (CacheOn && !G.stopped() && !Solver->budgetExhausted()) {
+      persist::Writer W;
+      persist::Access::serializeSolver(*Solver, W);
+      Cache->store(PtsKey, persist::ArtifactKind::PointsTo, W.bytes());
+    }
   }
   Out.BudgetExhausted = Solver->budgetExhausted();
   Out.CgNodesProcessed = Solver->callGraph().numProcessed();
@@ -61,6 +116,10 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   } else {
     SlicerOptions SLO = Config.slicerOptions();
     SLO.Guard = &G;
+    if (CacheOn) {
+      SLO.Cache = Cache;
+      SLO.CacheKey = SdgKey;
+    }
     SliceRunResult SR;
     try {
       switch (Config.Slicer) {
@@ -102,6 +161,13 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   }
 
   G.exportStats(Out.RunStats);
+  if (Cache) {
+    Out.RunStats.add("persist.hit", Cache->hits() - Hit0);
+    Out.RunStats.add("persist.miss", Cache->misses() - Miss0);
+    Out.RunStats.add("persist.store", Cache->stores() - Store0);
+    Out.RunStats.add("persist.evict", Cache->evictions() - Evict0);
+    Out.RunStats.add("persist.corrupt", Cache->corruptions() - Corrupt0);
+  }
   Out.Millis = T.elapsedMs();
   return Out;
 }

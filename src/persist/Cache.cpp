@@ -1,0 +1,248 @@
+//===- persist/Cache.cpp - Content-addressed artifact cache ----*- C++ -*-===//
+
+#include "persist/Cache.h"
+
+#include "support/RunGuard.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+using namespace taj;
+using namespace taj::persist;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *EntrySuffix = ".tajc";
+
+void diag(const std::string &What, const std::string &Why) {
+  std::fprintf(stderr, "taj-persist: %s: %s; recomputing cold\n", What.c_str(),
+               Why.c_str());
+}
+
+} // namespace
+
+ArtifactCache::ArtifactCache(std::string Dir, uint64_t MaxBytes)
+    : Dir(std::move(Dir)), MaxBytes(MaxBytes) {
+  std::error_code Ec;
+  fs::create_directories(this->Dir, Ec);
+  Enabled = !Ec && fs::is_directory(this->Dir, Ec) && !Ec;
+  if (!Enabled)
+    diag("cache directory '" + this->Dir + "'",
+         Ec ? Ec.message() : "not a directory");
+}
+
+std::string ArtifactCache::makeKey(const char *Phase,
+                                   const std::string &InputFp,
+                                   const std::string &ConfigFp) {
+  uint64_t H = fnv1a(InputFp.data(), InputFp.size());
+  H = fnv1a("|", 1, H);
+  H = fnv1a(ConfigFp.data(), ConfigFp.size(), H);
+  H = fnv1a("|", 1, H);
+  uint32_t V = FormatVersion;
+  H = fnv1a(&V, sizeof(V), H);
+  char Hex[17];
+  std::snprintf(Hex, sizeof(Hex), "%016llx",
+                static_cast<unsigned long long>(H));
+  return std::string(Phase) + "-" + Hex;
+}
+
+std::string ArtifactCache::pathFor(const std::string &Key) const {
+  return Dir + "/" + Key + EntrySuffix;
+}
+
+std::optional<LoadedPayload> ArtifactCache::load(const std::string &Key,
+                                                 ArtifactKind Kind) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Enabled) {
+    ++Misses;
+    return std::nullopt;
+  }
+  const std::string Path = pathFor(Key);
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  if (!In) {
+    ++Misses;
+    return std::nullopt;
+  }
+  const std::streamoff Size = In.tellg();
+  In.seekg(0);
+  std::vector<uint8_t> Record(Size > 0 ? static_cast<size_t>(Size) : 0);
+  if (!Record.empty())
+    In.read(reinterpret_cast<char *>(Record.data()),
+            static_cast<std::streamsize>(Record.size()));
+  if (In.bad() || In.gcount() != static_cast<std::streamsize>(Record.size())) {
+    ++Corrupt;
+    diag("cache entry " + Key, "read failed");
+    std::error_code Ec;
+    fs::remove(Path, Ec);
+    return std::nullopt;
+  }
+  const uint8_t *Payload = nullptr;
+  size_t PayloadLen = 0;
+  std::string Err;
+  if (!unwrapRecord(Record, Kind, Payload, PayloadLen, Err)) {
+    ++Corrupt;
+    diag("cache entry " + Key, Err);
+    std::error_code Ec;
+    fs::remove(Path, Ec);
+    return std::nullopt;
+  }
+  ++Hits;
+  // Refresh the LRU position so a warm working set survives eviction.
+  std::error_code Ec;
+  fs::last_write_time(Path, fs::file_time_type::clock::now(), Ec);
+  const size_t Offset = static_cast<size_t>(Payload - Record.data());
+  return LoadedPayload(std::move(Record), Offset, PayloadLen);
+}
+
+void ArtifactCache::store(const std::string &Key, ArtifactKind Kind,
+                          const std::vector<uint8_t> &Payload) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Enabled)
+    return;
+  std::vector<uint8_t> Record = wrapRecord(Kind, Payload);
+  const std::string Path = pathFor(Key);
+  const std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out ||
+        !Out.write(reinterpret_cast<const char *>(Record.data()),
+                   static_cast<std::streamsize>(Record.size()))) {
+      diag("cache store " + Key, "write failed");
+      std::error_code Ec;
+      fs::remove(Tmp, Ec);
+      return;
+    }
+  }
+  std::error_code Ec;
+  fs::rename(Tmp, Path, Ec);
+  if (Ec) {
+    diag("cache store " + Key, Ec.message());
+    fs::remove(Tmp, Ec);
+    return;
+  }
+  ++Stores;
+  evictToCap();
+}
+
+void ArtifactCache::noteRestoreFailure(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Corrupt;
+  diag("cache entry " + Key, "structural restore failed");
+  std::error_code Ec;
+  fs::remove(pathFor(Key), Ec);
+}
+
+void ArtifactCache::evictToCap() {
+  if (MaxBytes == 0)
+    return;
+  struct Entry {
+    fs::path Path;
+    uint64_t Size;
+    fs::file_time_type MTime;
+  };
+  std::vector<Entry> Entries;
+  uint64_t Total = 0;
+  std::error_code Ec;
+  for (const auto &DE : fs::directory_iterator(Dir, Ec)) {
+    if (Ec)
+      break;
+    const fs::path &P = DE.path();
+    if (P.extension() != EntrySuffix)
+      continue;
+    std::error_code E2;
+    uint64_t Size = fs::file_size(P, E2);
+    if (E2)
+      continue;
+    fs::file_time_type MT = fs::last_write_time(P, E2);
+    if (E2)
+      continue;
+    Entries.push_back({P, Size, MT});
+    Total += Size;
+  }
+  if (Total <= MaxBytes)
+    return;
+  // Oldest first; ties (coarse mtime clocks) broken by name so eviction
+  // order is deterministic.
+  std::sort(Entries.begin(), Entries.end(), [](const Entry &A, const Entry &B) {
+    if (A.MTime != B.MTime)
+      return A.MTime < B.MTime;
+    return A.Path.native() < B.Path.native();
+  });
+  for (const Entry &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    std::error_code E2;
+    if (fs::remove(E.Path, E2) && !E2) {
+      Total -= E.Size;
+      ++Evictions;
+    }
+  }
+}
+
+void ArtifactCache::exportStats(Stats &S) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  S.add("persist.hit", Hits);
+  S.add("persist.miss", Misses);
+  S.add("persist.store", Stores);
+  S.add("persist.evict", Evictions);
+  S.add("persist.corrupt", Corrupt);
+}
+
+//===----------------------------------------------------------------------===//
+// Phase-boundary hook: SDG + heap edges
+//===----------------------------------------------------------------------===//
+
+SdgArtifacts persist::loadOrBuildSdg(const Program &P,
+                                     const ClassHierarchy &CHA,
+                                     const PointsToSolver &Solver,
+                                     const SDGOptions &SO, uint32_t NestedDepth,
+                                     ArtifactCache *Cache,
+                                     const std::string &Key) {
+  SdgArtifacts A;
+  RunGuard *Guard = SO.Guard;
+  const bool UseCache = Cache && Cache->enabled() && !Key.empty();
+
+  if (UseCache) {
+    if (std::optional<LoadedPayload> Payload =
+            Cache->load(Key, ArtifactKind::Sdg)) {
+      // The heap graph is cheap and deterministic; rebuild it live so the
+      // restored HeapEdges can bind a valid reference.
+      A.HG = std::make_unique<HeapGraph>(Solver);
+      Reader R(Payload->data(), Payload->size());
+      if (Access::restoreSdg(A.G, A.HE, P, Solver, *A.HG, SO, NestedDepth,
+                             R)) {
+        A.FromCache = true;
+        return A;
+      }
+      Cache->noteRestoreFailure(Key);
+      A.G.reset();
+      A.HE.reset();
+      A.HG.reset();
+    }
+  }
+
+  // Cold path: exactly the construction sequence the slicers always ran.
+  A.G = std::make_unique<SDG>(P, CHA, Solver, SO);
+  if (!A.G->chanBudgetExceeded()) {
+    A.HG = std::make_unique<HeapGraph>(Solver);
+    A.HE = std::make_unique<HeapEdges>(P, *A.G, Solver, *A.HG, NestedDepth,
+                                       Guard);
+  }
+
+  // Store only artifacts from clean builds: a governance stop (deadline,
+  // memory, fault injection) truncates nondeterministically, and a CS
+  // channel-budget overflow changes the degraded-run banner's work counts,
+  // so neither may be replayed from cache.
+  if (UseCache && (!Guard || !Guard->stopped()) && !A.G->chanBudgetExceeded()) {
+    Writer W;
+    Access::serializeSdg(*A.G, A.HE.get(), W);
+    Cache->store(Key, ArtifactKind::Sdg, W.bytes());
+  }
+  return A;
+}

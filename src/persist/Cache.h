@@ -1,0 +1,139 @@
+//===- persist/Cache.h - Content-addressed artifact cache ------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-disk content-addressed cache of analysis artifacts. Entries are keyed
+/// by a fingerprint of (input file bytes, the AnalysisConfig fields that
+/// affect the phase, format version) and stored per phase — "ir", "pts",
+/// "sdg" — so a config change that only affects slicing still reuses the
+/// points-to/SDG prefix.
+///
+/// Durability contract: the cache is strictly an accelerator. Every load
+/// verifies the record header and checksum; any read error, version or
+/// checksum mismatch, or structural restore failure is counted
+/// (persist.corrupt), logged to stderr, the entry deleted, and the caller
+/// recomputes cold. A cache failure never changes results or exit codes.
+///
+/// Capacity: stores go through a temp-file + rename, then the cache
+/// LRU-evicts (by file mtime, ties broken by name) until the directory is
+/// under the configured byte cap. Loads touch the entry's mtime.
+///
+/// Counters (exported into Stats under persist.*): hit, miss, store,
+/// evict, corrupt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_PERSIST_CACHE_H
+#define TAJ_PERSIST_CACHE_H
+
+#include "persist/Serialize.h"
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace taj {
+
+class ClassHierarchy;
+class Stats;
+
+namespace persist {
+
+/// A verified record payload returned by ArtifactCache::load. Owns the raw
+/// record bytes and exposes the payload window without copying it (the
+/// header prefix is skipped in place).
+class LoadedPayload {
+public:
+  LoadedPayload(std::vector<uint8_t> Record, size_t Offset, size_t Len)
+      : Record(std::move(Record)), Offset(Offset), Len(Len) {}
+
+  const uint8_t *data() const { return Record.data() + Offset; }
+  size_t size() const { return Len; }
+
+private:
+  std::vector<uint8_t> Record;
+  size_t Offset;
+  size_t Len;
+};
+
+/// One on-disk artifact cache rooted at a directory.
+class ArtifactCache {
+public:
+  /// Opens (creating if needed) the cache at \p Dir. \p MaxBytes caps the
+  /// total size of stored entries (0 = uncapped). If the directory cannot
+  /// be created the cache is disabled: loads miss, stores are dropped.
+  explicit ArtifactCache(std::string Dir, uint64_t MaxBytes = 0);
+
+  bool enabled() const { return Enabled; }
+  const std::string &dir() const { return Dir; }
+
+  /// Composes the content address for one phase entry:
+  /// "<phase>-<hex16(fnv(input fp | config fp | format version))>".
+  static std::string makeKey(const char *Phase, const std::string &InputFp,
+                             const std::string &ConfigFp);
+
+  /// Loads the record payload stored under \p Key after verifying the
+  /// record header (magic, version, kind, size, checksum). Returns nullopt
+  /// on miss or on any verification failure (counted, logged, entry
+  /// deleted). A hit refreshes the entry's LRU position.
+  std::optional<LoadedPayload> load(const std::string &Key, ArtifactKind Kind);
+
+  /// Stores \p Payload under \p Key (atomic temp-file + rename), then
+  /// evicts least-recently-used entries down to the byte cap.
+  void store(const std::string &Key, ArtifactKind Kind,
+             const std::vector<uint8_t> &Payload);
+
+  /// Reports that a payload passed record verification but failed
+  /// structural restoration: counted as corrupt, logged, entry deleted.
+  void noteRestoreFailure(const std::string &Key);
+
+  /// Exports persist.hit / persist.miss / persist.store / persist.evict /
+  /// persist.corrupt counters.
+  void exportStats(Stats &S) const;
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t stores() const { return Stores; }
+  uint64_t evictions() const { return Evictions; }
+  uint64_t corruptions() const { return Corrupt; }
+
+private:
+  std::string pathFor(const std::string &Key) const;
+  void dropEntry(const std::string &Key, const std::string &Why);
+  void evictToCap();
+
+  std::string Dir;
+  uint64_t MaxBytes;
+  bool Enabled = false;
+  mutable std::mutex Mu;
+  uint64_t Hits = 0, Misses = 0, Stores = 0, Evictions = 0, Corrupt = 0;
+};
+
+/// The SDG phase bundle a slicer needs: the graph, the heap graph it was
+/// restored/built against, and (unless the CS channel budget tripped) the
+/// materialized heap edges.
+struct SdgArtifacts {
+  std::unique_ptr<SDG> G;
+  std::unique_ptr<HeapGraph> HG;
+  std::unique_ptr<HeapEdges> HE;
+  bool FromCache = false;
+};
+
+/// Phase-boundary load-or-compute hook shared by the three slicers: when
+/// \p Cache holds a valid entry for \p Key, restores the SDG + heap edges;
+/// otherwise builds them cold (byte-identical to the uncached path) and —
+/// if the build completed without a governance stop — stores the result.
+/// HE is null exactly when the CS channel budget was exceeded.
+SdgArtifacts loadOrBuildSdg(const Program &P, const ClassHierarchy &CHA,
+                            const PointsToSolver &Solver, const SDGOptions &SO,
+                            uint32_t NestedDepth, ArtifactCache *Cache,
+                            const std::string &Key);
+
+} // namespace persist
+} // namespace taj
+
+#endif // TAJ_PERSIST_CACHE_H

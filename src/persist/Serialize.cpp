@@ -1,0 +1,963 @@
+//===- persist/Serialize.cpp - Artifact encoding/restoration ---*- C++ -*-===//
+
+#include "persist/Serialize.h"
+
+#include <algorithm>
+
+using namespace taj;
+using namespace taj::persist;
+
+uint64_t persist::fnv1a(const void *Data, size_t N, uint64_t Seed) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = Seed;
+  for (size_t K = 0; K < N; ++K) {
+    H ^= P[K];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+uint64_t persist::fnv1aWords(const void *Data, size_t N) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = 0xcbf29ce484222325ull;
+  size_t K = 0;
+  for (; K + 8 <= N; K += 8) {
+    // Little-endian word assembly keeps the digest host-independent.
+    uint64_t W = 0;
+    for (int B = 0; B < 8; ++B)
+      W |= static_cast<uint64_t>(P[K + B]) << (8 * B);
+    H ^= W;
+    H *= 0x100000001b3ull;
+  }
+  for (; K < N; ++K) {
+    H ^= P[K];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+std::vector<uint8_t> persist::wrapRecord(ArtifactKind Kind,
+                                         const std::vector<uint8_t> &Payload) {
+  Writer H;
+  H.u32(RecordMagic);
+  H.u32(FormatVersion);
+  H.u32(static_cast<uint32_t>(Kind));
+  H.u32(0); // reserved
+  H.u64(Payload.size());
+  H.u64(fnv1aWords(Payload.data(), Payload.size()));
+  std::vector<uint8_t> Out = H.bytes();
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  return Out;
+}
+
+bool persist::unwrapRecord(const std::vector<uint8_t> &Record,
+                           ArtifactKind Expect, const uint8_t *&Payload,
+                           size_t &PayloadLen, std::string &Err) {
+  constexpr size_t HeaderLen = 4 * 4 + 2 * 8;
+  if (Record.size() < HeaderLen) {
+    Err = "record shorter than header";
+    return false;
+  }
+  Reader R(Record.data(), Record.size());
+  uint32_t Magic = R.u32();
+  uint32_t Version = R.u32();
+  uint32_t Kind = R.u32();
+  R.u32(); // reserved
+  uint64_t Size = R.u64();
+  uint64_t Sum = R.u64();
+  if (Magic != RecordMagic) {
+    Err = "bad magic";
+    return false;
+  }
+  if (Version != FormatVersion) {
+    Err = "format version " + std::to_string(Version) + " (expected " +
+          std::to_string(FormatVersion) + ")";
+    return false;
+  }
+  if (Kind != static_cast<uint32_t>(Expect)) {
+    Err = "artifact kind " + std::to_string(Kind) + " (expected " +
+          std::to_string(static_cast<uint32_t>(Expect)) + ")";
+    return false;
+  }
+  if (Size != Record.size() - HeaderLen) {
+    Err = "payload size mismatch";
+    return false;
+  }
+  if (fnv1aWords(Record.data() + HeaderLen, Size) != Sum) {
+    Err = "checksum mismatch";
+    return false;
+  }
+  Payload = Record.data() + HeaderLen;
+  PayloadLen = Size;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Small encoding helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void putU32Vec(Writer &W, const std::vector<uint32_t> &V) {
+  W.u32(static_cast<uint32_t>(V.size()));
+  W.u32Array(V.data(), V.size());
+}
+
+void putI32Vec(Writer &W, const std::vector<int32_t> &V) {
+  W.u32(static_cast<uint32_t>(V.size()));
+  // Signed/unsigned variants share a representation; bytes are identical.
+  W.u32Array(reinterpret_cast<const uint32_t *>(V.data()), V.size());
+}
+
+void putU64Vec(Writer &W, const std::vector<uint64_t> &V) {
+  W.u32(static_cast<uint32_t>(V.size()));
+  W.u64Array(V.data(), V.size());
+}
+
+bool getU32Vec(Reader &R, std::vector<uint32_t> &V) {
+  uint32_t N = R.count(4);
+  V.resize(N);
+  return R.u32Array(V.data(), N) && !R.failed();
+}
+
+bool getI32Vec(Reader &R, std::vector<int32_t> &V) {
+  uint32_t N = R.count(4);
+  V.resize(N);
+  return R.u32Array(reinterpret_cast<uint32_t *>(V.data()), N) && !R.failed();
+}
+
+bool getU64Vec(Reader &R, std::vector<uint64_t> &V) {
+  uint32_t N = R.count(8);
+  V.resize(N);
+  return R.u64Array(V.data(), N) && !R.failed();
+}
+
+/// True when every element of \p V is < \p Bound (InvalidId allowed when
+/// \p AllowInvalid).
+bool allBelow(const std::vector<uint32_t> &V, size_t Bound,
+              bool AllowInvalid = false) {
+  for (uint32_t X : V)
+    if (X >= Bound && !(AllowInvalid && X == InvalidId))
+      return false;
+  return true;
+}
+
+void putType(Writer &W, const Type &T) {
+  W.u8(static_cast<uint8_t>(T.Kind));
+  W.u32(T.Cls);
+}
+
+bool getType(Reader &R, Type &T, size_t NumClasses) {
+  uint8_t K = R.u8();
+  T.Cls = R.u32();
+  if (R.failed() || K > static_cast<uint8_t>(TypeKind::Array))
+    return false;
+  T.Kind = static_cast<TypeKind>(K);
+  if (T.isRefLike() && T.Cls >= NumClasses)
+    return false;
+  return true;
+}
+
+/// Serializes an unordered map<u32, vector<u32>> with keys sorted, so the
+/// encoded bytes are deterministic across runs.
+void putU32VecMap(Writer &W,
+                  const std::unordered_map<uint32_t, std::vector<uint32_t>> &M) {
+  std::vector<uint32_t> Keys;
+  Keys.reserve(M.size());
+  for (const auto &[K, V] : M)
+    Keys.push_back(K);
+  std::sort(Keys.begin(), Keys.end());
+  W.u32(static_cast<uint32_t>(Keys.size()));
+  for (uint32_t K : Keys) {
+    W.u32(K);
+    putU32Vec(W, M.at(K));
+  }
+}
+
+bool getU32VecMap(Reader &R,
+                  std::unordered_map<uint32_t, std::vector<uint32_t>> &M) {
+  uint32_t N = R.count(8);
+  for (uint32_t K = 0; K < N; ++K) {
+    uint32_t Key = R.u32();
+    std::vector<uint32_t> V;
+    if (!getU32Vec(R, V) || M.count(Key))
+      return false;
+    M.emplace(Key, std::move(V));
+  }
+  return !R.failed();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void putInstruction(Writer &W, const Instruction &I) {
+  W.u8(static_cast<uint8_t>(I.Op));
+  W.u8(static_cast<uint8_t>(I.CKind));
+  W.i32(I.Dst);
+  putI32Vec(W, I.Args);
+  W.u32(I.Field);
+  W.u32(I.Cls);
+  W.u32(I.StrLit);
+  W.i64(I.IntLit);
+  W.u32(I.CalleeName);
+  W.i32(I.Target);
+  W.i32(I.Target2);
+  W.u32(I.Line);
+}
+
+bool getInstruction(Reader &R, Instruction &I, size_t NumSyms) {
+  uint8_t Op = R.u8();
+  uint8_t CK = R.u8();
+  if (Op > static_cast<uint8_t>(Opcode::Throw) ||
+      CK > static_cast<uint8_t>(CallKind::Special))
+    return false;
+  I.Op = static_cast<Opcode>(Op);
+  I.CKind = static_cast<CallKind>(CK);
+  I.Dst = R.i32();
+  if (!getI32Vec(R, I.Args))
+    return false;
+  I.Field = R.u32();
+  I.Cls = R.u32();
+  I.StrLit = R.u32();
+  I.IntLit = R.i64();
+  I.CalleeName = R.u32();
+  I.Target = R.i32();
+  I.Target2 = R.i32();
+  I.Line = R.u32();
+  if (I.StrLit >= NumSyms || I.CalleeName >= NumSyms)
+    return false;
+  return !R.failed();
+}
+
+} // namespace
+
+void Access::serializeProgram(const Program &P, Writer &W) {
+  // String pool, in symbol order (symbol 0, the empty string, is implicit
+  // in every fresh pool and skipped).
+  W.u32(static_cast<uint32_t>(P.Pool.size()));
+  for (Symbol S = 1; S < P.Pool.size(); ++S)
+    W.str(P.Pool.str(S));
+
+  W.u32(static_cast<uint32_t>(P.Fields.size()));
+  for (const Field &F : P.Fields) {
+    W.u32(F.Name);
+    W.u32(F.Owner);
+    putType(W, F.Ty);
+    W.u8(F.IsStatic);
+  }
+
+  W.u32(static_cast<uint32_t>(P.Classes.size()));
+  for (const Class &C : P.Classes) {
+    W.u32(C.Name);
+    W.u32(C.Id);
+    W.u32(C.Super);
+    W.u32(C.Flags);
+    putU32Vec(W, C.Fields);
+    putU32Vec(W, C.Methods);
+  }
+
+  W.u32(static_cast<uint32_t>(P.Methods.size()));
+  for (const Method &M : P.Methods) {
+    W.u32(M.Name);
+    W.u32(M.Owner);
+    W.u32(M.Id);
+    W.u32(static_cast<uint32_t>(M.ParamTypes.size()));
+    for (const Type &T : M.ParamTypes)
+      putType(W, T);
+    putType(W, M.RetType);
+    uint8_t Flags = (M.IsStatic ? 1 : 0) | (M.InSSA ? 2 : 0) |
+                    (M.IsEntry ? 4 : 0) | (M.IsFactory ? 8 : 0);
+    W.u8(Flags);
+    W.u8(M.SourceRules);
+    W.u8(M.SanitizerRules);
+    W.u8(M.SinkRules);
+    W.u32(M.SinkParamMask);
+    W.u8(static_cast<uint8_t>(M.Intr));
+    W.u32(M.NumParams);
+    W.u32(M.NumValues);
+    W.u32(static_cast<uint32_t>(M.Blocks.size()));
+    for (const BasicBlock &B : M.Blocks) {
+      W.u32(static_cast<uint32_t>(B.Insts.size()));
+      for (const Instruction &I : B.Insts)
+        putInstruction(W, I);
+      putI32Vec(W, B.Succs);
+      putI32Vec(W, B.Preds);
+    }
+  }
+}
+
+bool Access::restoreProgram(Program &P, Reader &R) {
+  if (P.Pool.size() != 1 || !P.Classes.empty() || !P.Methods.empty() ||
+      !P.Fields.empty())
+    return false; // caller must hand us a pristine program
+
+  uint32_t NumSyms = R.count(1);
+  if (R.failed() || NumSyms == 0)
+    return false;
+  for (Symbol S = 1; S < NumSyms; ++S) {
+    std::string Str = R.str();
+    if (R.failed() || P.Pool.intern(Str) != S)
+      return false; // duplicate or out-of-order string
+  }
+
+  uint32_t NumFields = R.count(14);
+  P.Fields.resize(NumFields);
+  for (Field &F : P.Fields) {
+    F.Name = R.u32();
+    F.Owner = R.u32();
+    // The class count is not known yet; ref bounds are checked below.
+    if (!getType(R, F.Ty, static_cast<size_t>(InvalidId) + 1))
+      return false;
+    F.IsStatic = R.u8() != 0;
+    if (F.Name >= NumSyms)
+      return false;
+  }
+
+  uint32_t NumClasses = R.count(24);
+  P.Classes.resize(NumClasses);
+  for (uint32_t K = 0; K < NumClasses; ++K) {
+    Class &C = P.Classes[K];
+    C.Name = R.u32();
+    C.Id = R.u32();
+    C.Super = R.u32();
+    C.Flags = R.u32();
+    if (!getU32Vec(R, C.Fields) || !getU32Vec(R, C.Methods))
+      return false;
+    if (C.Name >= NumSyms || C.Id != K ||
+        (C.Super != InvalidId && C.Super >= NumClasses) ||
+        !allBelow(C.Fields, NumFields))
+      return false;
+  }
+  for (Field &F : P.Fields)
+    if (F.Owner >= NumClasses ||
+        (F.Ty.isRefLike() && F.Ty.Cls >= NumClasses))
+      return false;
+
+  uint32_t NumMethods = R.count(40);
+  P.Methods.resize(NumMethods);
+  for (uint32_t K = 0; K < NumMethods; ++K) {
+    Method &M = P.Methods[K];
+    M.Name = R.u32();
+    M.Owner = R.u32();
+    M.Id = R.u32();
+    uint32_t NumParams = R.count(5);
+    M.ParamTypes.resize(NumParams);
+    for (Type &T : M.ParamTypes)
+      if (!getType(R, T, NumClasses))
+        return false;
+    if (!getType(R, M.RetType, NumClasses))
+      return false;
+    uint8_t Flags = R.u8();
+    M.IsStatic = Flags & 1;
+    M.InSSA = Flags & 2;
+    M.IsEntry = Flags & 4;
+    M.IsFactory = Flags & 8;
+    M.SourceRules = R.u8();
+    M.SanitizerRules = R.u8();
+    M.SinkRules = R.u8();
+    M.SinkParamMask = R.u32();
+    uint8_t Intr = R.u8();
+    if (Intr > static_cast<uint8_t>(Intrinsic::GetMessage))
+      return false;
+    M.Intr = static_cast<Intrinsic>(Intr);
+    M.NumParams = R.u32();
+    M.NumValues = R.u32();
+    uint32_t NumBlocks = R.count(12);
+    M.Blocks.resize(NumBlocks);
+    for (BasicBlock &B : M.Blocks) {
+      uint32_t NumInsts = R.count(46);
+      B.Insts.resize(NumInsts);
+      for (Instruction &I : B.Insts)
+        if (!getInstruction(R, I, NumSyms))
+          return false;
+      if (!getI32Vec(R, B.Succs) || !getI32Vec(R, B.Preds))
+        return false;
+      for (int32_t Succ : B.Succs)
+        if (Succ < 0 || static_cast<uint32_t>(Succ) >= NumBlocks)
+          return false;
+    }
+    if (M.Name >= NumSyms || M.Owner >= NumClasses || M.Id != K ||
+        (Flags & ~0xfu) != 0)
+      return false;
+  }
+  for (const Class &C : P.Classes)
+    if (!allBelow(C.Methods, NumMethods))
+      return false;
+
+  if (R.failed() || !R.atEnd())
+    return false;
+  P.indexStatements();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Points-to solution
+//===----------------------------------------------------------------------===//
+
+void Access::serializeSolver(const PointsToSolver &S, Writer &W) {
+  // Contexts (table index order; index 0 is the implicit Everywhere).
+  const ContextTable &Ctxs = S.Ctxs;
+  W.u32(static_cast<uint32_t>(Ctxs.size()));
+  for (CtxId C = 1; C < Ctxs.size(); ++C) {
+    const ContextData &D = Ctxs.data(C);
+    W.u8(static_cast<uint8_t>(D.Kind));
+    W.u32(D.Data);
+    W.u32(Ctxs.depth(C));
+  }
+
+  // Instance keys / pointer keys, in intern order.
+  W.u32(static_cast<uint32_t>(S.IKs.size()));
+  for (IKId I = 0; I < S.IKs.size(); ++I) {
+    const InstanceKeyData &D = S.IKs.data(I);
+    W.u8(static_cast<uint8_t>(D.Kind));
+    W.u32(D.Site);
+    W.u32(D.Heap);
+    W.u32(D.Cls);
+    W.u32(D.Extra);
+  }
+  W.u32(static_cast<uint32_t>(S.PKs.size()));
+  for (PKId I = 0; I < S.PKs.size(); ++I) {
+    const PointerKeyData &D = S.PKs.data(I);
+    W.u8(static_cast<uint8_t>(D.Kind));
+    W.u32(D.A);
+    W.u32(D.B);
+  }
+
+  // Call graph: nodes, out-edges, in-edges, the context-merged site->callee
+  // projection (whose per-site callee order is edge insertion order and
+  // cannot be reconstructed from the edges — serialized verbatim).
+  // Call-graph nodes and out-edges as struct-of-arrays columns (same
+  // rationale as the SDG tables: bulk column reads on restore).
+  const CallGraph &CG = S.CG;
+  const uint32_t NumCgNodes = static_cast<uint32_t>(CG.Nodes.size());
+  W.u32(NumCgNodes);
+  {
+    std::vector<uint32_t> C32(NumCgNodes);
+    std::vector<uint8_t> C8(NumCgNodes);
+    for (uint32_t I = 0; I < NumCgNodes; ++I)
+      C32[I] = CG.Nodes[I].M;
+    W.u32Array(C32.data(), NumCgNodes);
+    for (uint32_t I = 0; I < NumCgNodes; ++I)
+      C32[I] = CG.Nodes[I].Ctx;
+    W.u32Array(C32.data(), NumCgNodes);
+    for (uint32_t I = 0; I < NumCgNodes; ++I)
+      C8[I] = CG.Nodes[I].ConstraintsAdded;
+    W.raw(C8.data(), NumCgNodes);
+  }
+  {
+    std::vector<uint32_t> Counts(NumCgNodes);
+    size_t Total = 0;
+    for (uint32_t I = 0; I < NumCgNodes; ++I) {
+      Counts[I] = static_cast<uint32_t>(CG.Out[I].size());
+      Total += CG.Out[I].size();
+    }
+    W.u32Array(Counts.data(), NumCgNodes);
+    std::vector<uint32_t> Col;
+    Col.reserve(Total);
+    for (const std::vector<CGEdge> &Edges : CG.Out)
+      for (const CGEdge &E : Edges)
+        Col.push_back(E.Site);
+    W.u32Array(Col.data(), Total);
+    Col.clear();
+    for (const std::vector<CGEdge> &Edges : CG.Out)
+      for (const CGEdge &E : Edges)
+        Col.push_back(E.Callee);
+    W.u32Array(Col.data(), Total);
+  }
+  for (const std::vector<CGNodeId> &Preds : CG.In)
+    putU32Vec(W, Preds);
+  putU32VecMap(W, CG.SiteCallees);
+
+  // Points-to sets (sorted vectors, serialized verbatim).
+  W.u32(static_cast<uint32_t>(S.Pts.size()));
+  for (const std::vector<IKId> &Set : S.Pts)
+    putU32Vec(W, Set);
+
+  putU32VecMap(W, S.Channels);
+  putU32VecMap(W, S.IntrinsicCallees);
+  W.u8(S.BudgetHit);
+}
+
+bool Access::restoreSolver(PointsToSolver &S, Reader &R) {
+  if (S.Solved || S.IKs.size() != 0 || S.PKs.size() != 0 ||
+      S.CG.numNodes() != 0)
+    return false; // must be a freshly constructed solver
+
+  const size_t NumStmts = S.P.numStmts();
+  const size_t NumMethods = S.P.Methods.size();
+  const size_t NumClasses = S.P.Classes.size();
+
+  // Contexts: re-intern in order through the public constructors, checking
+  // that each lands on its original id (the tables are deterministic
+  // interners, so any divergence means corruption).
+  uint32_t NumCtxs = R.count(9);
+  if (R.failed() || NumCtxs == 0)
+    return false;
+  S.Ctxs.reserve(NumCtxs);
+  for (CtxId C = 1; C < NumCtxs; ++C) {
+    uint8_t Kind = R.u8();
+    uint32_t Data = R.u32();
+    uint32_t Depth = R.u32();
+    CtxId Got;
+    if (Kind == static_cast<uint8_t>(ContextKind::CallSite) && Depth == 1)
+      Got = S.Ctxs.callSite(Data);
+    else if (Kind == static_cast<uint8_t>(ContextKind::Receiver) && Depth >= 1)
+      Got = S.Ctxs.receiver(Data, Depth - 1);
+    else
+      return false;
+    if (Got != C || S.Ctxs.depth(C) != Depth)
+      return false;
+  }
+
+  uint32_t NumIKs = R.count(17);
+  S.IKs.reserve(NumIKs);
+  for (IKId I = 0; I < NumIKs; ++I) {
+    InstanceKeyData D;
+    uint8_t Kind = R.u8();
+    if (Kind > static_cast<uint8_t>(IKKind::Singleton))
+      return false;
+    D.Kind = static_cast<IKKind>(Kind);
+    D.Site = R.u32();
+    D.Heap = R.u32();
+    D.Cls = R.u32();
+    D.Extra = R.u32();
+    if (R.failed() || D.Site >= NumStmts || D.Heap >= NumCtxs ||
+        (D.Cls != InvalidId && D.Cls >= NumClasses))
+      return false;
+    if (S.IKs.intern(D) != I)
+      return false;
+  }
+  // Receiver contexts name instance keys; check now that both exist.
+  for (CtxId C = 1; C < NumCtxs; ++C) {
+    const ContextData &D = S.Ctxs.data(C);
+    if (D.Kind == ContextKind::Receiver && D.Data >= NumIKs)
+      return false;
+    if (D.Kind == ContextKind::CallSite && D.Data >= NumStmts)
+      return false;
+  }
+
+  uint32_t NumPKs = R.count(9);
+  S.PKs.reserve(NumPKs);
+  for (PKId I = 0; I < NumPKs; ++I) {
+    PointerKeyData D;
+    uint8_t Kind = R.u8();
+    if (Kind > static_cast<uint8_t>(PKKind::Channel))
+      return false;
+    D.Kind = static_cast<PKKind>(Kind);
+    D.A = R.u32();
+    D.B = R.u32();
+    if (R.failed())
+      return false;
+    switch (D.Kind) {
+    case PKKind::Field:
+    case PKKind::ArrayElem:
+    case PKKind::Channel:
+      if (D.A >= NumIKs)
+        return false;
+      break;
+    case PKKind::Static:
+      if (D.A >= S.P.Fields.size())
+        return false;
+      break;
+    default:
+      break; // Local/Ret reference CG nodes, validated below
+    }
+    if (S.PKs.intern(D) != I)
+      return false;
+  }
+
+  // Call graph.
+  uint32_t NumNodes = R.count(9);
+  S.CG.Nodes.resize(NumNodes);
+  S.CG.Out.resize(NumNodes);
+  S.CG.In.resize(NumNodes);
+  S.CG.NodeMap.reserve(NumNodes);
+  {
+    std::vector<uint32_t> C32(NumNodes);
+    std::vector<uint8_t> C8(NumNodes);
+    if (!R.u32Array(C32.data(), NumNodes))
+      return false;
+    for (CGNodeId N = 0; N < NumNodes; ++N)
+      S.CG.Nodes[N].M = C32[N];
+    if (!R.u32Array(C32.data(), NumNodes))
+      return false;
+    for (CGNodeId N = 0; N < NumNodes; ++N)
+      S.CG.Nodes[N].Ctx = C32[N];
+    if (!R.raw(C8.data(), NumNodes))
+      return false;
+    for (CGNodeId N = 0; N < NumNodes; ++N)
+      S.CG.Nodes[N].ConstraintsAdded = C8[N] != 0;
+  }
+  for (CGNodeId N = 0; N < NumNodes; ++N) {
+    const CGNode &Node = S.CG.Nodes[N];
+    if (Node.M >= NumMethods || Node.Ctx >= NumCtxs)
+      return false;
+    // Rebuild the intern map and per-method index; node creation order is
+    // id order, so ByMethod lists come back in their original order.
+    uint64_t Key = (static_cast<uint64_t>(Node.M) << 32) | Node.Ctx;
+    if (!S.CG.NodeMap.emplace(Key, N).second)
+      return false; // duplicate (method, context) pair
+    S.CG.ByMethod[Node.M].push_back(N);
+    if (Node.ConstraintsAdded)
+      ++S.CG.Processed;
+  }
+  {
+    std::vector<uint32_t> Counts(NumNodes);
+    if (!R.u32Array(Counts.data(), NumNodes))
+      return false;
+    uint64_t Total = 0;
+    for (uint32_t C : Counts)
+      Total += C;
+    // Each edge still needs 8 payload bytes; a corrupt count column cannot
+    // force a huge allocation past this check.
+    if (Total > R.remaining())
+      return false;
+    std::vector<uint32_t> Sites(Total), Callees(Total);
+    if (!R.u32Array(Sites.data(), Total) || !R.u32Array(Callees.data(), Total))
+      return false;
+    size_t Idx = 0;
+    for (CGNodeId N = 0; N < NumNodes; ++N) {
+      S.CG.Out[N].resize(Counts[N]);
+      for (CGEdge &E : S.CG.Out[N]) {
+        E.Site = Sites[Idx];
+        E.Callee = Callees[Idx];
+        ++Idx;
+        if (E.Site >= NumStmts || E.Callee >= NumNodes)
+          return false;
+      }
+    }
+  }
+  for (CGNodeId N = 0; N < NumNodes; ++N)
+    if (!getU32Vec(R, S.CG.In[N]) || !allBelow(S.CG.In[N], NumNodes))
+      return false;
+  {
+    std::unordered_map<uint32_t, std::vector<uint32_t>> Sites;
+    if (!getU32VecMap(R, Sites))
+      return false;
+    for (const auto &[Site, Callees] : Sites)
+      if (Site >= NumStmts || !allBelow(Callees, NumMethods))
+        return false;
+    S.CG.SiteCallees = std::move(Sites);
+  }
+  // Local/Ret pointer keys name call-graph nodes.
+  for (PKId I = 0; I < NumPKs; ++I) {
+    const PointerKeyData &D = S.PKs.data(I);
+    if ((D.Kind == PKKind::Local || D.Kind == PKKind::Ret) && D.A >= NumNodes)
+      return false;
+  }
+
+  uint32_t NumPts = R.count(4);
+  S.Pts.resize(NumPts);
+  for (std::vector<IKId> &Set : S.Pts)
+    if (!getU32Vec(R, Set) || !allBelow(Set, NumIKs))
+      return false;
+
+  if (!getU32VecMap(R, S.Channels))
+    return false;
+  for (const auto &[IK, PKVec] : S.Channels)
+    if (IK >= NumIKs || !allBelow(PKVec, NumPKs))
+      return false;
+  if (!getU32VecMap(R, S.IntrinsicCallees))
+    return false;
+  for (const auto &[Site, Callees] : S.IntrinsicCallees)
+    if (Site >= NumStmts || !allBelow(Callees, NumMethods))
+      return false;
+
+  S.BudgetHit = R.u8() != 0;
+  if (R.failed() || !R.atEnd())
+    return false;
+  S.Solved = true;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// SDG + heap edges
+//===----------------------------------------------------------------------===//
+
+void Access::serializeSdg(const SDG &G, const HeapEdges *HE, Writer &W) {
+  W.u32(static_cast<uint32_t>(G.Owners.size()));
+  for (const SDG::OwnerInfo &O : G.Owners) {
+    W.u32(O.M);
+    W.u32(O.CgNode);
+  }
+
+  // Nodes and edges as struct-of-arrays: one column per field, so restore
+  // reads whole columns through the bulk array codecs instead of many
+  // bounds-checked scalar reads per element (the node/edge tables dominate
+  // warm-load time).
+  const uint32_t NumNodes = static_cast<uint32_t>(G.Nodes.size());
+  W.u32(NumNodes);
+  {
+    std::vector<uint32_t> C32(NumNodes);
+    std::vector<uint8_t> C8(NumNodes);
+    auto Col32 = [&](auto Get) {
+      for (uint32_t I = 0; I < NumNodes; ++I)
+        C32[I] = Get(G.Nodes[I]);
+      W.u32Array(C32.data(), NumNodes);
+    };
+    auto Col8 = [&](auto Get) {
+      for (uint32_t I = 0; I < NumNodes; ++I)
+        C8[I] = Get(G.Nodes[I]);
+      W.raw(C8.data(), NumNodes);
+    };
+    Col8([](const SDGNode &N) { return static_cast<uint8_t>(N.Kind); });
+    Col32([](const SDGNode &N) { return N.Owner; });
+    Col32([](const SDGNode &N) { return N.M; });
+    Col32([](const SDGNode &N) { return N.S; });
+    Col32([](const SDGNode &N) { return N.Index; });
+    Col8([](const SDGNode &N) { return static_cast<uint8_t>(N.Access); });
+    Col32([](const SDGNode &N) { return N.Aux; });
+    Col8([](const SDGNode &N) { return N.SourceMask; });
+    Col8([](const SDGNode &N) { return N.SinkMask; });
+    Col8([](const SDGNode &N) { return N.SanitizeMask; });
+    Col8([](const SDGNode &N) { return static_cast<uint8_t>(N.IsCall); });
+  }
+  {
+    // Per-node out-degree column, then the concatenated target and kind
+    // columns over all edges in node order.
+    std::vector<uint32_t> Counts(NumNodes);
+    size_t Total = 0;
+    for (uint32_t I = 0; I < NumNodes; ++I) {
+      Counts[I] = static_cast<uint32_t>(G.Succs[I].size());
+      Total += G.Succs[I].size();
+    }
+    W.u32Array(Counts.data(), NumNodes);
+    std::vector<uint32_t> Tos;
+    std::vector<uint8_t> Kinds;
+    Tos.reserve(Total);
+    Kinds.reserve(Total);
+    for (const std::vector<SDGEdge> &Edges : G.Succs)
+      for (const SDGEdge &E : Edges) {
+        Tos.push_back(E.To);
+        Kinds.push_back(static_cast<uint8_t>(E.Kind));
+      }
+    W.u32Array(Tos.data(), Total);
+    W.raw(Kinds.data(), Total);
+  }
+
+  // Call sites, sorted by statement node for deterministic bytes.
+  {
+    std::vector<SDGNodeId> Keys;
+    Keys.reserve(G.CallSites.size());
+    for (const auto &[N, CS] : G.CallSites)
+      Keys.push_back(N);
+    std::sort(Keys.begin(), Keys.end());
+    W.u32(static_cast<uint32_t>(Keys.size()));
+    for (SDGNodeId N : Keys) {
+      const CallSiteInfo &CS = G.CallSites.at(N);
+      W.u32(N);
+      W.u32(CS.StmtNode);
+      putU32Vec(W, CS.Targets);
+      putU32Vec(W, CS.ActualIns);
+      putU64Vec(W, CS.ChanSigs);
+      putU32Vec(W, CS.ChanIns);
+      putU32Vec(W, CS.ChanOuts);
+    }
+  }
+
+  // Per-owner channel signature lists (CS only; empty otherwise).
+  {
+    std::vector<SDGOwnerId> Keys;
+    Keys.reserve(G.OwnerChans.size());
+    for (const auto &[O, Sigs] : G.OwnerChans)
+      Keys.push_back(O);
+    std::sort(Keys.begin(), Keys.end());
+    W.u32(static_cast<uint32_t>(Keys.size()));
+    for (SDGOwnerId O : Keys) {
+      W.u32(O);
+      putU64Vec(W, G.OwnerChans.at(O));
+    }
+  }
+
+  putU32Vec(W, G.Stores);
+  putU32Vec(W, G.Loads);
+  putU32Vec(W, G.Sinks);
+  W.u8(G.ChanOOM);
+  W.u64(G.ChanNodes);
+
+  W.u8(HE != nullptr);
+  if (HE) {
+    std::vector<SDGNodeId> Keys;
+    Keys.reserve(HE->Stores.size());
+    for (const auto &[N, Info] : HE->Stores)
+      Keys.push_back(N);
+    std::sort(Keys.begin(), Keys.end());
+    W.u32(static_cast<uint32_t>(Keys.size()));
+    for (SDGNodeId N : Keys) {
+      const HeapEdges::StoreInfo &Info = HE->Stores.at(N);
+      W.u32(N);
+      putU32Vec(W, Info.Loads);
+      putU32Vec(W, Info.CarrierSinks);
+    }
+  }
+}
+
+bool Access::restoreSdg(std::unique_ptr<SDG> &G, std::unique_ptr<HeapEdges> &HE,
+                        const Program &P, const PointsToSolver &Solver,
+                        const HeapGraph &HG, const SDGOptions &Opts,
+                        uint32_t NestedDepth, Reader &R) {
+  G.reset();
+  HE.reset();
+  auto Fail = [&] {
+    G.reset();
+    HE.reset();
+    return false;
+  };
+
+  std::unique_ptr<SDG> Out(new SDG(P, Solver, Opts, SDG::RestoreTag{}));
+  const size_t NumStmts = P.numStmts();
+  const size_t NumMethods = P.Methods.size();
+  const size_t NumCgNodes = Solver.callGraph().numNodes();
+
+  uint32_t NumOwners = R.count(8);
+  Out->Owners.resize(NumOwners);
+  for (SDG::OwnerInfo &O : Out->Owners) {
+    O.M = R.u32();
+    O.CgNode = R.u32();
+    if (R.failed() || O.M >= NumMethods ||
+        (O.CgNode != InvalidId && O.CgNode >= NumCgNodes))
+      return Fail();
+  }
+
+  uint32_t NumNodes = R.count(26);
+  Out->Nodes.resize(NumNodes);
+  {
+    std::vector<uint32_t> C32(NumNodes);
+    std::vector<uint8_t> C8(NumNodes);
+    auto Col32 = [&](auto Set) {
+      if (!R.u32Array(C32.data(), NumNodes))
+        return false;
+      for (uint32_t I = 0; I < NumNodes; ++I)
+        Set(Out->Nodes[I], C32[I]);
+      return true;
+    };
+    auto Col8 = [&](auto Set) {
+      if (!R.raw(C8.data(), NumNodes))
+        return false;
+      for (uint32_t I = 0; I < NumNodes; ++I)
+        Set(Out->Nodes[I], C8[I]);
+      return true;
+    };
+    if (!Col8([](SDGNode &N, uint8_t V) {
+          N.Kind = static_cast<SDGNodeKind>(V);
+        }) ||
+        !Col32([](SDGNode &N, uint32_t V) { N.Owner = V; }) ||
+        !Col32([](SDGNode &N, uint32_t V) { N.M = V; }) ||
+        !Col32([](SDGNode &N, uint32_t V) { N.S = V; }) ||
+        !Col32([](SDGNode &N, uint32_t V) { N.Index = V; }) ||
+        !Col8([](SDGNode &N, uint8_t V) {
+          N.Access = static_cast<HeapAccess>(V);
+        }) ||
+        !Col32([](SDGNode &N, uint32_t V) { N.Aux = V; }) ||
+        !Col8([](SDGNode &N, uint8_t V) { N.SourceMask = V; }) ||
+        !Col8([](SDGNode &N, uint8_t V) { N.SinkMask = V; }) ||
+        !Col8([](SDGNode &N, uint8_t V) { N.SanitizeMask = V; }) ||
+        !Col8([](SDGNode &N, uint8_t V) { N.IsCall = V != 0; }))
+      return Fail();
+    for (const SDGNode &N : Out->Nodes) {
+      if (static_cast<uint8_t>(N.Kind) >
+              static_cast<uint8_t>(SDGNodeKind::ChanActualOut) ||
+          static_cast<uint8_t>(N.Access) >
+              static_cast<uint8_t>(HeapAccess::InvokeArgsRead) ||
+          N.Owner >= NumOwners || N.S >= NumStmts ||
+          (N.M != InvalidId && N.M >= NumMethods) ||
+          (N.Aux != InvalidId && N.Aux >= NumNodes))
+        return Fail();
+    }
+  }
+  Out->Succs.resize(NumNodes);
+  {
+    std::vector<uint32_t> Counts(NumNodes);
+    if (!R.u32Array(Counts.data(), NumNodes))
+      return Fail();
+    uint64_t Total = 0;
+    for (uint32_t C : Counts)
+      Total += C;
+    // Each edge still needs 5 payload bytes, so a corrupt count column
+    // cannot force a huge allocation past this check.
+    if (Total > R.remaining())
+      return Fail();
+    std::vector<uint32_t> Tos(Total);
+    std::vector<uint8_t> Kinds(Total);
+    if (!R.u32Array(Tos.data(), Total) || !R.raw(Kinds.data(), Total))
+      return Fail();
+    size_t Idx = 0;
+    for (uint32_t N = 0; N < NumNodes; ++N) {
+      std::vector<SDGEdge> &Edges = Out->Succs[N];
+      Edges.resize(Counts[N]);
+      for (SDGEdge &E : Edges) {
+        E.To = Tos[Idx];
+        uint8_t Kind = Kinds[Idx];
+        ++Idx;
+        if (E.To >= NumNodes ||
+            Kind > static_cast<uint8_t>(SDGEdgeKind::ParamOut))
+          return Fail();
+        E.Kind = static_cast<SDGEdgeKind>(Kind);
+      }
+    }
+  }
+
+  uint32_t NumCallSites = R.count(28);
+  Out->CallSites.reserve(NumCallSites);
+  for (uint32_t K = 0; K < NumCallSites; ++K) {
+    SDGNodeId Key = R.u32();
+    CallSiteInfo CS;
+    CS.StmtNode = R.u32();
+    if (!getU32Vec(R, CS.Targets) || !getU32Vec(R, CS.ActualIns) ||
+        !getU64Vec(R, CS.ChanSigs) || !getU32Vec(R, CS.ChanIns) ||
+        !getU32Vec(R, CS.ChanOuts))
+      return Fail();
+    if (Key >= NumNodes || CS.StmtNode >= NumNodes ||
+        !allBelow(CS.Targets, NumOwners) ||
+        !allBelow(CS.ActualIns, NumNodes) ||
+        !allBelow(CS.ChanIns, NumNodes) || !allBelow(CS.ChanOuts, NumNodes))
+      return Fail();
+    if (!Out->CallSites.emplace(Key, std::move(CS)).second)
+      return Fail();
+  }
+
+  uint32_t NumOwnerChans = R.count(8);
+  for (uint32_t K = 0; K < NumOwnerChans; ++K) {
+    SDGOwnerId O = R.u32();
+    std::vector<uint64_t> Sigs;
+    if (!getU64Vec(R, Sigs) || O >= NumOwners || Out->OwnerChans.count(O))
+      return Fail();
+    Out->OwnerChans.emplace(O, std::move(Sigs));
+  }
+
+  if (!getU32Vec(R, Out->Stores) || !getU32Vec(R, Out->Loads) ||
+      !getU32Vec(R, Out->Sinks) || !allBelow(Out->Stores, NumNodes) ||
+      !allBelow(Out->Loads, NumNodes) || !allBelow(Out->Sinks, NumNodes))
+    return Fail();
+  Out->ChanOOM = R.u8() != 0;
+  Out->ChanNodes = R.u64();
+
+  bool HasHeapEdges = R.u8() != 0;
+  G = std::move(Out);
+  if (HasHeapEdges) {
+    std::unique_ptr<HeapEdges> E(
+        new HeapEdges(P, *G, Solver, HG, NestedDepth, HeapEdges::RestoreTag{}));
+    uint32_t NumStores = R.count(12);
+    E->Stores.reserve(NumStores);
+    for (uint32_t K = 0; K < NumStores; ++K) {
+      SDGNodeId N = R.u32();
+      HeapEdges::StoreInfo Info;
+      if (!getU32Vec(R, Info.Loads) || !getU32Vec(R, Info.CarrierSinks))
+        return Fail();
+      if (N >= NumNodes || !allBelow(Info.Loads, NumNodes) ||
+          !allBelow(Info.CarrierSinks, NumNodes) || E->Stores.count(N))
+        return Fail();
+      E->Stores.emplace(N, std::move(Info));
+    }
+    HE = std::move(E);
+  }
+
+  if (R.failed() || !R.atEnd())
+    return Fail();
+  return true;
+}

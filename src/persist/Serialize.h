@@ -1,0 +1,282 @@
+//===- persist/Serialize.h - Versioned binary artifact encoding -*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization of the expensive analysis artifacts — the
+/// post-verify `Program`, the points-to solution (contexts, instance and
+/// pointer keys, call graph, points-to sets, channels, intrinsic targets)
+/// and the SDG + heap-edge bundle — so a later run can warm-start from a
+/// content-addressed on-disk cache (persist/Cache.h) instead of
+/// recomputing them.
+///
+/// Encoding rules:
+///  - every scalar is written little-endian, explicitly byte by byte, so
+///    artifacts are portable across hosts of either endianness;
+///  - every record starts with a fixed header: magic "TAJP", the format
+///    version, the artifact kind, the payload size and an FNV-1a checksum
+///    of the payload. unwrapRecord() verifies all of them before a single
+///    payload byte is interpreted;
+///  - the Reader is bounds-checked with a sticky failure flag, and every
+///    vector count is validated against the remaining payload before
+///    allocation, so truncated or bit-flipped records fail cleanly instead
+///    of crashing or over-allocating.
+///
+/// Restoration never trusts partial bytes: each restore*() returns false
+/// on any structural inconsistency (id mismatches, out-of-range enum
+/// values, dangling indices), and callers fall back to cold computation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_PERSIST_SERIALIZE_H
+#define TAJ_PERSIST_SERIALIZE_H
+
+#include "sdg/SDG.h"
+#include "slicer/HeapEdges.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace taj {
+namespace persist {
+
+/// Artifact format version; bump on any encoding change so stale cache
+/// entries are rejected (and recomputed) instead of misread.
+inline constexpr uint32_t FormatVersion = 1;
+
+/// Record magic: "TAJP" little-endian.
+inline constexpr uint32_t RecordMagic = 0x504a4154u;
+
+/// What a record contains (part of the header; mismatches are rejected).
+enum class ArtifactKind : uint32_t {
+  Ir = 1,       ///< Post-parse, post-verify Program.
+  PointsTo = 2, ///< Points-to solution + call graph.
+  Sdg = 3,      ///< SDG + heap-edge bundle for one slicer shape.
+};
+
+/// FNV-1a over \p N bytes (cache-key fingerprinting; chainable via Seed).
+uint64_t fnv1a(const void *Data, size_t N,
+               uint64_t Seed = 0xcbf29ce484222325ull);
+
+/// The record content checksum: FNV-1a folded over little-endian 8-byte
+/// words (trailing bytes folded singly). Word granularity keeps checksum
+/// verification off the warm-load critical path; the digest is fixed by
+/// this definition and part of the on-disk format.
+uint64_t fnv1aWords(const void *Data, size_t N);
+
+/// Little-endian append-only byte sink.
+class Writer {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u32(uint32_t V) {
+    for (int K = 0; K < 4; ++K)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * K)));
+  }
+  void u64(uint64_t V) {
+    for (int K = 0; K < 8; ++K)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * K)));
+  }
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void str(std::string_view S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+  /// Appends \p N 32-bit words, little-endian. On little-endian hosts this
+  /// is one bulk byte copy — the big vectors (points-to sets, edge lists)
+  /// dominate artifact size, so the per-word loop would be the hot spot.
+  void u32Array(const uint32_t *V, size_t N) {
+    if constexpr (std::endian::native == std::endian::little) {
+      const uint8_t *B = reinterpret_cast<const uint8_t *>(V);
+      Buf.insert(Buf.end(), B, B + N * 4);
+    } else {
+      for (size_t K = 0; K < N; ++K)
+        u32(V[K]);
+    }
+  }
+  /// Appends \p N raw bytes.
+  void raw(const uint8_t *V, size_t N) { Buf.insert(Buf.end(), V, V + N); }
+  /// Appends \p N 64-bit words, little-endian (bulk copy where possible).
+  void u64Array(const uint64_t *V, size_t N) {
+    if constexpr (std::endian::native == std::endian::little) {
+      const uint8_t *B = reinterpret_cast<const uint8_t *>(V);
+      Buf.insert(Buf.end(), B, B + N * 8);
+    } else {
+      for (size_t K = 0; K < N; ++K)
+        u64(V[K]);
+    }
+  }
+  const std::vector<uint8_t> &bytes() const { return Buf; }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Little-endian bounds-checked byte source. Any out-of-range read sets a
+/// sticky failure flag and yields zeros; callers check failed() (or the
+/// per-step helpers' returns) before trusting anything.
+class Reader {
+public:
+  Reader(const uint8_t *Data, size_t N) : D(Data), N(N) {}
+
+  bool failed() const { return Fail; }
+  bool atEnd() const { return Fail || Pos == N; }
+  size_t remaining() const { return N - Pos; }
+  void fail() { Fail = true; }
+
+  uint8_t u8() {
+    if (!take(1))
+      return 0;
+    return D[Pos++];
+  }
+  uint32_t u32() {
+    if (!take(4))
+      return 0;
+    uint32_t V = 0;
+    for (int K = 0; K < 4; ++K)
+      V |= static_cast<uint32_t>(D[Pos++]) << (8 * K);
+    return V;
+  }
+  uint64_t u64() {
+    if (!take(8))
+      return 0;
+    uint64_t V = 0;
+    for (int K = 0; K < 8; ++K)
+      V |= static_cast<uint64_t>(D[Pos++]) << (8 * K);
+    return V;
+  }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  std::string str() {
+    uint32_t Len = u32();
+    if (!take(Len))
+      return {};
+    std::string S(reinterpret_cast<const char *>(D + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+
+  /// Reads \p N 32-bit little-endian words into \p V (bounds-checked as
+  /// one block; bulk byte copy on little-endian hosts).
+  bool u32Array(uint32_t *V, size_t N) {
+    if (!take(N * 4))
+      return false;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(V, D + Pos, N * 4);
+      Pos += N * 4;
+    } else {
+      for (size_t K = 0; K < N; ++K)
+        V[K] = u32();
+    }
+    return true;
+  }
+  /// Reads \p N raw bytes into \p V (bounds-checked as one block).
+  bool raw(uint8_t *V, size_t N) {
+    if (!take(N))
+      return false;
+    std::memcpy(V, D + Pos, N);
+    Pos += N;
+    return true;
+  }
+  /// Reads \p N 64-bit little-endian words into \p V.
+  bool u64Array(uint64_t *V, size_t N) {
+    if (!take(N * 8))
+      return false;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(V, D + Pos, N * 8);
+      Pos += N * 8;
+    } else {
+      for (size_t K = 0; K < N; ++K)
+        V[K] = u64();
+    }
+    return true;
+  }
+
+  /// Reads a vector length and validates it against the remaining bytes
+  /// (each element needs at least \p MinElemBytes), so corrupt counts
+  /// cannot trigger huge allocations.
+  uint32_t count(size_t MinElemBytes) {
+    uint64_t C = u32();
+    if (Fail)
+      return 0;
+    if (MinElemBytes != 0 && C * MinElemBytes > remaining()) {
+      Fail = true;
+      return 0;
+    }
+    return static_cast<uint32_t>(C);
+  }
+
+private:
+  bool take(size_t K) {
+    if (Fail || N - Pos < K) {
+      Fail = true;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t *D;
+  size_t N;
+  size_t Pos = 0;
+  bool Fail = false;
+};
+
+/// Frames \p Payload as a record: header (magic, version, kind, payload
+/// size, FNV-1a checksum) followed by the payload bytes.
+std::vector<uint8_t> wrapRecord(ArtifactKind Kind,
+                                const std::vector<uint8_t> &Payload);
+
+/// Validates the header of \p Record and locates the payload. Returns
+/// false — with a human-readable reason in \p Err — on any mismatch
+/// (magic, version, kind, size, checksum); no payload byte is interpreted
+/// before every check passes.
+bool unwrapRecord(const std::vector<uint8_t> &Record, ArtifactKind Expect,
+                  const uint8_t *&Payload, size_t &PayloadLen,
+                  std::string &Err);
+
+/// Serialization/restoration entry points. A single befriended struct
+/// keeps the private-state access of CallGraph / PointsToSolver / SDG /
+/// HeapEdges in one audited place.
+struct Access {
+  /// Encodes a post-verify program (string pool in symbol order, classes,
+  /// fields, methods with full bodies).
+  static void serializeProgram(const Program &P, Writer &W);
+  /// Restores into \p P, which must be default-constructed. On success the
+  /// statement index is rebuilt; on failure \p P is unusable and must be
+  /// discarded.
+  static bool restoreProgram(Program &P, Reader &R);
+
+  /// Encodes the post-solve query surface of \p S: context / instance-key /
+  /// pointer-key tables, call graph, points-to sets, model channels,
+  /// intrinsic call targets and the budget flag.
+  static void serializeSolver(const PointsToSolver &S, Writer &W);
+  /// Restores into \p S, which must be freshly constructed (same program,
+  /// same options) and never solved. On failure \p S may hold partial
+  /// state and must be discarded.
+  static bool restoreSolver(PointsToSolver &S, Reader &R);
+
+  /// Encodes the SDG (owners, nodes, edges, call sites, channel tables,
+  /// store/load/sink indices) plus, when \p HE is non-null, the
+  /// materialized heap-edge adjacency.
+  static void serializeSdg(const SDG &G, const HeapEdges *HE, Writer &W);
+  /// Restores an SDG (and heap edges, when the record carries them)
+  /// against the live \p P / \p Solver / \p HG. \p HE is left null when
+  /// the record has no heap edges (CS channel-budget overflow). On failure
+  /// both out-params are reset to null.
+  static bool restoreSdg(std::unique_ptr<SDG> &G,
+                         std::unique_ptr<HeapEdges> &HE, const Program &P,
+                         const PointsToSolver &Solver, const HeapGraph &HG,
+                         const SDGOptions &Opts, uint32_t NestedDepth,
+                         Reader &R);
+};
+
+} // namespace persist
+} // namespace taj
+
+#endif // TAJ_PERSIST_SERIALIZE_H

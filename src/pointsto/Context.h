@@ -68,6 +68,12 @@ public:
 
   size_t size() const { return Contexts.size(); }
 
+  void reserve(size_t N) {
+    Contexts.reserve(N);
+    Depths.reserve(N);
+    Map.reserve(N);
+  }
+
 private:
   CtxId intern(ContextData D, uint32_t Depth) {
     uint64_t Key = (static_cast<uint64_t>(D.Kind) << 32) | D.Data;

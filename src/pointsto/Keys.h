@@ -78,6 +78,10 @@ public:
   IKId intern(const InstanceKeyData &D);
   const InstanceKeyData &data(IKId I) const { return Keys[I]; }
   size_t size() const { return Keys.size(); }
+  void reserve(size_t N) {
+    Keys.reserve(N);
+    Map.reserve(N);
+  }
 
 private:
   struct Hash {
@@ -106,6 +110,10 @@ public:
   PKId intern(const PointerKeyData &D);
   const PointerKeyData &data(PKId I) const { return Keys[I]; }
   size_t size() const { return Keys.size(); }
+  void reserve(size_t N) {
+    Keys.reserve(N);
+    Map.reserve(N);
+  }
 
   /// Read-only lookup: the id of \p D if it was ever interned, InvalidId
   /// otherwise. Never mutates the table, so it is safe on post-solve read

@@ -423,7 +423,9 @@ void PointsToSolver::registerCallUse(PKId Recv, CallUse CU) {
 }
 
 void PointsToSolver::addConstraints(CGNodeId N) {
-  const CGNode &Node = CG.node(N);
+  // By value: call dispatch below can create new call-graph nodes, and the
+  // vector growth would invalidate a reference into CG.Nodes.
+  const CGNode Node = CG.node(N);
   const Method &M = P.Methods[Node.M];
   if (!M.hasBody())
     return;

@@ -39,6 +39,10 @@ namespace taj {
 
 class RunGuard;
 
+namespace persist {
+struct Access;
+}
+
 /// Configuration of one pointer-analysis run.
 struct PointsToOptions {
   /// Optional run-governance guard (deadline/memory/cancellation); the
@@ -120,6 +124,9 @@ private:
   //===--------------------------------------------------------------------===//
 
   friend class SolverTestPeer;
+  /// Serialization (persist/Serialize.cpp) snapshots and restores the
+  /// post-solve query surface.
+  friend struct persist::Access;
 
   // Deferred constraints attached to a pointer key.
   struct LoadUse {

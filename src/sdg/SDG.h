@@ -38,6 +38,10 @@
 
 namespace taj {
 
+namespace persist {
+struct Access;
+}
+
 /// SDG node identifiers (dense).
 using SDGNodeId = uint32_t;
 /// Owner identifiers: one owner per (method, context) subgraph in expanded
@@ -169,6 +173,17 @@ public:
 
 private:
   friend class SdgBuilder;
+  /// Serialization (persist/Serialize.cpp) snapshots and restores the
+  /// post-build state through the tag constructor below.
+  friend struct persist::Access;
+
+  /// Restore-path constructor: binds the live references and options but
+  /// builds nothing; persist::Access fills the tables from a cache record.
+  struct RestoreTag {};
+  SDG(const Program &P, const PointsToSolver &Solver, SDGOptions Opts,
+      RestoreTag)
+      : P(P), Solver(Solver), Opts(std::move(Opts)) {}
+
   std::vector<IKId> valuePointsTo(SDGNodeId N, ValueId V) const;
 
   const Program &P;

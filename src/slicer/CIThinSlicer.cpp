@@ -1,5 +1,6 @@
 //===- slicer/CIThinSlicer.cpp - context-insensitive baseline --*- C++ -*-===//
 
+#include "persist/Cache.h"
 #include "slicer/HeapEdges.h"
 #include "slicer/Slicer.h"
 #include "slicer/SlicerCommon.h"
@@ -119,9 +120,10 @@ SliceRunResult taj::runCiSlicer(const Program &P, const ClassHierarchy &CHA,
   SO.ContextExpanded = false;
   SO.WithChanParams = false;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
-  const SDG G(P, CHA, Solver, SO);
-  const HeapGraph HG(Solver);
-  const HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
+  persist::SdgArtifacts A = persist::loadOrBuildSdg(
+      P, CHA, Solver, SO, Opts.NestedTaintDepth, Opts.Cache, Opts.CacheKey);
+  const SDG &G = *A.G;
+  const HeapEdges &HE = *A.HE;
 
   SliceRunResult Out;
   if (Guard)

@@ -1,5 +1,6 @@
 //===- slicer/CSThinSlicer.cpp - context-sensitive baseline ----*- C++ -*-===//
 
+#include "persist/Cache.h"
 #include "rhs/Tabulation.h"
 #include "slicer/HeapEdges.h"
 #include "slicer/Slicer.h"
@@ -83,7 +84,9 @@ SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
   SO.WithChanParams = true;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
   SO.ChanNodeBudget = Opts.CsChanBudget;
-  const SDG G(P, CHA, Solver, SO);
+  persist::SdgArtifacts A = persist::loadOrBuildSdg(
+      P, CHA, Solver, SO, Opts.NestedTaintDepth, Opts.Cache, Opts.CacheKey);
+  const SDG &G = *A.G;
 
   SliceRunResult Out;
   if (G.chanBudgetExceeded()) {
@@ -93,8 +96,7 @@ SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
     return Out;
   }
 
-  const HeapGraph HG(Solver);
-  const HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
+  const HeapEdges &HE = *A.HE;
 
   if (Guard)
     Guard->beginPhase(RunPhase::Slicing);

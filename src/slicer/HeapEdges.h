@@ -35,6 +35,10 @@
 
 namespace taj {
 
+namespace persist {
+struct Access;
+}
+
 /// Immutable heap adjacency for one (SDG, solver) pair.
 class HeapEdges {
 public:
@@ -50,6 +54,19 @@ public:
   const std::vector<SDGNodeId> &carrierSinksFor(SDGNodeId Store) const;
 
 private:
+  /// Serialization (persist/Serialize.cpp) snapshots and restores the
+  /// materialized store adjacency through the tag constructor below.
+  friend struct persist::Access;
+
+  /// Restore-path constructor: binds the live references but materializes
+  /// nothing; persist::Access fills Stores from a cache record (the
+  /// build-only load indices stay empty — they are never read after
+  /// construction).
+  struct RestoreTag {};
+  HeapEdges(const Program &P, const SDG &G, const PointsToSolver &Solver,
+            const HeapGraph &HG, uint32_t NestedDepth, RestoreTag)
+      : P(P), G(G), Solver(Solver), HG(HG), NestedDepth(NestedDepth) {}
+
   struct StoreInfo {
     std::vector<SDGNodeId> Loads;
     std::vector<SDGNodeId> CarrierSinks;

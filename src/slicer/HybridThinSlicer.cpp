@@ -1,5 +1,6 @@
 //===- slicer/HybridThinSlicer.cpp - TAJ's hybrid thin slicing -*- C++ -*-===//
 
+#include "persist/Cache.h"
 #include "rhs/Tabulation.h"
 #include "slicer/HeapEdges.h"
 #include "slicer/Slicer.h"
@@ -122,9 +123,10 @@ SliceRunResult taj::runHybridSlicer(const Program &P,
   SO.ContextExpanded = true;
   SO.WithChanParams = false;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
-  const SDG G(P, CHA, Solver, SO);
-  const HeapGraph HG(Solver);
-  const HeapEdges HE(P, G, Solver, HG, Opts.NestedTaintDepth, Guard);
+  persist::SdgArtifacts A = persist::loadOrBuildSdg(
+      P, CHA, Solver, SO, Opts.NestedTaintDepth, Opts.Cache, Opts.CacheKey);
+  const SDG &G = *A.G;
+  const HeapEdges &HE = *A.HE;
 
   SliceRunResult Out;
   if (Guard)

@@ -25,6 +25,10 @@
 
 namespace taj {
 
+namespace persist {
+class ArtifactCache;
+}
+
 /// Bounds applied during slicing (TAJ §6.2). Zero disables a bound.
 struct SlicerOptions {
   /// Optional run-governance guard; polled during SDG construction and
@@ -47,6 +51,13 @@ struct SlicerOptions {
   bool ModelExceptionSources = true;
   /// Channel-node budget for CS thin slicing (0 = unbounded).
   uint64_t CsChanBudget = 0;
+  /// Optional artifact cache for the SDG phase (persist/Cache.h); not
+  /// owned. When set together with a non-empty CacheKey, the slicer
+  /// restores the SDG + heap edges from cache instead of rebuilding, or
+  /// stores them after a clean cold build.
+  persist::ArtifactCache *Cache = nullptr;
+  /// Content address of the SDG artifact for this (input, config) pair.
+  std::string CacheKey;
 };
 
 /// Hybrid thin slicing over the HSDG.

@@ -181,6 +181,11 @@ public:
   /// Records an unexpected internal failure as the cutoff.
   void markInternalError() { stop(CutoffReason::InternalError); }
 
+  /// The limits this guard enforces (after any environment overlay the
+  /// creator applied). Lets callers detect fault-injection runs, which
+  /// must bypass the artifact cache.
+  const Limits &limits() const { return Lim; }
+
   CutoffReason reason() const { return Reason; }
   /// Phase the cutoff happened in (meaningful only when stopped()).
   RunPhase cutoffPhase() const { return CutPhase; }

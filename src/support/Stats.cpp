@@ -4,6 +4,11 @@
 
 using namespace taj;
 
+void Stats::merge(const Stats &Other) {
+  for (const auto &[Name, H] : Other.Index)
+    add(Name, Other.Slots[H]);
+}
+
 std::string Stats::toString() const {
   std::string Out;
   for (const auto &[Name, H] : Index) {
@@ -12,5 +17,25 @@ std::string Stats::toString() const {
     Out += std::to_string(Slots[H]);
     Out += '\n';
   }
+  return Out;
+}
+
+std::string Stats::toJson() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, H] : Index) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    for (char C : Name) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += "\":";
+    Out += std::to_string(Slots[H]);
+  }
+  Out += "}";
   return Out;
 }

@@ -67,8 +67,16 @@ public:
     return It == Index.end() ? 0 : Slots[It->second];
   }
 
+  /// Adds every counter of \p Other into this object (interning any new
+  /// names). Not thread-safe; both objects must be quiescent.
+  void merge(const Stats &Other);
+
   /// Renders all counters as "name=value" lines (sorted by name).
   std::string toString() const;
+
+  /// Renders all counters as one JSON object, keys sorted by name, for
+  /// machine consumption (taj-cli --stats-json).
+  std::string toJson() const;
 
 private:
   /// Name -> slot, ordered so toString() stays deterministic.

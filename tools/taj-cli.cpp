@@ -3,6 +3,7 @@
 // Analyzes .taj files from the command line:
 //
 //   taj-cli [options] file.taj [file2.taj ...]
+//   taj-cli [options] --batch=LISTFILE
 //
 // Options:
 //   --config=<hybrid|hybrid-prioritized|hybrid-optimized|cs|ci>
@@ -14,6 +15,16 @@
 //   --deadline-ms=<n>     wall-clock deadline for the analysis run
 //   --max-memory-mb=<n>   resident-memory ceiling for the analysis run
 //   --fail-at=<n>         fault injection: trip the guard at checkpoint n
+//   --cache-dir=<path>    persistent artifact cache: parsed IR, points-to
+//                         solutions and SDGs are stored there and reused
+//                         by later runs over the same input/config
+//   --cache-max-mb=<n>    cache byte cap, LRU-evicted (0 = uncapped)
+//   --batch=<listfile>    analyze many apps in one process with a shared
+//                         warm cache; each list line names one app's .taj
+//                         files (whitespace-separated; blank lines and
+//                         #-comments skipped)
+//   --stats-json=<path>   write every statistics counter (solver, run
+//                         governance, persist.*) as one JSON object
 //   --raw                 print raw flows instead of LCP-grouped reports
 //   --dump-ir             print the parsed (SSA) program and exit
 //   --stats               print analysis statistics
@@ -28,6 +39,8 @@
 //      degraded the run; partial results printed, run-status on stderr
 //   1  error: bad usage, unreadable input, parse/verify failure, or an
 //      internal error that prevented analysis
+// In batch mode the process exit code is the worst across all apps
+// (error > truncated > clean); one failing app does not stop the batch.
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +50,7 @@
 #include "ir/Verifier.h"
 #include "model/BuiltinLibrary.h"
 #include "model/Entrypoints.h"
+#include "persist/Cache.h"
 #include "report/ReportGenerator.h"
 
 #include <cerrno>
@@ -44,6 +58,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -60,8 +75,10 @@ void usage() {
       stderr,
       "usage: taj-cli [--config=NAME] [--budget=N] [--max-flow-length=N]\n"
       "               [--nested-depth=N] [--threads=N] [--deadline-ms=N]\n"
-      "               [--max-memory-mb=N] [--fail-at=N] [--raw] [--dump-ir]\n"
-      "               [--stats] file.taj [more.taj ...]\n");
+      "               [--max-memory-mb=N] [--fail-at=N] [--cache-dir=PATH]\n"
+      "               [--cache-max-mb=N] [--stats-json=PATH] [--raw]\n"
+      "               [--dump-ir] [--stats]\n"
+      "               (file.taj [more.taj ...] | --batch=LISTFILE)\n");
 }
 
 bool readFile(const char *Path, std::string &Out, std::string &Err) {
@@ -102,52 +119,276 @@ bool parseNum(const char *Flag, const char *Text, double &Out) {
   return true;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+/// Everything one analysis run needs besides its input files.
+struct CliOptions {
   std::string ConfigName = "hybrid";
   uint32_t Budget = 0, MaxLen = 0, NestedDepth = 32;
   uint32_t Threads = 0; // 0 = auto (TAJ_THREADS, then hardware concurrency)
   double DeadlineMs = 0;
   uint64_t MaxMemoryMb = 0, FailAt = 0;
   bool Raw = false, DumpIr = false, ShowStats = false;
-  std::vector<const char *> Files;
+};
+
+bool buildConfig(const CliOptions &O, AnalysisConfig &C) {
+  if (O.ConfigName == "hybrid")
+    C = AnalysisConfig::hybridUnbounded();
+  else if (O.ConfigName == "hybrid-prioritized")
+    C = AnalysisConfig::hybridPrioritized(O.Budget ? O.Budget : 20000);
+  else if (O.ConfigName == "hybrid-optimized")
+    C = AnalysisConfig::hybridOptimized(O.Budget ? O.Budget : 20000);
+  else if (O.ConfigName == "cs")
+    C = AnalysisConfig::cs();
+  else if (O.ConfigName == "ci")
+    C = AnalysisConfig::ci();
+  else {
+    std::fprintf(stderr, "error: unknown config '%s'\n", O.ConfigName.c_str());
+    return false;
+  }
+  if (O.Budget)
+    C.MaxCallGraphNodes = O.Budget;
+  if (O.MaxLen)
+    C.MaxFlowLength = O.MaxLen;
+  C.NestedTaintDepth = O.NestedDepth;
+  C.Threads = O.Threads; // 0 defers to TAJ_THREADS / hardware concurrency
+  // Explicit flags win over the TAJ_* environment (TaintAnalysis overlays
+  // the environment only onto unset limits, since flags default to 0 the
+  // overlay applies exactly when no flag was given).
+  if (O.DeadlineMs > 0)
+    C.DeadlineMs = O.DeadlineMs;
+  if (O.MaxMemoryMb)
+    C.MaxMemoryMb = O.MaxMemoryMb;
+  if (O.FailAt)
+    C.FailAtCheckpoint = O.FailAt;
+  return true;
+}
+
+struct RunOutcome {
+  int Exit = ExitError;
+  size_t NumIssues = 0;
+};
+
+/// Analyzes one app (a set of .taj files forming one program) end to end:
+/// frontend (IR cache aware), analysis (points-to/SDG cache aware via
+/// AnalysisConfig), report rendering. Batch mode calls this once per list
+/// line against a shared cache. \p MergedStats, when set, accumulates every
+/// counter for --stats-json.
+RunOutcome analyzeOne(const std::vector<std::string> &Files,
+                      const CliOptions &Opt, persist::ArtifactCache *Cache,
+                      Stats *MergedStats) {
+  RunOutcome Out;
+
+  // Read every input up front: the content fingerprint keys all cache
+  // entries, so it must cover exactly the bytes the frontend would parse.
+  std::vector<std::string> Sources(Files.size());
+  bool InputError = false;
+  for (size_t I = 0; I < Files.size(); ++I) {
+    std::string IoErr;
+    if (!readFile(Files[I].c_str(), Sources[I], IoErr)) {
+      std::fprintf(stderr, "error: cannot read '%s': %s\n", Files[I].c_str(),
+                   IoErr.c_str());
+      InputError = true;
+    }
+  }
+  if (InputError)
+    return Out;
+
+  uint64_t H = persist::fnv1a("taj-input", 9);
+  for (const std::string &S : Sources) {
+    H = persist::fnv1a(S.data(), S.size(), H);
+    H = persist::fnv1a("|", 1, H); // file boundaries matter
+  }
+  char Hex[17];
+  std::snprintf(Hex, sizeof(Hex), "%016llx", static_cast<unsigned long long>(H));
+  const std::string InputFp = Hex;
+
+  const bool CacheOn = Cache && Cache->enabled();
+  // IR-phase counter baseline: the analysis phases report their own deltas
+  // in RunStats, so only the frontend window needs accounting here.
+  uint64_t Hit0 = 0, Miss0 = 0, Store0 = 0, Evict0 = 0, Corrupt0 = 0;
+  if (CacheOn) {
+    Hit0 = Cache->hits();
+    Miss0 = Cache->misses();
+    Store0 = Cache->stores();
+    Evict0 = Cache->evictions();
+    Corrupt0 = Cache->corruptions();
+  }
+
+  // Frontend, warm path: a valid "ir" entry replaces builtin installation,
+  // parsing and verification wholesale (the stored program was verified
+  // before it was stored). Any restore failure falls back cold.
+  auto P = std::make_unique<Program>();
+  std::string IrKey;
+  bool IrWarm = false;
+  if (CacheOn) {
+    IrKey = persist::ArtifactCache::makeKey("ir", InputFp, "");
+    if (std::optional<persist::LoadedPayload> Payload =
+            Cache->load(IrKey, persist::ArtifactKind::Ir)) {
+      persist::Reader R(Payload->data(), Payload->size());
+      IrWarm = persist::Access::restoreProgram(*P, R);
+      if (!IrWarm) {
+        Cache->noteRestoreFailure(IrKey);
+        P = std::make_unique<Program>(); // restore may leave partial state
+      }
+    }
+  }
+  if (!IrWarm) {
+    // Frontend: every input file gets its own diagnostics; one bad file
+    // does not silently hide behind another, and none aborts the process.
+    installBuiltinLibrary(*P);
+    for (size_t I = 0; I < Files.size(); ++I) {
+      std::vector<std::string> Errors;
+      if (!parseTaj(*P, Sources[I], &Errors)) {
+        if (Errors.empty())
+          std::fprintf(stderr, "%s: parse failed\n", Files[I].c_str());
+        for (const std::string &E : Errors)
+          std::fprintf(stderr, "%s:%s\n", Files[I].c_str(), E.c_str());
+        InputError = true;
+      }
+    }
+    if (InputError)
+      return Out;
+    std::vector<std::string> VErrors = verifyProgram(*P);
+    if (!VErrors.empty()) {
+      for (const std::string &E : VErrors)
+        std::fprintf(stderr, "verifier: %s\n", E.c_str());
+      return Out;
+    }
+    if (CacheOn) {
+      persist::Writer W;
+      persist::Access::serializeProgram(*P, W);
+      Cache->store(IrKey, persist::ArtifactKind::Ir, W.bytes());
+    }
+  }
+  // Frontend-window cache deltas, folded into the run's stats below so
+  // --stats and --stats-json see the full per-app persist.* picture.
+  uint64_t IrHit = 0, IrMiss = 0, IrStore = 0, IrEvict = 0, IrCorrupt = 0;
+  if (CacheOn) {
+    IrHit = Cache->hits() - Hit0;
+    IrMiss = Cache->misses() - Miss0;
+    IrStore = Cache->stores() - Store0;
+    IrEvict = Cache->evictions() - Evict0;
+    IrCorrupt = Cache->corruptions() - Corrupt0;
+  }
+  if (Opt.DumpIr) {
+    std::printf("%s", printProgram(*P).c_str());
+    Out.Exit = ExitClean;
+    return Out;
+  }
+
+  AnalysisConfig C;
+  if (!buildConfig(Opt, C))
+    return Out;
+  C.Cache = Cache;
+  C.InputFingerprint = InputFp;
+
+  MethodId Root = synthesizeEntrypointDriver(*P);
+  TaintAnalysis TA(*P, std::move(C));
+  AnalysisResult R = TA.run({Root});
+  if (CacheOn) {
+    R.RunStats.add("persist.hit", IrHit);
+    R.RunStats.add("persist.miss", IrMiss);
+    R.RunStats.add("persist.store", IrStore);
+    R.RunStats.add("persist.evict", IrEvict);
+    R.RunStats.add("persist.corrupt", IrCorrupt);
+  }
+
+  if (MergedStats) {
+    MergedStats->merge(TA.solver().stats());
+    MergedStats->merge(R.RunStats);
+  }
+
+  if (!R.Completed && !R.degraded()) {
+    // Legacy CS failure channel with no structured status (should not
+    // happen: TaintAnalysis reports it as a memory truncation).
+    std::fprintf(stderr, "analysis did not complete\n");
+    return Out;
+  }
+  if (Opt.Raw) {
+    for (const Issue &I : R.Issues)
+      std::printf("%s: %s -> %s (length %u)\n", rules::ruleName(I.Rule),
+                  describeStmt(*P, I.Source).c_str(),
+                  describeStmt(*P, I.Sink).c_str(), I.Length);
+  } else {
+    std::printf("%s",
+                renderReports(*P, generateReports(*P, R.Issues), &R.Status)
+                    .c_str());
+  }
+  if (R.degraded())
+    std::fprintf(stderr, "run-status: %s\n", R.Status.toString().c_str());
+  if (Opt.ShowStats) {
+    std::fprintf(stderr, "-- %zu raw flows, %.1f ms, %u call-graph nodes%s\n",
+                 R.Issues.size(), R.Millis, R.CgNodesProcessed,
+                 R.BudgetExhausted ? " (budget exhausted)" : "");
+    std::fprintf(stderr, "%s", TA.solver().stats().toString().c_str());
+    std::fprintf(stderr, "%s", R.RunStats.toString().c_str());
+  }
+  Out.NumIssues = R.Issues.size();
+  Out.Exit = R.degraded() ? ExitTruncated : ExitClean;
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opt;
+  std::string CacheDir, BatchFile, StatsJsonPath;
+  uint64_t CacheMaxMb = 0;
+  std::vector<std::string> Files;
 
   for (int K = 1; K < Argc; ++K) {
     const char *A = Argv[K];
     if (std::strncmp(A, "--config=", 9) == 0)
-      ConfigName = A + 9;
-    else if (std::strncmp(A, "--budget=", 9) == 0)
-      Budget = static_cast<uint32_t>(std::atoi(A + 9));
-    else if (std::strncmp(A, "--max-flow-length=", 18) == 0)
-      MaxLen = static_cast<uint32_t>(std::atoi(A + 18));
-    else if (std::strncmp(A, "--nested-depth=", 15) == 0)
-      NestedDepth = static_cast<uint32_t>(std::atoi(A + 15));
-    else if (std::strncmp(A, "--threads=", 10) == 0) {
+      Opt.ConfigName = A + 9;
+    else if (std::strncmp(A, "--budget=", 9) == 0) {
+      double V;
+      if (!parseNum("--budget", A + 9, V))
+        return ExitError;
+      Opt.Budget = static_cast<uint32_t>(V);
+    } else if (std::strncmp(A, "--max-flow-length=", 18) == 0) {
+      double V;
+      if (!parseNum("--max-flow-length", A + 18, V))
+        return ExitError;
+      Opt.MaxLen = static_cast<uint32_t>(V);
+    } else if (std::strncmp(A, "--nested-depth=", 15) == 0) {
+      double V;
+      if (!parseNum("--nested-depth", A + 15, V))
+        return ExitError;
+      Opt.NestedDepth = static_cast<uint32_t>(V);
+    } else if (std::strncmp(A, "--threads=", 10) == 0) {
       double V;
       if (!parseNum("--threads", A + 10, V))
         return ExitError;
-      Threads = static_cast<uint32_t>(V);
+      Opt.Threads = static_cast<uint32_t>(V);
     } else if (std::strncmp(A, "--deadline-ms=", 14) == 0) {
-      if (!parseNum("--deadline-ms", A + 14, DeadlineMs))
+      if (!parseNum("--deadline-ms", A + 14, Opt.DeadlineMs))
         return ExitError;
     } else if (std::strncmp(A, "--max-memory-mb=", 16) == 0) {
       double V;
       if (!parseNum("--max-memory-mb", A + 16, V))
         return ExitError;
-      MaxMemoryMb = static_cast<uint64_t>(V);
+      Opt.MaxMemoryMb = static_cast<uint64_t>(V);
     } else if (std::strncmp(A, "--fail-at=", 10) == 0) {
       double V;
       if (!parseNum("--fail-at", A + 10, V))
         return ExitError;
-      FailAt = static_cast<uint64_t>(V);
-    }
+      Opt.FailAt = static_cast<uint64_t>(V);
+    } else if (std::strncmp(A, "--cache-dir=", 12) == 0)
+      CacheDir = A + 12;
+    else if (std::strncmp(A, "--cache-max-mb=", 15) == 0) {
+      double V;
+      if (!parseNum("--cache-max-mb", A + 15, V))
+        return ExitError;
+      CacheMaxMb = static_cast<uint64_t>(V);
+    } else if (std::strncmp(A, "--batch=", 8) == 0)
+      BatchFile = A + 8;
+    else if (std::strncmp(A, "--stats-json=", 13) == 0)
+      StatsJsonPath = A + 13;
     else if (std::strcmp(A, "--raw") == 0)
-      Raw = true;
+      Opt.Raw = true;
     else if (std::strcmp(A, "--dump-ir") == 0)
-      DumpIr = true;
+      Opt.DumpIr = true;
     else if (std::strcmp(A, "--stats") == 0)
-      ShowStats = true;
+      Opt.ShowStats = true;
     else if (A[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", A);
       usage();
@@ -155,105 +396,86 @@ int main(int Argc, char **Argv) {
     } else
       Files.push_back(A);
   }
-  if (Files.empty()) {
+  if (BatchFile.empty() ? Files.empty() : !Files.empty()) {
+    if (!BatchFile.empty())
+      std::fprintf(stderr,
+                   "error: --batch and positional files are exclusive\n");
     usage();
     return ExitError;
   }
-
-  // Frontend: every input file gets its own diagnostics; one bad file does
-  // not silently hide behind another, and none aborts the process.
-  Program P;
-  installBuiltinLibrary(P);
-  bool InputError = false;
-  for (const char *F : Files) {
-    std::string Src, IoErr;
-    if (!readFile(F, Src, IoErr)) {
-      std::fprintf(stderr, "error: cannot read '%s': %s\n", F,
-                   IoErr.c_str());
-      InputError = true;
-      continue;
-    }
-    std::vector<std::string> Errors;
-    if (!parseTaj(P, Src, &Errors)) {
-      if (Errors.empty())
-        std::fprintf(stderr, "%s: parse failed\n", F);
-      for (const std::string &E : Errors)
-        std::fprintf(stderr, "%s:%s\n", F, E.c_str());
-      InputError = true;
-    }
-  }
-  if (InputError)
-    return ExitError;
-  std::vector<std::string> VErrors = verifyProgram(P);
-  if (!VErrors.empty()) {
-    for (const std::string &E : VErrors)
-      std::fprintf(stderr, "verifier: %s\n", E.c_str());
-    return ExitError;
-  }
-  if (DumpIr) {
-    std::printf("%s", printProgram(P).c_str());
-    return ExitClean;
+  {
+    // Fail fast on a bad config name instead of once per batch line.
+    AnalysisConfig Probe;
+    CliOptions ProbeOpt = Opt;
+    if (!buildConfig(ProbeOpt, Probe))
+      return ExitError;
   }
 
-  AnalysisConfig C;
-  if (ConfigName == "hybrid")
-    C = AnalysisConfig::hybridUnbounded();
-  else if (ConfigName == "hybrid-prioritized")
-    C = AnalysisConfig::hybridPrioritized(Budget ? Budget : 20000);
-  else if (ConfigName == "hybrid-optimized")
-    C = AnalysisConfig::hybridOptimized(Budget ? Budget : 20000);
-  else if (ConfigName == "cs")
-    C = AnalysisConfig::cs();
-  else if (ConfigName == "ci")
-    C = AnalysisConfig::ci();
-  else {
-    std::fprintf(stderr, "error: unknown config '%s'\n", ConfigName.c_str());
-    return ExitError;
-  }
-  if (Budget)
-    C.MaxCallGraphNodes = Budget;
-  if (MaxLen)
-    C.MaxFlowLength = MaxLen;
-  C.NestedTaintDepth = NestedDepth;
-  C.Threads = Threads; // 0 defers to TAJ_THREADS / hardware concurrency
-  // Explicit flags win over the TAJ_* environment (TaintAnalysis overlays
-  // the environment only onto unset limits, since flags default to 0 the
-  // overlay applies exactly when no flag was given).
-  if (DeadlineMs > 0)
-    C.DeadlineMs = DeadlineMs;
-  if (MaxMemoryMb)
-    C.MaxMemoryMb = MaxMemoryMb;
-  if (FailAt)
-    C.FailAtCheckpoint = FailAt;
+  std::unique_ptr<persist::ArtifactCache> Cache;
+  if (!CacheDir.empty())
+    Cache = std::make_unique<persist::ArtifactCache>(CacheDir,
+                                                     CacheMaxMb * 1024 * 1024);
 
-  MethodId Root = synthesizeEntrypointDriver(P);
-  TaintAnalysis TA(P, std::move(C));
-  AnalysisResult R = TA.run({Root});
+  Stats MergedStats;
+  Stats *JsonStats = StatsJsonPath.empty() ? nullptr : &MergedStats;
 
-  if (!R.Completed && !R.degraded()) {
-    // Legacy CS failure channel with no structured status (should not
-    // happen: TaintAnalysis reports it as a memory truncation).
-    std::fprintf(stderr, "analysis did not complete\n");
-    return ExitError;
-  }
-  if (Raw) {
-    for (const Issue &I : R.Issues)
-      std::printf("%s: %s -> %s (length %u)\n", rules::ruleName(I.Rule),
-                  describeStmt(P, I.Source).c_str(),
-                  describeStmt(P, I.Sink).c_str(), I.Length);
+  int Exit;
+  if (BatchFile.empty()) {
+    Exit = analyzeOne(Files, Opt, Cache.get(), JsonStats).Exit;
   } else {
-    std::printf("%s",
-                renderReports(P, generateReports(P, R.Issues), &R.Status)
-                    .c_str());
+    std::string List, IoErr;
+    if (!readFile(BatchFile.c_str(), List, IoErr)) {
+      std::fprintf(stderr, "error: cannot read '%s': %s\n", BatchFile.c_str(),
+                   IoErr.c_str());
+      return ExitError;
+    }
+    Exit = ExitClean;
+    std::istringstream LS(List);
+    std::string Line;
+    bool AnyApp = false;
+    while (std::getline(LS, Line)) {
+      // Trim, skip blanks and #-comments, split on whitespace.
+      std::istringstream WS(Line);
+      std::vector<std::string> AppFiles;
+      std::string Tok;
+      while (WS >> Tok) {
+        if (Tok[0] == '#')
+          break; // rest of line is a comment
+        AppFiles.push_back(Tok);
+      }
+      if (AppFiles.empty())
+        continue;
+      AnyApp = true;
+      std::string AppName = AppFiles[0];
+      for (size_t I = 1; I < AppFiles.size(); ++I)
+        AppName += " " + AppFiles[I];
+      std::printf("=== %s\n", AppName.c_str());
+      RunOutcome O = analyzeOne(AppFiles, Opt, Cache.get(), JsonStats);
+      // Deterministic per-app summary (no timings: batch output must be
+      // byte-comparable against separate runs).
+      std::printf("--- %s: exit=%d issues=%zu\n", AppName.c_str(), O.Exit,
+                  O.NumIssues);
+      std::fflush(stdout);
+      // Worst-of across apps: error > truncated > clean.
+      if (O.Exit == ExitError || Exit == ExitError)
+        Exit = ExitError;
+      else if (O.Exit == ExitTruncated)
+        Exit = ExitTruncated;
+    }
+    if (!AnyApp) {
+      std::fprintf(stderr, "error: batch list '%s' names no apps\n",
+                   BatchFile.c_str());
+      Exit = ExitError;
+    }
   }
-  if (R.degraded())
-    std::fprintf(stderr, "run-status: %s\n", R.Status.toString().c_str());
-  if (ShowStats) {
-    std::fprintf(stderr, "-- %zu raw flows, %.1f ms, %u call-graph nodes%s\n",
-                 R.Issues.size(), R.Millis, R.CgNodesProcessed,
-                 R.BudgetExhausted ? " (budget exhausted)" : "");
-    std::fprintf(stderr, "%s", TA.solver().stats().toString().c_str());
-    std::fprintf(stderr, "%s", R.RunStats.toString().c_str());
+
+  if (JsonStats) {
+    std::ofstream JOut(StatsJsonPath, std::ios::trunc);
+    if (!JOut || !(JOut << MergedStats.toJson() << "\n")) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   StatsJsonPath.c_str());
+      return ExitError;
+    }
   }
-  return R.degraded() ? ExitTruncated : ExitClean;
+  return Exit;
 }
