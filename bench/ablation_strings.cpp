@@ -1,0 +1,74 @@
+//===- bench/ablation_strings.cpp - String-analysis ablation -------------===//
+//
+// Sweeps --string-analysis over {off, local, ipa} on applications whose
+// planted patterns depend on string-constant facts — helper-routed
+// dictionary keys and StringBuilder-computed reflective targets — and
+// prints TP/FP/FN plus the conststr.* counters per mode, confirming: ipa
+// resolves the helper key and the computed forName target, local only
+// handles same-method constants, off degrades every dictionary read to
+// the wildcard channel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace taj;
+
+static const StringAnalysisMode Modes[] = {
+    StringAnalysisMode::Off, StringAnalysisMode::Local,
+    StringAnalysisMode::Ipa};
+
+static void runApp(const char *Label, const AppSpec &S) {
+  std::printf("\n%s:\n", Label);
+  for (StringAnalysisMode M : Modes) {
+    GeneratedApp App = generateApp(S);
+    AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+    C.StringAnalysis = M;
+    TaintAnalysis TA(*App.P, std::move(C));
+    AnalysisResult R = TA.run({App.Root});
+    Classification Cl = classify(*App.P, App.Truth, R.Issues);
+    std::printf("  %-5s TP=%-4u FP=%-4u FN=%-3u keysResolved=%-4llu "
+                "reflResolved=%-3llu reflUnresolved=%-3llu "
+                "concatsFolded=%llu\n",
+                stringAnalysisModeName(M), Cl.TruePositives,
+                Cl.FalsePositives, App.Truth.numReal() - Cl.RealFound,
+                static_cast<unsigned long long>(
+                    R.RunStats.get("conststr.map_keys_resolved")),
+                static_cast<unsigned long long>(
+                    R.RunStats.get("conststr.reflective_resolved")),
+                static_cast<unsigned long long>(
+                    R.RunStats.get("reflection.unresolved")),
+                static_cast<unsigned long long>(
+                    R.RunStats.get("conststr.concats_folded")));
+  }
+}
+
+int main() {
+  std::printf("Ablation: string-constant analysis modes (off/local/ipa)\n");
+
+  // A focused app: only the patterns the string analysis can separate.
+  AppSpec Focused;
+  Focused.Name = "strings-focused";
+  Focused.Seed = 7;
+  Focused.Plants.TpHelperKeyMap = 4;
+  Focused.Plants.TpComputedReflective = 4;
+  Focused.Plants.TpMap = 2;
+  Focused.Plants.TpReflective = 2;
+  runApp("strings-focused (helper keys + computed reflection)", Focused);
+
+  // The same patterns embedded in the accuracy-study applications.
+  for (const AppSpec &Base : benchmarkSuite()) {
+    if (!Base.InAccuracyStudy)
+      continue;
+    AppSpec S = Base;
+    S.Plants.TpHelperKeyMap = 2;
+    S.Plants.TpComputedReflective = 2;
+    runApp(S.Name.c_str(), S);
+  }
+
+  std::printf("\nExpected shape: ipa reports every planted flow with no "
+              "wildcard decoys; off/local trade a decoy FP per helper key "
+              "and miss each computed reflective flow (its site shows up "
+              "under reflection.unresolved instead).\n");
+  return 0;
+}

@@ -47,6 +47,8 @@ struct PlantCounts {
   uint32_t TpWrapped = 0;   ///< taint-carrier flows
   uint32_t TpMap = 0;       ///< constant-key dictionary flows
   uint32_t TpReflective = 0;///< Class.forName / invoke flows
+  uint32_t TpHelperKeyMap = 0;   ///< dictionary puts routed via a helper
+  uint32_t TpComputedReflective = 0; ///< StringBuilder-computed forName
   uint32_t TpThread = 0;    ///< inter-thread flows (CS false negatives)
   uint32_t TpLong = 0;      ///< real flows longer than the length filter
   uint32_t FpAlias = 0;     ///< alloc-site conflation (all configs report)
@@ -59,7 +61,8 @@ struct PlantCounts {
   uint32_t LibFillerMethods = 0; ///< taint-free library code mass
 
   uint32_t totalReal() const {
-    return TpDirect + TpWrapped + TpMap + TpReflective + TpThread + TpLong;
+    return TpDirect + TpWrapped + TpMap + TpReflective + TpHelperKeyMap +
+           TpComputedReflective + TpThread + TpLong;
   }
 };
 

@@ -37,6 +37,10 @@ GeneratedApp taj::generateApp(const AppSpec &Spec) {
     plantMap(C);
   for (uint32_t K = 0; K < PC.TpReflective; ++K)
     plantReflective(C);
+  for (uint32_t K = 0; K < PC.TpHelperKeyMap; ++K)
+    plantHelperKeyMap(C);
+  for (uint32_t K = 0; K < PC.TpComputedReflective; ++K)
+    plantComputedReflective(C);
   for (uint32_t K = 0; K < PC.TpThread; ++K)
     plantThread(C);
   for (uint32_t K = 0; K < PC.TpLong; ++K)

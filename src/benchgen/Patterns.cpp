@@ -165,6 +165,73 @@ void taj::benchgen::plantReflective(PlantCtx &C) {
   ++C.FlowIdx;
 }
 
+void taj::benchgen::plantHelperKeyMap(PlantCtx &C) {
+  // kput<flow>(this, map, key, val): the only put of the tainted value.
+  // The key arrives as a parameter, so binding the map channel to "t"
+  // requires propagating the constant across the call.
+  std::string Name = "kput" + std::to_string(C.FlowIdx);
+  {
+    MethodBuilder MB = C.B.startMethod(
+        C.AppCls, Name,
+        {Type::ref(C.AppCls), Type::ref(C.Lib.HashMap),
+         Type::ref(C.Lib.String), Type::ref(C.Lib.String)},
+        Type::voidTy());
+    MB.callVirtual("put", {MB.param(1), MB.param(2), MB.param(3)});
+    MB.emitRet();
+    MB.finish();
+  }
+  MethodBuilder MB = startEntry(C, "");
+  ValueId T = emitSource(C, MB);
+  ValueId M = MB.emitNew(C.Lib.HashMap);
+  // Exactly one call site: a second site with a different key would meet
+  // the helper's key parameter to bottom and re-open the wildcard channel
+  // even under ipa.
+  MB.callVirtualV(Name, {MB.param(0), M, MB.constStr("t"), T});
+  MB.callVirtual("put", {M, MB.constStr("c"), MB.constStr("benign")});
+  ValueId U = MB.callVirtual("get", {M, MB.constStr("t")});
+  emitSink(C, MB, U, C.sinkLine(), MB.param(2), MB.param(3));
+  // The clean key's read: decoy sink, reported only when the helper put
+  // degraded to the wildcard channel (off / local).
+  ValueId V = MB.callVirtual("get", {M, MB.constStr("c")});
+  emitSink(C, MB, V, C.decoyLine(), MB.param(2), MB.param(3));
+  MB.emitRet();
+  MB.finish();
+  C.Truth.RealPairs.insert({C.srcLine(), C.sinkLine()});
+  ++C.FlowIdx;
+}
+
+void taj::benchgen::plantComputedReflective(PlantCtx &C) {
+  std::string N = std::to_string(C.FlowIdx);
+  std::string RName = "CRefl" + N;
+  ClassId RC = C.B.makeClass(RName, C.Lib.Object);
+  {
+    MethodBuilder MB = C.B.startMethod(
+        RC, "ident", {Type::ref(RC), Type::ref(C.Lib.String)},
+        Type::ref(C.Lib.String));
+    MB.emitRet(MB.param(1));
+    MB.finish();
+  }
+  MethodBuilder MB = startEntry(C, "");
+  ValueId T = emitSource(C, MB);
+  // The class name is assembled from constant parts, so resolving the
+  // forName target needs the carrier-append folding of the ipa analysis.
+  ValueId Sb = MB.emitNew(C.Lib.StringBuilder);
+  Sb = MB.callVirtual("append", {Sb, MB.constStr("CRefl")});
+  Sb = MB.callVirtual("append", {Sb, MB.constStr(N)});
+  ValueId Nm = MB.callVirtual("toString", {Sb});
+  ValueId K = MB.callStatic(C.Lib.ClassCls, "forName", {Nm});
+  ValueId IdM = MB.callVirtual("getMethod", {K, MB.constStr("ident")});
+  ValueId Recv = MB.emitNew(RC);
+  ValueId Arr = MB.emitNewArray(C.Lib.Object);
+  MB.emitArrayStore(Arr, T);
+  ValueId S = MB.callVirtual("invoke", {IdM, Recv, Arr});
+  emitSink(C, MB, S, C.sinkLine(), MB.param(2), MB.param(3));
+  MB.emitRet();
+  MB.finish();
+  C.Truth.RealPairs.insert({C.srcLine(), C.sinkLine()});
+  ++C.FlowIdx;
+}
+
 void taj::benchgen::plantThread(PlantCtx &C) {
   std::string N = std::to_string(C.FlowIdx);
   ClassId Sh = C.B.makeClass("Shared" + N, C.Lib.Object);

@@ -54,6 +54,16 @@ void plantMap(PlantCtx &C);
 /// Class.forName / getMethod / invoke flow (§4.2.3).
 void plantReflective(PlantCtx &C);
 
+/// Dictionary flow where the tainted put happens inside a helper whose key
+/// arrives as a parameter constant: only the interprocedural string
+/// analysis keeps the clean key's read precise (off/local report a decoy).
+void plantHelperKeyMap(PlantCtx &C);
+
+/// Reflective flow whose class name is assembled from constant parts with
+/// a StringBuilder: found only under --string-analysis=ipa; off/local
+/// leave the site unresolved (reflection.unresolved diagnostics).
+void plantComputedReflective(PlantCtx &C);
+
 /// Reader entry (created first) loads a shared static that a worker
 /// thread, spawned by a later entry, stores tainted data into. Real under
 /// multi-threaded semantics; missed by CS thin slicing.

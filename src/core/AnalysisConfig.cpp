@@ -27,7 +27,8 @@ RunGuard::Limits AnalysisConfig::guardLimits() const {
 std::string AnalysisConfig::pointsToFingerprint() const {
   std::string S = "pts:prio=" + std::to_string(Prioritized) +
                   ";maxcg=" + std::to_string(MaxCallGraphNodes) +
-                  ";nowl=" + std::to_string(ExcludeWhitelisted);
+                  ";nowl=" + std::to_string(ExcludeWhitelisted) +
+                  ";sa=" + stringAnalysisModeName(StringAnalysis);
   // Deployment bindings live in unordered maps; sort for a canonical form.
   std::vector<std::pair<std::string, ClassId>> Jndi(JndiBindings.begin(),
                                                     JndiBindings.end());

@@ -16,6 +16,7 @@
 #ifndef TAJ_CORE_ANALYSISCONFIG_H
 #define TAJ_CORE_ANALYSISCONFIG_H
 
+#include "dataflow/ConstString.h"
 #include "pointsto/Solver.h"
 #include "slicer/Slicer.h"
 #include "support/RunGuard.h"
@@ -52,6 +53,11 @@ struct AnalysisConfig {
 
   /// §4.1.2 exception modeling.
   bool ModelExceptionSources = true;
+
+  /// String-constant inference feeding the dictionary and reflection
+  /// models (taj-cli --string-analysis): off / local / ipa (default).
+  /// Part of pointsToFingerprint(), so persist artifacts key correctly.
+  StringAnalysisMode StringAnalysis = StringAnalysisMode::Ipa;
 
   /// Worker threads for the per-source slicing loops (1 = sequential,
   /// 0 = auto: TAJ_THREADS env var, then hardware concurrency). Output is

@@ -62,8 +62,20 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   }
 
   G.beginPhase(RunPhase::PointerAnalysis);
+
+  // String-constant propagation (dataflow/ConstString.h) runs before the
+  // solver — its facts drive the dictionary-channel and reflection models.
+  // It is cheap and deterministic, so it also runs on warm-cache paths
+  // (the result itself is never persisted) and its conststr.* counters
+  // land in RunStats either way.
+  ConstStringOptions CSO;
+  CSO.Mode = Config.StringAnalysis;
+  CSO.Guard = &G;
+  ConstStrings = analyzeConstStrings(P, CHA, CSO);
+
   PointsToOptions PO = Config.pointsToOptions();
   PO.Guard = &G;
+  PO.ConstStrings = &ConstStrings;
   Solver = std::make_unique<PointsToSolver>(P, CHA, PO);
   bool PtsWarm = false;
   if (CacheOn) {
@@ -161,6 +173,8 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   }
 
   G.exportStats(Out.RunStats);
+  Out.RunStats.merge(ConstStrings.stats());
+  Out.RunStats.merge(Solver->stats());
   if (Cache) {
     Out.RunStats.add("persist.hit", Cache->hits() - Hit0);
     Out.RunStats.add("persist.miss", Cache->misses() - Miss0);

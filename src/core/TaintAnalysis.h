@@ -77,11 +77,16 @@ public:
   const PointsToSolver &solver() const { return *Solver; }
   const ClassHierarchy &hierarchy() const { return CHA; }
   const AnalysisConfig &config() const { return Config; }
+  /// The string-constant facts of the last run() (valid after run()).
+  const ConstStringResult &constStrings() const { return ConstStrings; }
 
 private:
   const Program &P;
   AnalysisConfig Config;
   ClassHierarchy CHA;
+  /// Computed by run() before the solver and handed to it by pointer;
+  /// must outlive the solver (SDG/heap-edge queries go through it).
+  ConstStringResult ConstStrings;
   std::unique_ptr<PointsToSolver> Solver;
 };
 

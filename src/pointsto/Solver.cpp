@@ -1,6 +1,7 @@
 //===- pointsto/Solver.cpp -------------------------------------*- C++ -*-===//
 
 #include "pointsto/Solver.h"
+#include "dataflow/ConstString.h"
 #include "pointsto/Priority.h"
 #include "support/RunGuard.h"
 
@@ -21,11 +22,22 @@ PointsToSolver::PointsToSolver(const Program &P, const ClassHierarchy &CHA,
   HPtsEntries = Counters.handle("pts.entries");
   HCgNodes = Counters.handle("cg.nodes");
   HCgProcessed = Counters.handle("cg.processed");
+  HMapKeysResolved = Counters.handle("conststr.map_keys_resolved");
+  HReflResolved = Counters.handle("conststr.reflective_resolved");
   StringClass = P.findClass("String");
   ExceptionClass = P.findClass("Exception");
   WildChan = internSym("@map:*");
   ElemChan = internSym("@elem");
   RunSym = internSym("run");
+  if (!this->Opts.ConstStrings) {
+    // No precomputed facts (directly constructed solver): fall back to
+    // the historical per-method ConstStr+Copy inference. Computed eagerly
+    // so post-solve queries stay safe from any thread.
+    ConstStringOptions CSO;
+    CSO.Mode = StringAnalysisMode::Local;
+    OwnedConstStr = std::make_unique<ConstStringResult>(
+        analyzeConstStrings(P, CHA, CSO));
+  }
 }
 
 PointsToSolver::~PointsToSolver() { delete Prio; }
@@ -142,37 +154,9 @@ IKId PointsToSolver::syntheticIK(StmtId Site, ClassId Cls) {
 //===----------------------------------------------------------------------===//
 
 Symbol PointsToSolver::constStringOf(MethodId M, ValueId V) const {
-  auto &Cache = ConstStrCache[M];
-  if (Cache.empty()) {
-    // One pass: record ConstStr defs and Copy chains.
-    std::unordered_map<ValueId, ValueId> Copies;
-    for (const BasicBlock &BB : P.Methods[M].Blocks) {
-      for (const Instruction &I : BB.Insts) {
-        if (I.Op == Opcode::ConstStr)
-          Cache[I.Dst] = I.StrLit;
-        else if (I.Op == Opcode::Copy)
-          Copies[I.Dst] = I.Args[0];
-      }
-    }
-    // Resolve copy chains (bounded).
-    for (auto &[Dst, Src] : Copies) {
-      ValueId Cur = Src;
-      for (int Guard = 0; Guard < 32; ++Guard) {
-        auto CI = Cache.find(Cur);
-        if (CI != Cache.end()) {
-          Cache[Dst] = CI->second;
-          break;
-        }
-        auto CP = Copies.find(Cur);
-        if (CP == Copies.end())
-          break;
-        Cur = CP->second;
-      }
-    }
-    Cache.emplace(NoValue, ~0u); // mark as initialized
-  }
-  auto It = Cache.find(V);
-  return It == Cache.end() || V == NoValue ? ~0u : It->second;
+  const ConstStringResult *CS =
+      Opts.ConstStrings ? Opts.ConstStrings : OwnedConstStr.get();
+  return CS ? CS->valueOf(M, V) : ~0u;
 }
 
 Symbol PointsToSolver::mapChannel(CGNodeId Caller, const Instruction &I,
@@ -182,9 +166,20 @@ Symbol PointsToSolver::mapChannel(CGNodeId Caller, const Instruction &I,
   Symbol Lit = constStringOf(CG.node(Caller).M, I.Args[KeyArg]);
   if (Lit == ~0u)
     return WildChan;
+  Counters.addTo(HMapKeysResolved);
   std::string Name = "@map:";
   Name += P.Pool.str(Lit);
   return internSym(Name);
+}
+
+/// Records one unresolved reflective call site (§4.2.3) both as the
+/// aggregate reflection.unresolved counter and as a per-site key
+/// ("reflection.unresolved_site.<Class.method>#<stmt>") surfaced through
+/// --stats-json, so users can see which sites the analysis gave up on.
+void PointsToSolver::noteUnresolvedReflection(CGNodeId Caller, StmtId Site) {
+  Counters.add("reflection.unresolved");
+  Counters.add("reflection.unresolved_site." +
+               P.methodName(CG.node(Caller).M) + "#" + std::to_string(Site));
 }
 
 //===----------------------------------------------------------------------===//
@@ -649,6 +644,7 @@ void PointsToSolver::applyIntrinsic(CGNodeId Caller, StmtId Site,
       break;
     Symbol Lit = constStringOf(CG.node(Caller).M, I.Args[Off]);
     if (Lit != ~0u) {
+      Counters.addTo(HMapKeysResolved);
       std::string Name = "@map:";
       Name += P.Pool.str(Lit);
       Symbol Chan = internSym(Name);
@@ -679,14 +675,15 @@ void PointsToSolver::applyIntrinsic(CGNodeId Caller, StmtId Site,
       break;
     Symbol Lit = constStringOf(CG.node(Caller).M, I.Args[Off]);
     if (Lit == ~0u) {
-      Counters.add("reflection.unresolved");
+      noteUnresolvedReflection(Caller, Site);
       break;
     }
     ClassId Target = P.findClass(P.Pool.str(Lit));
     if (Target == InvalidId) {
-      Counters.add("reflection.unresolved");
+      noteUnresolvedReflection(Caller, Site);
       break;
     }
+    Counters.addTo(HReflResolved);
     InstanceKeyData D;
     D.Kind = IKKind::ClassObj;
     D.Cls = CalM.RetType.isRefLike() ? CalM.RetType.Cls : InvalidId;
@@ -702,14 +699,15 @@ void PointsToSolver::applyIntrinsic(CGNodeId Caller, StmtId Site,
       break;
     Symbol Lit = constStringOf(CG.node(Caller).M, I.Args[Off]);
     if (Lit == ~0u) {
-      Counters.add("reflection.unresolved");
+      noteUnresolvedReflection(Caller, Site);
       break;
     }
     MethodId Target = CHA.resolveVirtual(RD.Extra, Lit);
     if (Target == InvalidId) {
-      Counters.add("reflection.unresolved");
+      noteUnresolvedReflection(Caller, Site);
       break;
     }
+    Counters.addTo(HReflResolved);
     InstanceKeyData D;
     D.Kind = IKKind::MethodObj;
     D.Cls = CalM.RetType.isRefLike() ? CalM.RetType.Cls : InvalidId;

@@ -30,6 +30,7 @@
 #include "pointsto/Keys.h"
 #include "support/Stats.h"
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -38,6 +39,7 @@
 namespace taj {
 
 class RunGuard;
+class ConstStringResult;
 
 namespace persist {
 struct Access;
@@ -62,6 +64,11 @@ struct PointsToOptions {
   std::unordered_map<std::string, ClassId> JndiBindings;
   /// EJB home class -> bean implementation class (deployment descriptor).
   std::unordered_map<ClassId, ClassId> EjbHomeToBean;
+  /// Precomputed string-constant facts (dataflow/ConstString.h) consumed
+  /// by the dictionary and reflection models. Not owned; when null the
+  /// solver computes its own local-mode result (historical behavior for
+  /// directly constructed solvers).
+  const ConstStringResult *ConstStrings = nullptr;
 };
 
 /// Result-bearing pointer analysis. Construct, then call solve() once.
@@ -107,6 +114,8 @@ public:
   const std::vector<MethodId> &intrinsicCalleesAt(StmtId Site) const;
 
   /// Constant string defined by SSA value \p V of method \p M, or ~0u.
+  /// Answers from PointsToOptions::ConstStrings (or the solver's own
+  /// local-mode fallback result when none was supplied).
   Symbol constStringOf(MethodId M, ValueId V) const;
 
   /// True if the node budget was hit (the result is underapproximate).
@@ -180,6 +189,7 @@ private:
 
   IKId syntheticIK(StmtId Site, ClassId Cls);
   Symbol mapChannel(CGNodeId Caller, const Instruction &I, size_t KeyArg);
+  void noteUnresolvedReflection(CGNodeId Caller, StmtId Site);
   Symbol internSym(std::string_view S) const;
 
   const Program &P;
@@ -197,6 +207,8 @@ private:
   Stats::Handle HPtsEntries = 0;
   Stats::Handle HCgNodes = 0;
   Stats::Handle HCgProcessed = 0;
+  Stats::Handle HMapKeysResolved = 0;
+  Stats::Handle HReflResolved = 0;
   bool BudgetHit = false;
   bool Solved = false;
 
@@ -229,8 +241,9 @@ private:
   Symbol RunSym = 0;
 
   std::unordered_map<StmtId, std::vector<MethodId>> IntrinsicCallees;
-  mutable std::unordered_map<MethodId, std::unordered_map<ValueId, Symbol>>
-      ConstStrCache;
+  /// Fallback string-constant facts, computed in the constructor when
+  /// PointsToOptions::ConstStrings is absent.
+  std::unique_ptr<ConstStringResult> OwnedConstStr;
 
   class PriorityManager *Prio = nullptr; // owned
 };

@@ -161,6 +161,8 @@ public:
   std::vector<IKId> argPointsTo(SDGNodeId N, uint32_t ArgIdx) const;
 
   /// Constant map key of a MapPut/MapGet statement node (~0u if unknown).
+  /// Answered from the run's ConstStringResult via the solver, so keys
+  /// routed through helpers resolve under --string-analysis=ipa.
   Symbol constKeyOf(SDGNodeId N) const;
 
   /// True if the CS channel extension exceeded its budget.

@@ -75,6 +75,9 @@ private:
   void computeStore(SDGNodeId Store, RunGuard *Guard);
 
   std::vector<IKId> baseIKs(SDGNodeId Node) const;
+  /// Constant key of a map access (SDG::constKeyOf): channels with
+  /// distinct resolved keys never connect, so dictionary precision here
+  /// follows the --string-analysis mode.
   Symbol mapKeyOf(SDGNodeId Node) const;
 
   const Program &P;

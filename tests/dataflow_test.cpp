@@ -1,0 +1,477 @@
+//===- tests/dataflow_test.cpp - String-constant propagation -------------===//
+//
+// Unit and end-to-end tests for the sparse constant-string analysis
+// (dataflow/ConstString.h): the three modes (off / local / ipa), phi
+// meets, carrier-append concatenation, interprocedural argument/return
+// propagation, write-once field constants, meets to bottom across
+// conflicting call sites, RunGuard degradation mid-fixpoint, the solver
+// consumers (dictionary channels, computed reflection, per-site
+// diagnostics), and warm/cold cache byte-identity per mode through the
+// CLI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TaintAnalysis.h"
+#include "frontend/Parser.h"
+#include "model/BuiltinLibrary.h"
+#include "model/Entrypoints.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace taj;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Parses a snippet and runs analyzeConstStrings in the given mode.
+struct Analyzed {
+  Program P;
+  BuiltinLibrary Lib;
+  std::unique_ptr<ClassHierarchy> CHA;
+  ConstStringResult R;
+
+  explicit Analyzed(const std::string &Src,
+                    StringAnalysisMode Mode = StringAnalysisMode::Ipa,
+                    RunGuard *Guard = nullptr) {
+    Lib = installBuiltinLibrary(P);
+    std::vector<std::string> Errors;
+    bool Ok = parseTaj(P, Src, &Errors);
+    EXPECT_TRUE(Ok) << (Errors.empty() ? "?" : Errors.front());
+    P.indexStatements();
+    CHA = std::make_unique<ClassHierarchy>(P);
+    ConstStringOptions O;
+    O.Mode = Mode;
+    O.Guard = Guard;
+    R = analyzeConstStrings(P, *CHA, O);
+  }
+
+  MethodId method(const std::string &Cls, const std::string &Meth) const {
+    MethodId M = P.findMethod(P.findClass(Cls), Meth);
+    EXPECT_NE(M, InvalidId) << Cls << "." << Meth;
+    return M;
+  }
+
+  /// The constant (as text) of the operand of \p Cls.\p Meth's return
+  /// statement, or "?" when unknown.
+  std::string retConst(const std::string &Cls, const std::string &Meth) const {
+    MethodId M = method(Cls, Meth);
+    for (const BasicBlock &B : P.Methods[M].Blocks)
+      for (const Instruction &I : B.Insts)
+        if (I.Op == Opcode::Return && !I.Args.empty())
+          return constText(M, I.Args[0]);
+    ADD_FAILURE() << "no return value in " << Cls << "." << Meth;
+    return "?";
+  }
+
+  /// The constant of parameter \p Idx of \p Cls.\p Meth (params are SSA
+  /// values 0..NumParams-1).
+  std::string paramConst(const std::string &Cls, const std::string &Meth,
+                         ValueId Idx) const {
+    return constText(method(Cls, Meth), Idx);
+  }
+
+  std::string constText(MethodId M, ValueId V) const {
+    Symbol S = R.valueOf(M, V);
+    return S == ConstStringResult::Unknown ? "?" : std::string(P.Pool.str(S));
+  }
+};
+
+/// One source whose constant routing differs per mode: a direct constant,
+/// a cross-call constant, and a carrier-folded concatenation.
+const char *const CrossCallSrc = R"(
+class App extends Servlet {
+  method use(this: App, k: String): String { return k; }
+  method direct(this: App): String { c = "direct"; d = c; return d; }
+  method doGet(this: App, req: Request): void [entry] {
+    x = this.use("routed");
+  }
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Modes
+//===----------------------------------------------------------------------===//
+
+TEST(ConstString, LocalResolvesDirectConstantsAndCopies) {
+  Analyzed A(CrossCallSrc, StringAnalysisMode::Local);
+  EXPECT_EQ(A.retConst("App", "direct"), "direct");
+  // Cross-call facts need ipa.
+  EXPECT_EQ(A.paramConst("App", "use", 1), "?");
+  EXPECT_FALSE(A.R.degraded());
+}
+
+TEST(ConstString, OffResolvesNothing) {
+  Analyzed A(CrossCallSrc, StringAnalysisMode::Off);
+  EXPECT_EQ(A.retConst("App", "direct"), "?");
+  EXPECT_EQ(A.paramConst("App", "use", 1), "?");
+  EXPECT_EQ(A.R.stats().get("conststr.values_const"), 0u);
+}
+
+TEST(ConstString, IpaBindsArgumentToParameter) {
+  Analyzed A(CrossCallSrc, StringAnalysisMode::Ipa);
+  EXPECT_EQ(A.retConst("App", "direct"), "direct");
+  EXPECT_EQ(A.paramConst("App", "use", 1), "routed");
+  // The helper's return is its parameter: the constant flows back out.
+  EXPECT_EQ(A.retConst("App", "use"), "routed");
+}
+
+//===----------------------------------------------------------------------===//
+// Phis
+//===----------------------------------------------------------------------===//
+
+TEST(ConstString, PhiOfEqualConstantsKeepsConstant) {
+  Analyzed A(R"(
+class App extends Servlet {
+  method pick(this: App, cond: int): String {
+    x = "same";
+    if cond goto other;
+    goto done;
+  other:
+    x = "same";
+  done:
+    return x;
+  }
+  method doGet(this: App, req: Request): void [entry] {}
+}
+)");
+  EXPECT_EQ(A.retConst("App", "pick"), "same");
+}
+
+TEST(ConstString, PhiOfConflictingConstantsMeetsToBottom) {
+  Analyzed A(R"(
+class App extends Servlet {
+  method pick(this: App, cond: int): String {
+    x = "one";
+    if cond goto other;
+    goto done;
+  other:
+    x = "two";
+  done:
+    return x;
+  }
+  method doGet(this: App, req: Request): void [entry] {}
+}
+)");
+  EXPECT_EQ(A.retConst("App", "pick"), "?");
+  EXPECT_GE(A.R.stats().get("conststr.meets_to_bottom"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural meets, returns, fields
+//===----------------------------------------------------------------------===//
+
+TEST(ConstString, ConflictingCallSitesMeetToBottom) {
+  Analyzed A(R"(
+class App extends Servlet {
+  method use(this: App, k: String): String { return k; }
+  method doGet(this: App, req: Request): void [entry] {
+    a = this.use("one");
+    b = this.use("two");
+  }
+}
+)");
+  EXPECT_EQ(A.paramConst("App", "use", 1), "?");
+  EXPECT_GE(A.R.stats().get("conststr.meets_to_bottom"), 1u);
+}
+
+TEST(ConstString, ReturnConstantReachesCallResult) {
+  Analyzed A(R"(
+class App extends Servlet {
+  method name(this: App): String { return "cfg"; }
+  method wrap(this: App): String { n = this.name(); return n; }
+  method doGet(this: App, req: Request): void [entry] {}
+}
+)");
+  EXPECT_EQ(A.retConst("App", "wrap"), "cfg");
+}
+
+TEST(ConstString, WriteOnceStaticFieldKeepsItsConstant) {
+  Analyzed A(R"(
+class Cfg extends Object {
+  static field mode: String;
+}
+class App extends Servlet {
+  method init(this: App): void { Cfg.mode = "prod"; }
+  method read(this: App): String { m = Cfg.mode; return m; }
+  method doGet(this: App, req: Request): void [entry] {}
+}
+)");
+  EXPECT_EQ(A.retConst("App", "read"), "prod");
+}
+
+TEST(ConstString, TwiceWrittenFieldMeetsToBottom) {
+  Analyzed A(R"(
+class Cfg extends Object {
+  static field mode: String;
+}
+class App extends Servlet {
+  method init(this: App): void { Cfg.mode = "prod"; }
+  method flip(this: App): void { Cfg.mode = "test"; }
+  method read(this: App): String { m = Cfg.mode; return m; }
+  method doGet(this: App, req: Request): void [entry] {}
+}
+)");
+  EXPECT_EQ(A.retConst("App", "read"), "?");
+}
+
+//===----------------------------------------------------------------------===//
+// Carrier concatenation
+//===----------------------------------------------------------------------===//
+
+TEST(ConstString, CarrierAppendChainFoldsToConcatenation) {
+  Analyzed A(R"(
+class App extends Servlet {
+  method build(this: App): String {
+    sb = new StringBuilder;
+    sb2 = sb.append("foo");
+    sb3 = sb2.append("bar");
+    s = sb3.toString();
+    return s;
+  }
+  method doGet(this: App, req: Request): void [entry] {}
+}
+)");
+  EXPECT_EQ(A.retConst("App", "build"), "foobar");
+  EXPECT_GE(A.R.stats().get("conststr.concats_folded"), 1u);
+}
+
+TEST(ConstString, AppendOfNonConstantIsNotAConstant) {
+  Analyzed A(R"(
+class App extends Servlet {
+  method build(this: App, req: Request): String {
+    t = req.getParameter("p");
+    sb = new StringBuilder;
+    sb2 = sb.append("prefix");
+    sb3 = sb2.append(t);
+    s = sb3.toString();
+    return s;
+  }
+  method doGet(this: App, req: Request): void [entry] {
+    x = this.build(req);
+  }
+}
+)");
+  EXPECT_EQ(A.retConst("App", "build"), "?");
+}
+
+TEST(ConstString, TrimDoesNotFoldAsConcatenation) {
+  // String.trim is a StringTransfer on a carrier class but must not be
+  // treated as identity/concat: " x ".trim() != " x ".
+  Analyzed A(R"(
+class App extends Servlet {
+  method build(this: App): String {
+    s = "  x  ";
+    t = s.trim();
+    return t;
+  }
+  method doGet(this: App, req: Request): void [entry] {}
+}
+)");
+  EXPECT_EQ(A.retConst("App", "build"), "?");
+}
+
+//===----------------------------------------------------------------------===//
+// Guard degradation
+//===----------------------------------------------------------------------===//
+
+TEST(ConstString, GuardCutoffFallsBackToLocalFacts) {
+  RunGuard::Limits L;
+  L.FailAtCheckpoint = 1;
+  RunGuard G(L);
+  Analyzed A(CrossCallSrc, StringAnalysisMode::Ipa, &G);
+  EXPECT_TRUE(A.R.degraded());
+  EXPECT_EQ(A.R.stats().get("conststr.guard_stop"), 1u);
+  // Local facts survive; the optimistic interprocedural claim is dropped.
+  EXPECT_EQ(A.retConst("App", "direct"), "direct");
+  EXPECT_EQ(A.paramConst("App", "use", 1), "?");
+}
+
+//===----------------------------------------------------------------------===//
+// Consumers: dictionary channels, computed reflection, diagnostics
+//===----------------------------------------------------------------------===//
+
+/// Tainted put routed through a helper whose key is a parameter; the
+/// clean key "c" must stay clean exactly when the helper key resolves.
+const char *const HelperKeyMapSrc = R"(
+class App extends Servlet {
+  method kput(this: App, m: HashMap, k: String, v: String): void {
+    m.put(k, v);
+  }
+  method doGet(this: App, req: Request, resp: Response): void [entry] {
+    t = req.getParameter("p");
+    m = new HashMap;
+    this.kput(m, "t", t);
+    m.put("c", "benign");
+    w = resp.getWriter();
+    u = m.get("t");
+    w.println(u);
+    v = m.get("c");
+    w.println(v);
+  }
+}
+)";
+
+size_t distinctFlows(const AnalysisResult &R) {
+  std::set<std::pair<StmtId, StmtId>> Pairs;
+  for (const Issue &I : R.Issues)
+    Pairs.insert({I.Source, I.Sink});
+  return Pairs.size();
+}
+
+AnalysisResult runEndToEnd(const std::string &Src, StringAnalysisMode Mode) {
+  static std::vector<std::unique_ptr<Program>> Keep; // outlive results
+  Keep.push_back(std::make_unique<Program>());
+  Program &P = *Keep.back();
+  installBuiltinLibrary(P);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(parseTaj(P, Src, &Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+  MethodId Root = synthesizeEntrypointDriver(P);
+  AnalysisConfig C = AnalysisConfig::hybridUnbounded();
+  C.StringAnalysis = Mode;
+  TaintAnalysis TA(P, std::move(C));
+  return TA.run({Root});
+}
+
+TEST(ConstStringConsumers, HelperRoutedMapKeySeparatesCleanKeyUnderIpa) {
+  AnalysisResult Ipa = runEndToEnd(HelperKeyMapSrc, StringAnalysisMode::Ipa);
+  EXPECT_EQ(distinctFlows(Ipa), 1u); // only get("t") -> println
+  AnalysisResult Local =
+      runEndToEnd(HelperKeyMapSrc, StringAnalysisMode::Local);
+  EXPECT_EQ(distinctFlows(Local), 2u); // wildcard put taints get("c") too
+}
+
+const char *const ComputedReflSrc = R"(
+class Target extends Object {
+  method ident(this: Target, x: String): String { return x; }
+}
+class App extends Servlet {
+  method doGet(this: App, req: Request, resp: Response): void [entry] {
+    t = req.getParameter("p");
+    sb = new StringBuilder;
+    sb2 = sb.append("Tar");
+    sb3 = sb2.append("get");
+    n = sb3.toString();
+    k = Class.forName(n);
+    md = k.getMethod("ident");
+    recv = new Target;
+    a = new Object[];
+    a[] = t;
+    r = md.invoke(recv, a);
+    w = resp.getWriter();
+    w.println(r);
+  }
+}
+)";
+
+TEST(ConstStringConsumers, ComputedReflectiveTargetResolvesOnlyUnderIpa) {
+  AnalysisResult Ipa = runEndToEnd(ComputedReflSrc, StringAnalysisMode::Ipa);
+  EXPECT_EQ(distinctFlows(Ipa), 1u);
+  EXPECT_GE(Ipa.RunStats.get("conststr.reflective_resolved"), 1u);
+  EXPECT_EQ(Ipa.RunStats.get("reflection.unresolved"), 0u);
+
+  AnalysisResult Local =
+      runEndToEnd(ComputedReflSrc, StringAnalysisMode::Local);
+  EXPECT_EQ(distinctFlows(Local), 0u); // flow through invoke is missed
+  EXPECT_GE(Local.RunStats.get("reflection.unresolved"), 1u);
+}
+
+TEST(ConstStringConsumers, UnresolvedReflectionReportsPerSiteDiagnostics) {
+  AnalysisResult Local =
+      runEndToEnd(ComputedReflSrc, StringAnalysisMode::Local);
+  // Bare counter plus one keyed diagnostic naming method and statement.
+  EXPECT_GE(Local.RunStats.get("reflection.unresolved"), 1u);
+  std::string Text = Local.RunStats.toString();
+  EXPECT_NE(Text.find("reflection.unresolved_site.App.doGet#"),
+            std::string::npos)
+      << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// CLI: warm/cold byte-identity per mode, cache miss on mode change
+//===----------------------------------------------------------------------===//
+
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/taj-dataflow-XXXXXX";
+    const char *D = ::mkdtemp(Buf);
+    EXPECT_NE(D, nullptr);
+    Path = D ? D : "";
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::error_code Ec;
+      fs::remove_all(Path, Ec);
+    }
+  }
+};
+
+std::string runCli(const std::string &Args, int &ExitCode) {
+  std::string Cmd = std::string(TAJ_CLI_PATH) + " " + Args;
+  FILE *P = ::popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr);
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int St = ::pclose(P);
+  ExitCode = WIFEXITED(St) ? WEXITSTATUS(St) : -1;
+  return Out;
+}
+
+uint64_t statFromJson(const std::string &Path, const std::string &Key) {
+  std::ifstream In(Path);
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  std::string Needle = "\"" + Key + "\":";
+  size_t At = Text.find(Needle);
+  if (At == std::string::npos)
+    return 0;
+  return std::strtoull(Text.c_str() + At + Needle.size(), nullptr, 10);
+}
+
+TEST(CliStringAnalysis, WarmRunsAreByteIdenticalPerModeAndMissAcrossModes) {
+  TempDir D;
+  const std::string Example = TAJ_EXAMPLE_TAJ;
+  const std::string CacheDir = D.Path + "/cache";
+  for (const char *Mode : {"off", "local", "ipa"}) {
+    int Exit = -1;
+    std::string Flags = std::string("--string-analysis=") + Mode +
+                        " --cache-dir=\"" + CacheDir + "\"";
+    std::string ColdJson = D.Path + "/cold-" + Mode + ".json";
+    std::string Cold = runCli(Flags + " --stats-json=\"" + ColdJson +
+                                  "\" \"" + Example + "\" 2>/dev/null",
+                              Exit);
+    ASSERT_EQ(Exit, 0) << Mode;
+    // Fresh mode => fresh pts/sdg keys: the analysis artifacts must miss.
+    EXPECT_GE(statFromJson(ColdJson, "persist.miss"), 2u) << Mode;
+    std::string WarmJson = D.Path + "/warm-" + Mode + ".json";
+    std::string Warm = runCli(Flags + " --stats-json=\"" + WarmJson +
+                                  "\" \"" + Example + "\" 2>/dev/null",
+                              Exit);
+    ASSERT_EQ(Exit, 0) << Mode;
+    EXPECT_EQ(Cold, Warm) << Mode;
+    EXPECT_GE(statFromJson(WarmJson, "persist.hit"), 2u) << Mode;
+  }
+}
+
+TEST(CliStringAnalysis, RejectsUnknownMode) {
+  int Exit = -1;
+  std::string Out = runCli(std::string("--string-analysis=bogus \"") +
+                               TAJ_EXAMPLE_TAJ + "\" 2>&1",
+                           Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("off|local|ipa"), std::string::npos) << Out;
+}
+
+} // namespace

@@ -8,6 +8,11 @@
 // Options:
 //   --config=<hybrid|hybrid-prioritized|hybrid-optimized|cs|ci>
 //   --budget=<n>          call-graph node budget (0 = unbounded)
+//   --string-analysis=<off|local|ipa>
+//                         string-constant inference feeding the §4.2
+//                         dictionary and reflection models: off = none,
+//                         local = per-method ConstStr+Copy chains, ipa =
+//                         interprocedural propagation (default)
 //   --max-flow-length=<n> drop flows longer than n
 //   --nested-depth=<n>    taint-carrier field-dereference bound
 //   --threads=<n>         worker threads for slicing (0 = auto, default;
@@ -74,6 +79,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: taj-cli [--config=NAME] [--budget=N] [--max-flow-length=N]\n"
+      "               [--string-analysis=off|local|ipa]\n"
       "               [--nested-depth=N] [--threads=N] [--deadline-ms=N]\n"
       "               [--max-memory-mb=N] [--fail-at=N] [--cache-dir=PATH]\n"
       "               [--cache-max-mb=N] [--stats-json=PATH] [--raw]\n"
@@ -126,6 +132,7 @@ struct CliOptions {
   uint32_t Threads = 0; // 0 = auto (TAJ_THREADS, then hardware concurrency)
   double DeadlineMs = 0;
   uint64_t MaxMemoryMb = 0, FailAt = 0;
+  StringAnalysisMode StringAnalysis = StringAnalysisMode::Ipa;
   bool Raw = false, DumpIr = false, ShowStats = false;
 };
 
@@ -159,6 +166,7 @@ bool buildConfig(const CliOptions &O, AnalysisConfig &C) {
     C.MaxMemoryMb = O.MaxMemoryMb;
   if (O.FailAt)
     C.FailAtCheckpoint = O.FailAt;
+  C.StringAnalysis = O.StringAnalysis;
   return true;
 }
 
@@ -292,10 +300,8 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
     R.RunStats.add("persist.corrupt", IrCorrupt);
   }
 
-  if (MergedStats) {
-    MergedStats->merge(TA.solver().stats());
-    MergedStats->merge(R.RunStats);
-  }
+  if (MergedStats)
+    MergedStats->merge(R.RunStats); // includes the solver counters
 
   if (!R.Completed && !R.degraded()) {
     // Legacy CS failure channel with no structured status (should not
@@ -319,7 +325,6 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
     std::fprintf(stderr, "-- %zu raw flows, %.1f ms, %u call-graph nodes%s\n",
                  R.Issues.size(), R.Millis, R.CgNodesProcessed,
                  R.BudgetExhausted ? " (budget exhausted)" : "");
-    std::fprintf(stderr, "%s", TA.solver().stats().toString().c_str());
     std::fprintf(stderr, "%s", R.RunStats.toString().c_str());
   }
   Out.NumIssues = R.Issues.size();
@@ -372,6 +377,14 @@ int main(int Argc, char **Argv) {
       if (!parseNum("--fail-at", A + 10, V))
         return ExitError;
       Opt.FailAt = static_cast<uint64_t>(V);
+    } else if (std::strncmp(A, "--string-analysis=", 18) == 0) {
+      if (!parseStringAnalysisMode(A + 18, Opt.StringAnalysis)) {
+        std::fprintf(stderr,
+                     "error: --string-analysis requires off|local|ipa, "
+                     "got '%s'\n",
+                     A + 18);
+        return ExitError;
+      }
     } else if (std::strncmp(A, "--cache-dir=", 12) == 0)
       CacheDir = A + 12;
     else if (std::strncmp(A, "--cache-max-mb=", 15) == 0) {
