@@ -21,6 +21,9 @@ RunGuard::Limits AnalysisConfig::guardLimits() const {
   L.DeadlineMs = DeadlineMs;
   L.MaxMemoryBytes = MaxMemoryMb * 1024 * 1024;
   L.FailAtCheckpoint = FailAtCheckpoint;
+  L.CrashAtCheckpoint = CrashAtCheckpoint;
+  L.CrashSignal = CrashSignal;
+  L.HangAtCheckpoint = HangAtCheckpoint;
   return L;
 }
 

@@ -78,6 +78,14 @@ struct AnalysisConfig {
   /// Deterministic fault injection: trip the run guard at the Nth
   /// checkpoint (1-based; 0 = off). Test-only degradation forcing.
   uint64_t FailAtCheckpoint = 0;
+  /// Hard fault injection: die (abort, or raise CrashSignal) at the Nth
+  /// checkpoint (1-based; 0 = off). Exercises process-level supervision.
+  uint64_t CrashAtCheckpoint = 0;
+  /// Signal for CrashAtCheckpoint (0 = abort()).
+  int CrashSignal = 0;
+  /// Hard fault injection: block forever at the Nth checkpoint (1-based;
+  /// 0 = off). Exercises the supervisor watchdog.
+  uint64_t HangAtCheckpoint = 0;
   /// Optional externally-owned guard, e.g. to cancel() a run from another
   /// thread. When set it governs the run and the three limits above are
   /// ignored. Not owned; must outlive the run.

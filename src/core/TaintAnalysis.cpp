@@ -41,17 +41,21 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   persist::ArtifactCache *Cache = Config.Cache;
   const bool CacheOn = Cache && Cache->enabled() &&
                        !Config.InputFingerprint.empty() &&
-                       G.limits().FailAtCheckpoint == 0;
+                       G.limits().FailAtCheckpoint == 0 &&
+                       G.limits().CrashAtCheckpoint == 0 &&
+                       G.limits().HangAtCheckpoint == 0;
   std::string PtsKey, SdgKey;
   // Counter baselines, so this run's RunStats carries per-run deltas (a
   // shared batch cache accumulates across runs; summing the deltas of N
   // runs then reproduces the lifetime totals).
-  uint64_t Hit0 = 0, Miss0 = 0, Store0 = 0, Evict0 = 0, Corrupt0 = 0;
+  uint64_t Hit0 = 0, Miss0 = 0, Store0 = 0, Evict0 = 0, Skip0 = 0,
+           Corrupt0 = 0;
   if (Cache) {
     Hit0 = Cache->hits();
     Miss0 = Cache->misses();
     Store0 = Cache->stores();
     Evict0 = Cache->evictions();
+    Skip0 = Cache->evictSkips();
     Corrupt0 = Cache->corruptions();
   }
   if (CacheOn) {
@@ -180,6 +184,7 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
     Out.RunStats.add("persist.miss", Cache->misses() - Miss0);
     Out.RunStats.add("persist.store", Cache->stores() - Store0);
     Out.RunStats.add("persist.evict", Cache->evictions() - Evict0);
+    Out.RunStats.add("persist.evict_skipped", Cache->evictSkips() - Skip0);
     Out.RunStats.add("persist.corrupt", Cache->corruptions() - Corrupt0);
   }
   Out.Millis = T.elapsedMs();

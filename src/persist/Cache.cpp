@@ -6,10 +6,13 @@
 #include "support/Stats.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+
+#include <unistd.h>
 
 using namespace taj;
 using namespace taj::persist;
@@ -27,8 +30,9 @@ void diag(const std::string &What, const std::string &Why) {
 
 } // namespace
 
-ArtifactCache::ArtifactCache(std::string Dir, uint64_t MaxBytes)
-    : Dir(std::move(Dir)), MaxBytes(MaxBytes) {
+ArtifactCache::ArtifactCache(std::string Dir, uint64_t MaxBytes,
+                             uint64_t EvictGraceMs)
+    : Dir(std::move(Dir)), MaxBytes(MaxBytes), EvictGraceMs(EvictGraceMs) {
   std::error_code Ec;
   fs::create_directories(this->Dir, Ec);
   Enabled = !Ec && fs::is_directory(this->Dir, Ec) && !Ec;
@@ -107,7 +111,11 @@ void ArtifactCache::store(const std::string &Key, ArtifactKind Kind,
     return;
   std::vector<uint8_t> Record = wrapRecord(Kind, Payload);
   const std::string Path = pathFor(Key);
-  const std::string Tmp = Path + ".tmp";
+  // Pid-unique temp name: concurrent supervised workers may store the
+  // same key into a shared directory, and two writers interleaving into
+  // one ".tmp" file would rename a corrupt record into place.
+  const std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out ||
@@ -146,6 +154,9 @@ void ArtifactCache::evictToCap() {
     uint64_t Size;
     fs::file_time_type MTime;
   };
+  const fs::file_time_type Now = fs::file_time_type::clock::now();
+  const fs::file_time_type GraceEdge =
+      Now - std::chrono::milliseconds(EvictGraceMs);
   std::vector<Entry> Entries;
   uint64_t Total = 0;
   std::error_code Ec;
@@ -153,8 +164,19 @@ void ArtifactCache::evictToCap() {
     if (Ec)
       break;
     const fs::path &P = DE.path();
-    if (P.extension() != EntrySuffix)
+    if (P.extension() != EntrySuffix) {
+      // Sweep a crashed worker's abandoned temp files ("<key>.tajc.tmp.
+      // <pid>") once they are older than the grace window; a younger temp
+      // may still be mid-write by a live process.
+      if (EvictGraceMs != 0 &&
+          P.filename().native().find(".tajc.tmp.") != std::string::npos) {
+        std::error_code E2;
+        fs::file_time_type MT = fs::last_write_time(P, E2);
+        if (!E2 && MT < GraceEdge)
+          fs::remove(P, E2);
+      }
       continue;
+    }
     std::error_code E2;
     uint64_t Size = fs::file_size(P, E2);
     if (E2)
@@ -177,6 +199,14 @@ void ArtifactCache::evictToCap() {
   for (const Entry &E : Entries) {
     if (Total <= MaxBytes)
       break;
+    if (EvictGraceMs != 0 && E.MTime >= GraceEdge) {
+      // Recently stored or loaded: a concurrent worker may be mid-read.
+      // Entries are sorted oldest-first, so everything from here on is
+      // younger and equally protected.
+      EvictSkipped +=
+          static_cast<uint64_t>(&Entries.back() - &E) + 1;
+      break;
+    }
     std::error_code E2;
     if (fs::remove(E.Path, E2) && !E2) {
       Total -= E.Size;
@@ -191,6 +221,7 @@ void ArtifactCache::exportStats(Stats &S) const {
   S.add("persist.miss", Misses);
   S.add("persist.store", Stores);
   S.add("persist.evict", Evictions);
+  S.add("persist.evict_skipped", EvictSkipped);
   S.add("persist.corrupt", Corrupt);
 }
 

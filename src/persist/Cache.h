@@ -17,12 +17,22 @@
 /// (persist.corrupt), logged to stderr, the entry deleted, and the caller
 /// recomputes cold. A cache failure never changes results or exit codes.
 ///
-/// Capacity: stores go through a temp-file + rename, then the cache
+/// Capacity: stores go through a temp-file + rename (the temp name is
+/// pid-unique, so concurrent supervised workers sharing one directory
+/// never interleave writes into the same temp file), then the cache
 /// LRU-evicts (by file mtime, ties broken by name) until the directory is
 /// under the configured byte cap. Loads touch the entry's mtime.
 ///
+/// Concurrent workers: eviction never removes an entry whose mtime is
+/// inside the configured grace window — a recently stored or loaded
+/// entry is exactly the one another process may be about to read, and a
+/// fresh mtime is the only cross-process signal we have. Skipped entries
+/// are counted (persist.evict_skipped) and the directory may transiently
+/// exceed the cap by the skipped bytes. Stale temp files older than the
+/// grace window (a crashed worker's leftovers) are swept during eviction.
+///
 /// Counters (exported into Stats under persist.*): hit, miss, store,
-/// evict, corrupt.
+/// evict, evict_skipped, corrupt.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,9 +74,13 @@ private:
 class ArtifactCache {
 public:
   /// Opens (creating if needed) the cache at \p Dir. \p MaxBytes caps the
-  /// total size of stored entries (0 = uncapped). If the directory cannot
-  /// be created the cache is disabled: loads miss, stores are dropped.
-  explicit ArtifactCache(std::string Dir, uint64_t MaxBytes = 0);
+  /// total size of stored entries (0 = uncapped). \p EvictGraceMs is the
+  /// concurrent-reader grace window: eviction skips entries touched more
+  /// recently than this (0 = none; supervised batch workers default it
+  /// on). If the directory cannot be created the cache is disabled: loads
+  /// miss, stores are dropped.
+  explicit ArtifactCache(std::string Dir, uint64_t MaxBytes = 0,
+                         uint64_t EvictGraceMs = 0);
 
   bool enabled() const { return Enabled; }
   const std::string &dir() const { return Dir; }
@@ -92,13 +106,14 @@ public:
   void noteRestoreFailure(const std::string &Key);
 
   /// Exports persist.hit / persist.miss / persist.store / persist.evict /
-  /// persist.corrupt counters.
+  /// persist.evict_skipped / persist.corrupt counters.
   void exportStats(Stats &S) const;
 
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Misses; }
   uint64_t stores() const { return Stores; }
   uint64_t evictions() const { return Evictions; }
+  uint64_t evictSkips() const { return EvictSkipped; }
   uint64_t corruptions() const { return Corrupt; }
 
 private:
@@ -108,9 +123,11 @@ private:
 
   std::string Dir;
   uint64_t MaxBytes;
+  uint64_t EvictGraceMs;
   bool Enabled = false;
   mutable std::mutex Mu;
-  uint64_t Hits = 0, Misses = 0, Stores = 0, Evictions = 0, Corrupt = 0;
+  uint64_t Hits = 0, Misses = 0, Stores = 0, Evictions = 0, EvictSkipped = 0,
+           Corrupt = 0;
 };
 
 /// The SDG phase bundle a slicer needs: the graph, the heap graph it was

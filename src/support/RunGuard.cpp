@@ -2,7 +2,10 @@
 
 #include "support/RunGuard.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <thread>
 
 #if defined(__linux__)
 #include <cstdio>
@@ -82,6 +85,12 @@ std::string RunStatus::toString() const {
   return Out;
 }
 
+const DegradationPreset &taj::degradationForAttempt(unsigned Attempt) {
+  (void)Attempt; // one rung today
+  static const DegradationPreset Rung;
+  return Rung;
+}
+
 RunGuard::Limits RunGuard::limitsFromEnv(Limits Base) {
   // The environment only fills limits the caller left unset, so explicit
   // configuration (e.g. CLI flags) always wins over TAJ_* variables.
@@ -93,7 +102,27 @@ RunGuard::Limits RunGuard::limitsFromEnv(Limits Base) {
         static_cast<uint64_t>(std::atoll(E)) * 1024 * 1024;
   if (Base.FailAtCheckpoint == 0 && (E = std::getenv("TAJ_FAIL_AT")))
     Base.FailAtCheckpoint = static_cast<uint64_t>(std::atoll(E));
+  if (Base.CrashAtCheckpoint == 0 && (E = std::getenv("TAJ_CRASH_AT")))
+    Base.CrashAtCheckpoint = static_cast<uint64_t>(std::atoll(E));
+  if (Base.CrashSignal == 0 && (E = std::getenv("TAJ_CRASH_SIGNAL")))
+    Base.CrashSignal = std::atoi(E);
+  if (Base.HangAtCheckpoint == 0 && (E = std::getenv("TAJ_HANG_AT")))
+    Base.HangAtCheckpoint = static_cast<uint64_t>(std::atoll(E));
   return Base;
+}
+
+void RunGuard::crashNow() const {
+  if (Lim.CrashSignal != 0) {
+    ::raise(Lim.CrashSignal);
+    // A caught/ignored signal must still kill the process: the whole
+    // point of the injection is an abnormal death.
+  }
+  std::abort();
+}
+
+void RunGuard::hangForever() {
+  for (;;)
+    std::this_thread::sleep_for(std::chrono::seconds(1));
 }
 
 void RunGuard::exportStats(Stats &S) const {

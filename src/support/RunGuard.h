@@ -62,6 +62,28 @@ const char *phaseName(RunPhase P);
 const char *cutoffReasonName(CutoffReason R);
 const char *phaseOutcomeName(PhaseOutcome O);
 
+/// One rung of the supervised retry ladder: how a re-run of a crashed,
+/// timed-out or OOM-killed app is degraded relative to the first attempt.
+/// Exposed here (rather than inside the supervisor) so the cooperative
+/// governance layer and the process-level supervisor agree on what
+/// "degraded" means; taj-cli translates the preset into worker flags.
+struct DegradationPreset {
+  /// Multiplier applied to a nonzero call-graph node budget (§6.1).
+  double CallGraphBudgetScale = 0.5;
+  /// Drop interprocedural string propagation to per-method local mode.
+  bool ForceLocalStringAnalysis = true;
+  /// Pin slicing to one worker thread (lowest peak memory).
+  bool ForceSingleThread = true;
+  /// Injected faults (--fail-at/--crash-at/--hang-at) are first-attempt
+  /// scenarios; a retry must run without them or it can never recover.
+  bool StripFaultInjection = true;
+};
+
+/// The degradation preset for retry attempt \p Attempt (1-based: the
+/// first re-run after a non-clean exit). One rung today; the signature
+/// leaves room for a deeper ladder.
+const DegradationPreset &degradationForAttempt(unsigned Attempt);
+
 /// Structured diagnostic for one phase of a governed run.
 struct PhaseReport {
   RunPhase Phase = RunPhase::PointerAnalysis;
@@ -124,6 +146,17 @@ public:
     uint64_t MaxMemoryBytes = 0;
     /// Fault injection: trip at the Nth checkpoint (1-based; 0 = off).
     uint64_t FailAtCheckpoint = 0;
+    /// Hard fault injection: die at the Nth checkpoint (1-based; 0 = off)
+    /// via abort(), or raise(CrashSignal) when that is set. Unlike
+    /// FailAtCheckpoint this is NOT cooperative — the process terminates
+    /// on the spot, exercising the supervisor's crash classification.
+    uint64_t CrashAtCheckpoint = 0;
+    /// Signal CrashAtCheckpoint raises instead of abort() (0 = abort()).
+    /// TAJ_CRASH_SIGNAL=9 simulates a kernel OOM kill deterministically.
+    int CrashSignal = 0;
+    /// Hard fault injection: block forever at the Nth checkpoint
+    /// (1-based; 0 = off), exercising the supervisor's watchdog.
+    uint64_t HangAtCheckpoint = 0;
   };
 
   RunGuard() = default;
@@ -162,6 +195,10 @@ public:
     if (StopFlag.load(std::memory_order_acquire))
       return false;
     uint64_t C = Checkpoints.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (Lim.CrashAtCheckpoint != 0 && C >= Lim.CrashAtCheckpoint)
+      crashNow(); // does not return
+    if (Lim.HangAtCheckpoint != 0 && C >= Lim.HangAtCheckpoint)
+      hangForever(); // does not return
     if (Lim.FailAtCheckpoint != 0 && C >= Lim.FailAtCheckpoint)
       return stop(CutoffReason::FaultInjected);
     if (CancelFlag.load(std::memory_order_relaxed))
@@ -212,6 +249,11 @@ private:
   /// Deadline/memory checks are amortized over this many checkpoints
   /// (must be a power of two).
   static constexpr uint64_t PollInterval = 128;
+
+  /// Terminates the process abnormally (abort() or raise(CrashSignal)).
+  [[noreturn]] void crashNow() const;
+  /// Blocks this thread forever (interruptible only by signals).
+  [[noreturn]] static void hangForever();
 
   bool stop(CutoffReason R) {
     // Two-step latch: a relaxed CAS elects the winner, which records the

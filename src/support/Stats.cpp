@@ -2,6 +2,9 @@
 
 #include "support/Stats.h"
 
+#include <cctype>
+#include <cstdlib>
+
 using namespace taj;
 
 void Stats::merge(const Stats &Other) {
@@ -18,6 +21,58 @@ std::string Stats::toString() const {
     Out += '\n';
   }
   return Out;
+}
+
+bool Stats::mergeJson(const std::string &Json) {
+  // Inverse of toJson(): one flat object of "name":integer pairs. The
+  // supervisor uses this to fold a worker's --stats-json file back into
+  // the batch-level merged stats. Tolerates whitespace; rejects nesting.
+  size_t I = 0;
+  auto SkipWs = [&] {
+    while (I < Json.size() && std::isspace(static_cast<unsigned char>(Json[I])))
+      ++I;
+  };
+  SkipWs();
+  if (I >= Json.size() || Json[I] != '{')
+    return false;
+  ++I;
+  SkipWs();
+  if (I < Json.size() && Json[I] == '}')
+    return true; // empty object
+  for (;;) {
+    SkipWs();
+    if (I >= Json.size() || Json[I] != '"')
+      return false;
+    ++I;
+    std::string Name;
+    while (I < Json.size() && Json[I] != '"') {
+      if (Json[I] == '\\' && I + 1 < Json.size())
+        ++I;
+      Name += Json[I++];
+    }
+    if (I >= Json.size())
+      return false;
+    ++I; // closing quote
+    SkipWs();
+    if (I >= Json.size() || Json[I] != ':')
+      return false;
+    ++I;
+    SkipWs();
+    size_t Start = I;
+    while (I < Json.size() && std::isdigit(static_cast<unsigned char>(Json[I])))
+      ++I;
+    if (I == Start)
+      return false;
+    add(Name, std::strtoull(Json.c_str() + Start, nullptr, 10));
+    SkipWs();
+    if (I < Json.size() && Json[I] == ',') {
+      ++I;
+      continue;
+    }
+    break;
+  }
+  SkipWs();
+  return I < Json.size() && Json[I] == '}';
 }
 
 std::string Stats::toJson() const {

@@ -71,6 +71,12 @@ public:
   /// names). Not thread-safe; both objects must be quiescent.
   void merge(const Stats &Other);
 
+  /// Parses a toJson()-shaped flat object and adds every counter into
+  /// this object. Returns false (leaving any counters already parsed
+  /// applied) on malformed input. Used by the batch supervisor to fold a
+  /// worker process's --stats-json output back into the merged stats.
+  bool mergeJson(const std::string &Json);
+
   /// Renders all counters as "name=value" lines (sorted by name).
   std::string toString() const;
 

@@ -31,6 +31,8 @@
 #include <tuple>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -392,6 +394,41 @@ TEST(Eviction, GenerousCapKeepsEntries) {
   EXPECT_EQ(cacheEntries(D.Path).size(), 2u);
   RunOut Warm = runApp("A", AnalysisConfig::hybridUnbounded(), &Cache);
   EXPECT_EQ(Warm.Hits, 2u);
+}
+
+TEST(Eviction, GraceWindowShieldsFreshEntriesFromEviction) {
+  TempDir D;
+  // Same 1-byte cap as ByteCapIsEnforced, but a one-hour grace window:
+  // the just-stored entries are exactly what a concurrent worker may be
+  // mid-read on, so eviction must skip (and count) them instead.
+  persist::ArtifactCache Cache(D.Path, 1, 3600 * 1000);
+  RunOut Cold = runApp("A", AnalysisConfig::hybridUnbounded(), &Cache);
+  EXPECT_EQ(Cold.Stores, 2u);
+  EXPECT_EQ(Cold.Evicts, 0u);
+  EXPECT_GT(Cache.evictSkips(), 0u);
+  EXPECT_EQ(cacheEntries(D.Path).size(), 2u);
+
+  // The shielded entries are still valid: the warm run hits them.
+  RunOut Warm = runApp("A", AnalysisConfig::hybridUnbounded(), &Cache);
+  EXPECT_EQ(Warm.Hits, 2u);
+  EXPECT_EQ(Cold.Set, Warm.Set);
+  EXPECT_EQ(Cold.Report, Warm.Report);
+}
+
+TEST(Eviction, GraceWindowSweepsStaleTempFiles) {
+  TempDir D;
+  // A crashed worker's leftover temp file, aged past the grace window,
+  // is swept during eviction; a fresh one is left alone.
+  std::ofstream(D.Path + "/dead.tajc.tmp.1234") << "leftover";
+  std::ofstream(D.Path + "/live.tajc.tmp.5678") << "in flight";
+  struct timespec Old[2] = {{1, 0}, {1, 0}}; // epoch-ish mtime
+  ASSERT_EQ(::utimensat(AT_FDCWD, (D.Path + "/dead.tajc.tmp.1234").c_str(),
+                        Old, 0),
+            0);
+  persist::ArtifactCache Cache(D.Path, 1, 60 * 1000);
+  runApp("A", AnalysisConfig::hybridUnbounded(), &Cache);
+  EXPECT_FALSE(fs::exists(D.Path + "/dead.tajc.tmp.1234"));
+  EXPECT_TRUE(fs::exists(D.Path + "/live.tajc.tmp.5678"));
 }
 
 //===----------------------------------------------------------------------===//

@@ -20,23 +20,47 @@
 //   --deadline-ms=<n>     wall-clock deadline for the analysis run
 //   --max-memory-mb=<n>   resident-memory ceiling for the analysis run
 //   --fail-at=<n>         fault injection: trip the guard at checkpoint n
+//   --crash-at=<n>        hard fault injection: die (abort, or raise
+//                         TAJ_CRASH_SIGNAL) at checkpoint n
+//   --hang-at=<n>         hard fault injection: block forever at
+//                         checkpoint n (exercises the watchdog)
 //   --cache-dir=<path>    persistent artifact cache: parsed IR, points-to
 //                         solutions and SDGs are stored there and reused
 //                         by later runs over the same input/config
 //   --cache-max-mb=<n>    cache byte cap, LRU-evicted (0 = uncapped)
-//   --batch=<listfile>    analyze many apps in one process with a shared
-//                         warm cache; each list line names one app's .taj
+//   --cache-grace-ms=<n>  eviction grace window: entries touched more
+//                         recently are never evicted (protects entries a
+//                         concurrent worker may be mid-read on; defaults
+//                         to 60000 under --jobs>=1, else 0)
+//   --batch=<listfile>    analyze many apps through one shared warm
+//                         cache; each list line names one app's .taj
 //                         files (whitespace-separated; blank lines and
 //                         #-comments skipped)
+//   --jobs=<n>            batch supervision: run each app in a forked,
+//                         watchdogged worker process, n of them
+//                         concurrently; 0 (default) keeps the in-process
+//                         batch loop. --jobs=1 output is byte-identical
+//                         to --jobs=0.
+//   --retry=<n>           re-runs granted to a crashed / timed-out /
+//                         OOM-killed app, each with a degraded config
+//                         (halved call-graph budget, local string
+//                         analysis, one thread; default 1)
+//   --journal=<path>      append-only JSONL journal of per-app attempts
+//                         (crash-safe; enables --resume)
+//   --resume              skip apps whose terminal outcome the journal
+//                         already records; re-run only the rest
 //   --stats-json=<path>   write every statistics counter (solver, run
-//                         governance, persist.*) as one JSON object
+//                         governance, persist.*, supervise.*) as one
+//                         JSON object
 //   --raw                 print raw flows instead of LCP-grouped reports
 //   --dump-ir             print the parsed (SSA) program and exit
 //   --stats               print analysis statistics
 //
 // The governance knobs are also readable from the environment
-// (TAJ_DEADLINE_MS, TAJ_MAX_MEMORY_MB, TAJ_FAIL_AT); the thread count from
-// TAJ_THREADS. Explicit flags win.
+// (TAJ_DEADLINE_MS, TAJ_MAX_MEMORY_MB, TAJ_FAIL_AT, TAJ_CRASH_AT,
+// TAJ_CRASH_SIGNAL, TAJ_HANG_AT); the thread count from TAJ_THREADS; the
+// supervisor's non-cooperative backstops from TAJ_HARD_DEADLINE_MS,
+// TAJ_HARD_MAX_MEMORY_MB and TAJ_WATCHDOG_GRACE_MS. Explicit flags win.
 //
 // Exit codes (the documented contract):
 //   0  clean: the analysis ran to completion (issues, if any, printed)
@@ -46,6 +70,8 @@
 //      internal error that prevented analysis
 // In batch mode the process exit code is the worst across all apps
 // (error > truncated > clean); one failing app does not stop the batch.
+// Under --jobs>=1 a crashed, timed-out or OOM-killed worker counts as an
+// error for its app after the retry ladder is exhausted.
 //
 //===----------------------------------------------------------------------===//
 
@@ -57,8 +83,10 @@
 #include "model/Entrypoints.h"
 #include "persist/Cache.h"
 #include "report/ReportGenerator.h"
+#include "supervise/Supervisor.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -81,9 +109,11 @@ void usage() {
       "usage: taj-cli [--config=NAME] [--budget=N] [--max-flow-length=N]\n"
       "               [--string-analysis=off|local|ipa]\n"
       "               [--nested-depth=N] [--threads=N] [--deadline-ms=N]\n"
-      "               [--max-memory-mb=N] [--fail-at=N] [--cache-dir=PATH]\n"
-      "               [--cache-max-mb=N] [--stats-json=PATH] [--raw]\n"
-      "               [--dump-ir] [--stats]\n"
+      "               [--max-memory-mb=N] [--fail-at=N] [--crash-at=N]\n"
+      "               [--hang-at=N] [--cache-dir=PATH] [--cache-max-mb=N]\n"
+      "               [--cache-grace-ms=N] [--jobs=N] [--retry=N]\n"
+      "               [--journal=PATH] [--resume] [--stats-json=PATH]\n"
+      "               [--raw] [--dump-ir] [--stats]\n"
       "               (file.taj [more.taj ...] | --batch=LISTFILE)\n");
 }
 
@@ -125,13 +155,42 @@ bool parseNum(const char *Flag, const char *Text, double &Out) {
   return true;
 }
 
+/// Integer flags additionally range-check before the narrowing cast:
+/// "--budget=5e9" must be a usage error, not a silent uint32_t wrap.
+bool parseUInt(const char *Flag, const char *Text, uint64_t Max,
+               uint64_t &Out) {
+  double V;
+  if (!parseNum(Flag, Text, V))
+    return false;
+  if (V != std::floor(V) || V > static_cast<double>(Max)) {
+    std::fprintf(stderr,
+                 "error: %s value '%s' is out of range (integer 0..%llu)\n",
+                 Flag, Text, static_cast<unsigned long long>(Max));
+    return false;
+  }
+  Out = static_cast<uint64_t>(V);
+  return true;
+}
+
+bool parseU32(const char *Flag, const char *Text, uint32_t &Out) {
+  uint64_t V;
+  if (!parseUInt(Flag, Text, UINT32_MAX, V))
+    return false;
+  Out = static_cast<uint32_t>(V);
+  return true;
+}
+
+/// Counter-like uint64 flags stay within double's exact-integer range so
+/// the strtod round-trip cannot quietly lose precision.
+constexpr uint64_t MaxExactU64 = 1ull << 53;
+
 /// Everything one analysis run needs besides its input files.
 struct CliOptions {
   std::string ConfigName = "hybrid";
   uint32_t Budget = 0, MaxLen = 0, NestedDepth = 32;
   uint32_t Threads = 0; // 0 = auto (TAJ_THREADS, then hardware concurrency)
   double DeadlineMs = 0;
-  uint64_t MaxMemoryMb = 0, FailAt = 0;
+  uint64_t MaxMemoryMb = 0, FailAt = 0, CrashAt = 0, HangAt = 0;
   StringAnalysisMode StringAnalysis = StringAnalysisMode::Ipa;
   bool Raw = false, DumpIr = false, ShowStats = false;
 };
@@ -166,6 +225,10 @@ bool buildConfig(const CliOptions &O, AnalysisConfig &C) {
     C.MaxMemoryMb = O.MaxMemoryMb;
   if (O.FailAt)
     C.FailAtCheckpoint = O.FailAt;
+  if (O.CrashAt)
+    C.CrashAtCheckpoint = O.CrashAt;
+  if (O.HangAt)
+    C.HangAtCheckpoint = O.HangAt;
   C.StringAnalysis = O.StringAnalysis;
   return true;
 }
@@ -329,15 +392,115 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
   }
   Out.NumIssues = R.Issues.size();
   Out.Exit = R.degraded() ? ExitTruncated : ExitClean;
+  // The issue count rides the stats channel so a supervising parent can
+  // recover it from the worker's --stats-json file.
+  if (MergedStats)
+    MergedStats->add("cli.issues", Out.NumIssues);
   return Out;
+}
+
+/// Re-encodes \p Opt as worker flags for a supervised self-exec; the
+/// worker must reproduce exactly the run analyzeOne() would perform
+/// in-process (--jobs=1 is byte-identical to --jobs=0 by construction).
+std::vector<std::string> encodeWorkerArgs(const CliOptions &O,
+                                          const std::string &CacheDir,
+                                          uint64_t CacheMaxMb,
+                                          uint64_t CacheGraceMs) {
+  std::vector<std::string> A;
+  A.push_back("--config=" + O.ConfigName);
+  if (O.Budget)
+    A.push_back("--budget=" + std::to_string(O.Budget));
+  if (O.MaxLen)
+    A.push_back("--max-flow-length=" + std::to_string(O.MaxLen));
+  A.push_back("--nested-depth=" + std::to_string(O.NestedDepth));
+  A.push_back("--threads=" + std::to_string(O.Threads));
+  if (O.DeadlineMs > 0)
+    A.push_back("--deadline-ms=" + std::to_string(O.DeadlineMs));
+  if (O.MaxMemoryMb)
+    A.push_back("--max-memory-mb=" + std::to_string(O.MaxMemoryMb));
+  if (O.FailAt)
+    A.push_back("--fail-at=" + std::to_string(O.FailAt));
+  if (O.CrashAt)
+    A.push_back("--crash-at=" + std::to_string(O.CrashAt));
+  if (O.HangAt)
+    A.push_back("--hang-at=" + std::to_string(O.HangAt));
+  A.push_back(std::string("--string-analysis=") +
+              stringAnalysisModeName(O.StringAnalysis));
+  if (O.Raw)
+    A.push_back("--raw");
+  if (O.DumpIr)
+    A.push_back("--dump-ir");
+  if (O.ShowStats)
+    A.push_back("--stats");
+  if (!CacheDir.empty()) {
+    A.push_back("--cache-dir=" + CacheDir);
+    if (CacheMaxMb)
+      A.push_back("--cache-max-mb=" + std::to_string(CacheMaxMb));
+    if (CacheGraceMs)
+      A.push_back("--cache-grace-ms=" + std::to_string(CacheGraceMs));
+  }
+  return A;
+}
+
+/// Fingerprint of the result-relevant batch configuration, stamped into
+/// journal records so --resume never trusts records from a
+/// differently-configured run. Threads and --stats are excluded: they do
+/// not change per-app results.
+std::string batchConfigFingerprint(const CliOptions &O) {
+  std::string S = "cfg:" + O.ConfigName + ";b=" + std::to_string(O.Budget) +
+                  ";fl=" + std::to_string(O.MaxLen) +
+                  ";nd=" + std::to_string(O.NestedDepth) +
+                  ";dl=" + std::to_string(O.DeadlineMs) +
+                  ";mm=" + std::to_string(O.MaxMemoryMb) +
+                  ";fa=" + std::to_string(O.FailAt) +
+                  ";ca=" + std::to_string(O.CrashAt) +
+                  ";ha=" + std::to_string(O.HangAt) +
+                  ";sa=" + stringAnalysisModeName(O.StringAnalysis) +
+                  ";raw=" + std::to_string(O.Raw) +
+                  ";ir=" + std::to_string(O.DumpIr);
+  uint64_t H = persist::fnv1a(S.data(), S.size());
+  char Hex[17];
+  std::snprintf(Hex, sizeof(Hex), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Hex;
+}
+
+/// The degraded flag set for supervised retry attempts, derived from the
+/// shared RunGuard degradation preset: halved effective call-graph
+/// budget, local-only string analysis, one slicing thread, and no fault
+/// injection (an injected fault is a first-attempt scenario).
+CliOptions degradeForRetry(const CliOptions &O) {
+  CliOptions R = O;
+  const DegradationPreset &D = degradationForAttempt(1);
+  AnalysisConfig C;
+  if (buildConfig(O, C) && C.MaxCallGraphNodes) {
+    uint32_t Scaled = static_cast<uint32_t>(
+        static_cast<double>(C.MaxCallGraphNodes) * D.CallGraphBudgetScale);
+    R.Budget = Scaled ? Scaled : 1;
+  }
+  if (D.ForceLocalStringAnalysis &&
+      R.StringAnalysis == StringAnalysisMode::Ipa)
+    R.StringAnalysis = StringAnalysisMode::Local;
+  if (D.ForceSingleThread)
+    R.Threads = 1;
+  if (D.StripFaultInjection)
+    R.FailAt = R.CrashAt = R.HangAt = 0;
+  return R;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // A supervised worker turns allocation failure under the parent's
+  // RLIMIT_AS ceiling into a deterministic OOM exit code (see
+  // supervise/Supervisor.h) before any allocation can happen.
+  if (std::getenv("TAJ_SUPERVISED_WORKER"))
+    supervise::installWorkerOomHandler();
+
   CliOptions Opt;
-  std::string CacheDir, BatchFile, StatsJsonPath;
-  uint64_t CacheMaxMb = 0;
+  std::string CacheDir, BatchFile, StatsJsonPath, JournalPath;
+  uint64_t CacheMaxMb = 0, CacheGraceMs = 0, Jobs = 0, Retry = 1;
+  bool CacheGraceSet = false, RetrySet = false, Resume = false;
   std::vector<std::string> Files;
 
   for (int K = 1; K < Argc; ++K) {
@@ -345,38 +508,32 @@ int main(int Argc, char **Argv) {
     if (std::strncmp(A, "--config=", 9) == 0)
       Opt.ConfigName = A + 9;
     else if (std::strncmp(A, "--budget=", 9) == 0) {
-      double V;
-      if (!parseNum("--budget", A + 9, V))
+      if (!parseU32("--budget", A + 9, Opt.Budget))
         return ExitError;
-      Opt.Budget = static_cast<uint32_t>(V);
     } else if (std::strncmp(A, "--max-flow-length=", 18) == 0) {
-      double V;
-      if (!parseNum("--max-flow-length", A + 18, V))
+      if (!parseU32("--max-flow-length", A + 18, Opt.MaxLen))
         return ExitError;
-      Opt.MaxLen = static_cast<uint32_t>(V);
     } else if (std::strncmp(A, "--nested-depth=", 15) == 0) {
-      double V;
-      if (!parseNum("--nested-depth", A + 15, V))
+      if (!parseU32("--nested-depth", A + 15, Opt.NestedDepth))
         return ExitError;
-      Opt.NestedDepth = static_cast<uint32_t>(V);
     } else if (std::strncmp(A, "--threads=", 10) == 0) {
-      double V;
-      if (!parseNum("--threads", A + 10, V))
+      if (!parseU32("--threads", A + 10, Opt.Threads))
         return ExitError;
-      Opt.Threads = static_cast<uint32_t>(V);
     } else if (std::strncmp(A, "--deadline-ms=", 14) == 0) {
       if (!parseNum("--deadline-ms", A + 14, Opt.DeadlineMs))
         return ExitError;
     } else if (std::strncmp(A, "--max-memory-mb=", 16) == 0) {
-      double V;
-      if (!parseNum("--max-memory-mb", A + 16, V))
+      if (!parseUInt("--max-memory-mb", A + 16, MaxExactU64, Opt.MaxMemoryMb))
         return ExitError;
-      Opt.MaxMemoryMb = static_cast<uint64_t>(V);
     } else if (std::strncmp(A, "--fail-at=", 10) == 0) {
-      double V;
-      if (!parseNum("--fail-at", A + 10, V))
+      if (!parseUInt("--fail-at", A + 10, MaxExactU64, Opt.FailAt))
         return ExitError;
-      Opt.FailAt = static_cast<uint64_t>(V);
+    } else if (std::strncmp(A, "--crash-at=", 11) == 0) {
+      if (!parseUInt("--crash-at", A + 11, MaxExactU64, Opt.CrashAt))
+        return ExitError;
+    } else if (std::strncmp(A, "--hang-at=", 10) == 0) {
+      if (!parseUInt("--hang-at", A + 10, MaxExactU64, Opt.HangAt))
+        return ExitError;
     } else if (std::strncmp(A, "--string-analysis=", 18) == 0) {
       if (!parseStringAnalysisMode(A + 18, Opt.StringAnalysis)) {
         std::fprintf(stderr,
@@ -388,11 +545,24 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(A, "--cache-dir=", 12) == 0)
       CacheDir = A + 12;
     else if (std::strncmp(A, "--cache-max-mb=", 15) == 0) {
-      double V;
-      if (!parseNum("--cache-max-mb", A + 15, V))
+      if (!parseUInt("--cache-max-mb", A + 15, MaxExactU64, CacheMaxMb))
         return ExitError;
-      CacheMaxMb = static_cast<uint64_t>(V);
-    } else if (std::strncmp(A, "--batch=", 8) == 0)
+    } else if (std::strncmp(A, "--cache-grace-ms=", 17) == 0) {
+      if (!parseUInt("--cache-grace-ms", A + 17, MaxExactU64, CacheGraceMs))
+        return ExitError;
+      CacheGraceSet = true;
+    } else if (std::strncmp(A, "--jobs=", 7) == 0) {
+      if (!parseUInt("--jobs", A + 7, 1024, Jobs))
+        return ExitError;
+    } else if (std::strncmp(A, "--retry=", 8) == 0) {
+      if (!parseUInt("--retry", A + 8, 100, Retry))
+        return ExitError;
+      RetrySet = true;
+    } else if (std::strncmp(A, "--journal=", 10) == 0)
+      JournalPath = A + 10;
+    else if (std::strcmp(A, "--resume") == 0)
+      Resume = true;
+    else if (std::strncmp(A, "--batch=", 8) == 0)
       BatchFile = A + 8;
     else if (std::strncmp(A, "--stats-json=", 13) == 0)
       StatsJsonPath = A + 13;
@@ -416,6 +586,19 @@ int main(int Argc, char **Argv) {
     usage();
     return ExitError;
   }
+  if (Jobs > 0 && BatchFile.empty()) {
+    std::fprintf(stderr, "error: --jobs requires --batch\n");
+    return ExitError;
+  }
+  if ((RetrySet || !JournalPath.empty() || Resume) && Jobs == 0) {
+    std::fprintf(stderr,
+                 "error: --retry/--journal/--resume require --jobs>=1\n");
+    return ExitError;
+  }
+  if (Resume && JournalPath.empty()) {
+    std::fprintf(stderr, "error: --resume requires --journal\n");
+    return ExitError;
+  }
   {
     // Fail fast on a bad config name instead of once per batch line.
     AnalysisConfig Probe;
@@ -425,9 +608,9 @@ int main(int Argc, char **Argv) {
   }
 
   std::unique_ptr<persist::ArtifactCache> Cache;
-  if (!CacheDir.empty())
-    Cache = std::make_unique<persist::ArtifactCache>(CacheDir,
-                                                     CacheMaxMb * 1024 * 1024);
+  if (!CacheDir.empty() && Jobs == 0)
+    Cache = std::make_unique<persist::ArtifactCache>(
+        CacheDir, CacheMaxMb * 1024 * 1024, CacheGraceMs);
 
   Stats MergedStats;
   Stats *JsonStats = StatsJsonPath.empty() ? nullptr : &MergedStats;
@@ -442,12 +625,12 @@ int main(int Argc, char **Argv) {
                    IoErr.c_str());
       return ExitError;
     }
-    Exit = ExitClean;
+    // Parse the list up front: blank lines and #-comments skipped, each
+    // remaining line one app (whitespace-separated .taj files).
+    std::vector<supervise::AppTask> Apps;
     std::istringstream LS(List);
     std::string Line;
-    bool AnyApp = false;
     while (std::getline(LS, Line)) {
-      // Trim, skip blanks and #-comments, split on whitespace.
       std::istringstream WS(Line);
       std::vector<std::string> AppFiles;
       std::string Tok;
@@ -458,27 +641,62 @@ int main(int Argc, char **Argv) {
       }
       if (AppFiles.empty())
         continue;
-      AnyApp = true;
       std::string AppName = AppFiles[0];
       for (size_t I = 1; I < AppFiles.size(); ++I)
         AppName += " " + AppFiles[I];
-      std::printf("=== %s\n", AppName.c_str());
-      RunOutcome O = analyzeOne(AppFiles, Opt, Cache.get(), JsonStats);
-      // Deterministic per-app summary (no timings: batch output must be
-      // byte-comparable against separate runs).
-      std::printf("--- %s: exit=%d issues=%zu\n", AppName.c_str(), O.Exit,
-                  O.NumIssues);
-      std::fflush(stdout);
-      // Worst-of across apps: error > truncated > clean.
-      if (O.Exit == ExitError || Exit == ExitError)
-        Exit = ExitError;
-      else if (O.Exit == ExitTruncated)
-        Exit = ExitTruncated;
+      Apps.push_back({std::move(AppName), std::move(AppFiles)});
     }
-    if (!AnyApp) {
+    if (Apps.empty()) {
       std::fprintf(stderr, "error: batch list '%s' names no apps\n",
                    BatchFile.c_str());
-      Exit = ExitError;
+      return ExitError;
+    }
+    if (Jobs == 0) {
+      // In-process batch loop: the regression baseline every supervised
+      // configuration's stdout is compared against.
+      Exit = ExitClean;
+      for (const supervise::AppTask &App : Apps) {
+        std::printf("=== %s\n", App.Name.c_str());
+        RunOutcome O = analyzeOne(App.Files, Opt, Cache.get(), JsonStats);
+        // Deterministic per-app summary (no timings: batch output must be
+        // byte-comparable against separate runs).
+        std::printf("--- %s: exit=%d issues=%zu\n", App.Name.c_str(), O.Exit,
+                    O.NumIssues);
+        std::fflush(stdout);
+        // Worst-of across apps: error > truncated > clean.
+        if (O.Exit == ExitError || Exit == ExitError)
+          Exit = ExitError;
+        else if (O.Exit == ExitTruncated)
+          Exit = ExitTruncated;
+      }
+    } else {
+      // Supervised batch: every app in a forked, watchdogged worker.
+      // Concurrent workers share the artifact cache; give reads a default
+      // eviction grace window unless the operator chose one.
+      uint64_t WorkerGraceMs =
+          CacheGraceSet ? CacheGraceMs : (CacheDir.empty() ? 0 : 60000);
+      supervise::SupervisorConfig SC;
+      SC.CliPath = supervise::resolveSelfExe(Argv[0]);
+      SC.BaseArgs = encodeWorkerArgs(Opt, CacheDir, CacheMaxMb, WorkerGraceMs);
+      SC.RetryArgs = encodeWorkerArgs(degradeForRetry(Opt), CacheDir,
+                                      CacheMaxMb, WorkerGraceMs);
+      SC.ConfigFp = batchConfigFingerprint(Opt);
+      SC.Jobs = static_cast<unsigned>(Jobs);
+      SC.MaxRetries = static_cast<unsigned>(Retry);
+      SC.JournalPath = JournalPath;
+      SC.Resume = Resume;
+      SC.MergedStats = JsonStats;
+      // Derive the non-cooperative backstops (hard deadline, RLIMIT_AS,
+      // RLIMIT_CPU) from the cooperative limits after the same environment
+      // overlay the workers themselves will apply.
+      RunGuard::Limits Coop;
+      Coop.DeadlineMs = Opt.DeadlineMs;
+      Coop.MaxMemoryBytes = Opt.MaxMemoryMb * 1024 * 1024;
+      supervise::deriveHardLimits(RunGuard::limitsFromEnv(Coop), SC);
+      supervise::Supervisor Sup(std::move(SC));
+      Exit = Sup.runBatch(Apps);
+      if (JsonStats)
+        Sup.exportStats(*JsonStats);
     }
   }
 
