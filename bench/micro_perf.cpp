@@ -130,11 +130,17 @@ void BM_ColdVsWarmAnalysis(benchmark::State &State) {
     TaintAnalysis TA(*App.P, MakeConfig(&Cache));
     benchmark::DoNotOptimize(TA.run({App.Root}).Issues.size());
   }
+  double PersistLoadMs = 0;
   for (auto _ : State) {
     TaintAnalysis TA(*App.P, MakeConfig(Warm ? &Cache : nullptr));
     AnalysisResult R = TA.run({App.Root});
     benchmark::DoNotOptimize(R.Issues.size());
+    PersistLoadMs += R.PersistLoadMillis;
   }
+  // Attribute the disk-restore share separately, so the warm/cold delta
+  // can be split into "time saved computing" vs "time spent loading".
+  State.counters["persist_load_ms"] = benchmark::Counter(
+      PersistLoadMs, benchmark::Counter::kAvgIterations);
   State.SetLabel(Spec.Name + (Warm ? "/warm" : "/cold"));
   if (Dir) {
     std::error_code Ec;

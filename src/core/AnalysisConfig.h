@@ -29,6 +29,8 @@ namespace persist {
 class ArtifactCache;
 }
 
+class PhaseProfile;
+
 /// Which slicing algorithm runs on top of the pointer analysis.
 enum class SlicerKind : uint8_t { Hybrid, CS, CI };
 
@@ -90,6 +92,14 @@ struct AnalysisConfig {
   /// thread. When set it governs the run and the three limits above are
   /// ignored. Not owned; must outlive the run.
   RunGuard *ExternalGuard = nullptr;
+
+  /// Optional externally-owned per-phase profile (support/Trace.h). When
+  /// set, run() accrues its phase timings here and the owner exports the
+  /// `phase.*` counters (taj-cli does this, so its profile also covers
+  /// parse and report phases outside run()); when null, run() uses a
+  /// private profile and exports it into AnalysisResult::RunStats itself.
+  /// Not owned; must outlive the run.
+  PhaseProfile *ExternalProfile = nullptr;
 
   /// The RunGuard limits implied by this configuration.
   RunGuard::Limits guardLimits() const;

@@ -3,6 +3,9 @@
 #include "core/TaintAnalysis.h"
 
 #include "persist/Cache.h"
+#include "support/Trace.h"
+
+#include <cmath>
 
 using namespace taj;
 
@@ -21,6 +24,19 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   RunGuard OwnGuard(RunGuard::limitsFromEnv(Config.guardLimits()));
   RunGuard &G = Config.ExternalGuard ? *Config.ExternalGuard : OwnGuard;
 
+  // Per-phase profile: the caller's (taj-cli passes one that also covers
+  // parse/report outside run()) or a private one exported into RunStats at
+  // the end. The "analysis" scope below brackets the whole body, so with
+  // the profile's exclusive accounting the run-internal phases (conststr,
+  // pointsto, persist_*, sdg, slicing) plus the "analysis" residue tile
+  // Millis exactly.
+  PhaseProfile OwnProf;
+  PhaseProfile &Prof = Config.ExternalProfile ? *Config.ExternalProfile
+                                              : OwnProf;
+  // Delta base: an external profile may already carry persist_load time
+  // (taj-cli's IR cache load); this run only owns what it adds.
+  const double PersistLoadBaseUs = Prof.wallUsOf("persist_load");
+
   auto report = [&](RunPhase Ph, PhaseOutcome O, CutoffReason R) {
     PhaseReport PR;
     PR.Phase = Ph;
@@ -29,6 +45,8 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
     PR.WorkDone = G.workOf(Ph);
     Out.Status.Phases.push_back(PR);
   };
+
+  PhaseScope AnalysisScope(&Prof, "analysis");
 
   // Phase 1: pointer analysis and call-graph construction (§3.1).
   const_cast<Program &>(P).indexStatements();
@@ -49,7 +67,7 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   // shared batch cache accumulates across runs; summing the deltas of N
   // runs then reproduces the lifetime totals).
   uint64_t Hit0 = 0, Miss0 = 0, Store0 = 0, Evict0 = 0, Skip0 = 0,
-           Corrupt0 = 0;
+           Corrupt0 = 0, Touch0 = 0;
   if (Cache) {
     Hit0 = Cache->hits();
     Miss0 = Cache->misses();
@@ -57,6 +75,7 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
     Evict0 = Cache->evictions();
     Skip0 = Cache->evictSkips();
     Corrupt0 = Cache->corruptions();
+    Touch0 = Cache->touchFailures();
   }
   if (CacheOn) {
     PtsKey = persist::ArtifactCache::makeKey("pts", Config.InputFingerprint,
@@ -75,7 +94,10 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   ConstStringOptions CSO;
   CSO.Mode = Config.StringAnalysis;
   CSO.Guard = &G;
-  ConstStrings = analyzeConstStrings(P, CHA, CSO);
+  {
+    PhaseScope S(&Prof, "conststr");
+    ConstStrings = analyzeConstStrings(P, CHA, CSO);
+  }
 
   PointsToOptions PO = Config.pointsToOptions();
   PO.Guard = &G;
@@ -83,6 +105,7 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   Solver = std::make_unique<PointsToSolver>(P, CHA, PO);
   bool PtsWarm = false;
   if (CacheOn) {
+    PhaseScope S(&Prof, "persist_load");
     if (std::optional<persist::LoadedPayload> Payload =
             Cache->load(PtsKey, persist::ArtifactKind::PointsTo)) {
       persist::Reader R(Payload->data(), Payload->size());
@@ -96,16 +119,21 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
     }
   }
   if (!PtsWarm) {
-    try {
-      Solver->solve(Roots);
-    } catch (...) {
-      // Unexpected failure (e.g. bad_alloc): degrade instead of crashing.
-      G.markInternalError();
+    {
+      PhaseScope S(&Prof, "pointsto");
+      try {
+        Solver->solve(Roots);
+      } catch (...) {
+        // Unexpected failure (e.g. bad_alloc): degrade instead of
+        // crashing.
+        G.markInternalError();
+      }
     }
     // Store only clean solutions: a governance stop is nondeterministic
     // and a node-budget truncation alters the degraded-run banner's work
     // counts, so neither may be replayed from cache.
     if (CacheOn && !G.stopped() && !Solver->budgetExhausted()) {
+      PhaseScope S(&Prof, "persist_store");
       persist::Writer W;
       persist::Access::serializeSolver(*Solver, W);
       Cache->store(PtsKey, persist::ArtifactKind::PointsTo, W.bytes());
@@ -132,6 +160,7 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   } else {
     SlicerOptions SLO = Config.slicerOptions();
     SLO.Guard = &G;
+    SLO.Profile = &Prof;
     if (CacheOn) {
       SLO.Cache = Cache;
       SLO.CacheKey = SdgKey;
@@ -186,7 +215,18 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
     Out.RunStats.add("persist.evict", Cache->evictions() - Evict0);
     Out.RunStats.add("persist.evict_skipped", Cache->evictSkips() - Skip0);
     Out.RunStats.add("persist.corrupt", Cache->corruptions() - Corrupt0);
+    Out.RunStats.add("persist.touch_failed",
+                     Cache->touchFailures() - Touch0);
   }
+  Out.PersistLoadMillis =
+      (Prof.wallUsOf("persist_load") - PersistLoadBaseUs) / 1000.0;
+  Out.RunStats.add(
+      "phase.persist_load_ms",
+      static_cast<uint64_t>(std::llround(Out.PersistLoadMillis)));
+  // An external profile is exported by its owner (covering phases outside
+  // this run too); a private one is this run's only outlet.
+  if (!Config.ExternalProfile)
+    Prof.exportStats(Out.RunStats);
   Out.Millis = T.elapsedMs();
   return Out;
 }

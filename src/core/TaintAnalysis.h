@@ -43,6 +43,12 @@ struct AnalysisResult {
   bool BudgetExhausted = false;
   /// Wall-clock time of the whole run.
   double Millis = 0;
+  /// Wall-clock time spent loading (and restoring from) persisted
+  /// artifacts, included in Millis. On warm-cache runs this is the part of
+  /// Millis that is artifact I/O rather than analysis, so warm/cold
+  /// comparisons can attribute time correctly. Also exported as the
+  /// `phase.persist_load_ms` counter in RunStats.
+  double PersistLoadMillis = 0;
   /// Reported tainted flows, deduplicated by (source, sink, rule).
   std::vector<Issue> Issues;
   /// Work metric of the slicing phase.

@@ -4,6 +4,7 @@
 
 #include "support/RunGuard.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -62,6 +63,7 @@ std::string ArtifactCache::pathFor(const std::string &Key) const {
 
 std::optional<LoadedPayload> ArtifactCache::load(const std::string &Key,
                                                  ArtifactKind Kind) {
+  trace::Span TS("cache-load: " + Key, "persist");
   std::lock_guard<std::mutex> Lock(Mu);
   if (!Enabled) {
     ++Misses;
@@ -71,6 +73,7 @@ std::optional<LoadedPayload> ArtifactCache::load(const std::string &Key,
   std::ifstream In(Path, std::ios::binary | std::ios::ate);
   if (!In) {
     ++Misses;
+    trace::addInstant("cache-miss: " + Key, "persist");
     return std::nullopt;
   }
   const std::streamoff Size = In.tellg();
@@ -97,15 +100,26 @@ std::optional<LoadedPayload> ArtifactCache::load(const std::string &Key,
     return std::nullopt;
   }
   ++Hits;
+  trace::addInstant("cache-hit: " + Key, "persist");
   // Refresh the LRU position so a warm working set survives eviction.
   std::error_code Ec;
   fs::last_write_time(Path, fs::file_time_type::clock::now(), Ec);
+  if (Ec) {
+    // E.g. a read-only cache dir: the payload is still good (the hit
+    // stands), but eviction order is rotting — surface it instead of
+    // ignoring the error.
+    ++TouchFailed;
+    std::fprintf(stderr,
+                 "taj-persist: cache entry %s: LRU touch failed: %s\n",
+                 Key.c_str(), Ec.message().c_str());
+  }
   const size_t Offset = static_cast<size_t>(Payload - Record.data());
   return LoadedPayload(std::move(Record), Offset, PayloadLen);
 }
 
 void ArtifactCache::store(const std::string &Key, ArtifactKind Kind,
                           const std::vector<uint8_t> &Payload) {
+  trace::Span TS("cache-store: " + Key, "persist");
   std::lock_guard<std::mutex> Lock(Mu);
   if (!Enabled)
     return;
@@ -223,6 +237,7 @@ void ArtifactCache::exportStats(Stats &S) const {
   S.add("persist.evict", Evictions);
   S.add("persist.evict_skipped", EvictSkipped);
   S.add("persist.corrupt", Corrupt);
+  S.add("persist.touch_failed", TouchFailed);
 }
 
 //===----------------------------------------------------------------------===//
@@ -240,6 +255,7 @@ SdgArtifacts persist::loadOrBuildSdg(const Program &P,
   const bool UseCache = Cache && Cache->enabled() && !Key.empty();
 
   if (UseCache) {
+    PhaseScope PS(SO.Profile, "persist_load");
     if (std::optional<LoadedPayload> Payload =
             Cache->load(Key, ArtifactKind::Sdg)) {
       // The heap graph is cheap and deterministic; rebuild it live so the
@@ -271,6 +287,7 @@ SdgArtifacts persist::loadOrBuildSdg(const Program &P,
   // channel-budget overflow changes the degraded-run banner's work counts,
   // so neither may be replayed from cache.
   if (UseCache && (!Guard || !Guard->stopped()) && !A.G->chanBudgetExceeded()) {
+    PhaseScope PS(SO.Profile, "persist_store");
     Writer W;
     Access::serializeSdg(*A.G, A.HE.get(), W);
     Cache->store(Key, ArtifactKind::Sdg, W.bytes());

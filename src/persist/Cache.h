@@ -32,7 +32,7 @@
 /// grace window (a crashed worker's leftovers) are swept during eviction.
 ///
 /// Counters (exported into Stats under persist.*): hit, miss, store,
-/// evict, evict_skipped, corrupt.
+/// evict, evict_skipped, corrupt, touch_failed.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -106,7 +106,8 @@ public:
   void noteRestoreFailure(const std::string &Key);
 
   /// Exports persist.hit / persist.miss / persist.store / persist.evict /
-  /// persist.evict_skipped / persist.corrupt counters.
+  /// persist.evict_skipped / persist.corrupt / persist.touch_failed
+  /// counters.
   void exportStats(Stats &S) const;
 
   uint64_t hits() const { return Hits; }
@@ -115,6 +116,9 @@ public:
   uint64_t evictions() const { return Evictions; }
   uint64_t evictSkips() const { return EvictSkipped; }
   uint64_t corruptions() const { return Corrupt; }
+  /// Hits whose LRU mtime refresh failed (e.g. a read-only cache dir):
+  /// the payload is still served, but eviction order is rotting.
+  uint64_t touchFailures() const { return TouchFailed; }
 
 private:
   std::string pathFor(const std::string &Key) const;
@@ -127,7 +131,7 @@ private:
   bool Enabled = false;
   mutable std::mutex Mu;
   uint64_t Hits = 0, Misses = 0, Stores = 0, Evictions = 0, EvictSkipped = 0,
-           Corrupt = 0;
+           Corrupt = 0, TouchFailed = 0;
 };
 
 /// The SDG phase bundle a slicer needs: the graph, the heap graph it was

@@ -42,6 +42,8 @@ namespace persist {
 struct Access;
 }
 
+class PhaseProfile;
+
 /// SDG node identifiers (dense).
 using SDGNodeId = uint32_t;
 /// Owner identifiers: one owner per (method, context) subgraph in expanded
@@ -126,6 +128,9 @@ struct SDGOptions {
   bool ModelExceptionSources = true;
   /// Memory budget (channel-node units) for the CS extension; 0 = off.
   uint64_t ChanNodeBudget = 0;
+  /// Optional per-phase profile (support/Trace.h), used by loadOrBuildSdg
+  /// to bracket the persist load/store paths. Not owned; may be null.
+  PhaseProfile *Profile = nullptr;
 };
 
 /// The system dependence graph.

@@ -6,9 +6,11 @@
 #include "slicer/SlicerCommon.h"
 #include "support/RunGuard.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 
 using namespace taj;
 using slicer_detail::SliceItem;
@@ -120,14 +122,21 @@ SliceRunResult taj::runCiSlicer(const Program &P, const ClassHierarchy &CHA,
   SO.ContextExpanded = false;
   SO.WithChanParams = false;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
-  persist::SdgArtifacts A = persist::loadOrBuildSdg(
-      P, CHA, Solver, SO, Opts.NestedTaintDepth, Opts.Cache, Opts.CacheKey);
-  const SDG &G = *A.G;
-  const HeapEdges &HE = *A.HE;
+  SO.Profile = Opts.Profile;
+  std::optional<persist::SdgArtifacts> A;
+  {
+    PhaseScope PS(Opts.Profile, "sdg");
+    A.emplace(persist::loadOrBuildSdg(P, CHA, Solver, SO,
+                                      Opts.NestedTaintDepth, Opts.Cache,
+                                      Opts.CacheKey));
+  }
+  const SDG &G = *A->G;
+  const HeapEdges &HE = *A->HE;
 
   SliceRunResult Out;
   if (Guard)
     Guard->beginPhase(RunPhase::Slicing);
+  PhaseScope PS(Opts.Profile, "slicing");
   std::vector<SliceItem> Items = slicer_detail::collectSliceItems(G);
   struct CiWorkerState {}; // the BFS carries no cross-item state
   slicer_detail::runSliceItems(

@@ -6,10 +6,12 @@
 #include "slicer/Slicer.h"
 #include "slicer/SlicerCommon.h"
 #include "support/RunGuard.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <array>
 #include <memory>
+#include <optional>
 
 using namespace taj;
 using slicer_detail::SliceItem;
@@ -84,9 +86,15 @@ SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
   SO.WithChanParams = true;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
   SO.ChanNodeBudget = Opts.CsChanBudget;
-  persist::SdgArtifacts A = persist::loadOrBuildSdg(
-      P, CHA, Solver, SO, Opts.NestedTaintDepth, Opts.Cache, Opts.CacheKey);
-  const SDG &G = *A.G;
+  SO.Profile = Opts.Profile;
+  std::optional<persist::SdgArtifacts> A;
+  {
+    PhaseScope PS(Opts.Profile, "sdg");
+    A.emplace(persist::loadOrBuildSdg(P, CHA, Solver, SO,
+                                      Opts.NestedTaintDepth, Opts.Cache,
+                                      Opts.CacheKey));
+  }
+  const SDG &G = *A->G;
 
   SliceRunResult Out;
   if (G.chanBudgetExceeded()) {
@@ -96,10 +104,11 @@ SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
     return Out;
   }
 
-  const HeapEdges &HE = *A.HE;
+  const HeapEdges &HE = *A->HE;
 
   if (Guard)
     Guard->beginPhase(RunPhase::Slicing);
+  PhaseScope PS(Opts.Profile, "slicing");
   std::vector<SliceItem> Items = slicer_detail::collectSliceItems(G);
   slicer_detail::runSliceItems(
       Opts.Threads, Items, Guard, Out, [] { return CsWorkerState(); },

@@ -7,10 +7,12 @@
 #include "slicer/SlicerCommon.h"
 #include "support/RunGuard.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <array>
 #include <memory>
+#include <optional>
 #include <set>
 
 using namespace taj;
@@ -123,14 +125,21 @@ SliceRunResult taj::runHybridSlicer(const Program &P,
   SO.ContextExpanded = true;
   SO.WithChanParams = false;
   SO.ModelExceptionSources = Opts.ModelExceptionSources;
-  persist::SdgArtifacts A = persist::loadOrBuildSdg(
-      P, CHA, Solver, SO, Opts.NestedTaintDepth, Opts.Cache, Opts.CacheKey);
-  const SDG &G = *A.G;
-  const HeapEdges &HE = *A.HE;
+  SO.Profile = Opts.Profile;
+  std::optional<persist::SdgArtifacts> A;
+  {
+    PhaseScope PS(Opts.Profile, "sdg");
+    A.emplace(persist::loadOrBuildSdg(P, CHA, Solver, SO,
+                                      Opts.NestedTaintDepth, Opts.Cache,
+                                      Opts.CacheKey));
+  }
+  const SDG &G = *A->G;
+  const HeapEdges &HE = *A->HE;
 
   SliceRunResult Out;
   if (Guard)
     Guard->beginPhase(RunPhase::Slicing);
+  PhaseScope PS(Opts.Profile, "slicing");
   std::vector<SliceItem> Items = slicer_detail::collectSliceItems(G);
   slicer_detail::runSliceItems(
       Opts.Threads, Items, Guard, Out, [] { return HybridWorkerState(); },

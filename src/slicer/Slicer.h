@@ -29,6 +29,8 @@ namespace persist {
 class ArtifactCache;
 }
 
+class PhaseProfile;
+
 /// Bounds applied during slicing (TAJ §6.2). Zero disables a bound.
 struct SlicerOptions {
   /// Optional run-governance guard; polled during SDG construction and
@@ -58,6 +60,10 @@ struct SlicerOptions {
   persist::ArtifactCache *Cache = nullptr;
   /// Content address of the SDG artifact for this (input, config) pair.
   std::string CacheKey;
+  /// Optional per-phase profile (support/Trace.h); the slicer brackets its
+  /// sdg / slicing phases and the persist load/store paths with it. Not
+  /// owned; may be null.
+  PhaseProfile *Profile = nullptr;
 };
 
 /// Hybrid thin slicing over the HSDG.

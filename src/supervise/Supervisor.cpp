@@ -2,6 +2,8 @@
 
 #include "supervise/Supervisor.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -88,6 +90,27 @@ std::string supervise::resolveSelfExe(const char *Argv0) {
   return Argv0 ? Argv0 : "";
 }
 
+uint64_t supervise::recoverWorkerStats(const std::string &StatsText,
+                                       const std::string &App, Stats *Merged,
+                                       uint64_t &ParseFailures) {
+  if (StatsText.empty())
+    return 0; // a crashed worker usually never wrote its stats file
+  Stats WorkerStats;
+  if (!WorkerStats.mergeJson(StatsText)) {
+    // mergeJson applies every counter up to the malformed line, so a torn
+    // write (e.g. a worker killed mid-flush) still contributes what it
+    // managed to say — but the loss is surfaced, not silent.
+    ParseFailures += 1;
+    std::fprintf(stderr,
+                 "taj-supervise: malformed --stats-json from worker '%s'; "
+                 "merging only the counters that parsed\n",
+                 App.c_str());
+  }
+  if (Merged)
+    Merged->merge(WorkerStats);
+  return WorkerStats.get("cli.issues");
+}
+
 void supervise::installWorkerOomHandler() {
   // Under RLIMIT_AS a failed allocation raises bad_alloc wherever the
   // worker happens to be; the default unwind ends in std::terminate ->
@@ -103,8 +126,11 @@ struct Worker {
   pid_t Pid = -1;
   size_t AppIdx = 0;
   unsigned AttemptNo = 1;
-  std::string OutPath, StatsPath;
+  std::string OutPath, StatsPath, TracePath;
   Timer Started;
+  /// Spawn time on the shared monotonic trace clock, so the supervisor's
+  /// per-worker span aligns with the worker's own in-process events.
+  uint64_t SpawnTsUs = 0;
   bool TermSent = false;
   bool KillSent = false;
   bool WatchdogKilled = false;
@@ -215,6 +241,11 @@ int Supervisor::runBatch(const std::vector<AppTask> &Apps) {
     ArgStore.push_back(C.CliPath);
     ArgStore.insert(ArgStore.end(), Args.begin(), Args.end());
     ArgStore.push_back("--stats-json=" + W.StatsPath);
+    if (C.CollectTraces) {
+      W.TracePath = tempPathFor(AppIdx, AttemptNo, "trace");
+      removeQuiet(W.TracePath);
+      ArgStore.push_back("--trace=" + W.TracePath);
+    }
     for (const std::string &F : Apps[AppIdx].Files)
       ArgStore.push_back(F);
 
@@ -280,6 +311,7 @@ int Supervisor::runBatch(const std::vector<AppTask> &Apps) {
     }
     W.Pid = Pid;
     W.Started.restart();
+    W.SpawnTsUs = trace::nowUs();
     N.Spawned += 1;
     Running.push_back(std::move(W));
   };
@@ -288,14 +320,27 @@ int Supervisor::runBatch(const std::vector<AppTask> &Apps) {
     ExitClass Cls = classifyWaitStatus(WaitStatus, W.WatchdogKilled);
 
     // The worker's --stats-json carries its counters (including
-    // cli.issues); a crashed worker usually never wrote it.
-    Stats WorkerStats;
-    uint64_t Issues = 0;
-    std::string StatsText = readWholeFile(W.StatsPath);
-    if (!StatsText.empty() && WorkerStats.mergeJson(StatsText)) {
-      Issues = WorkerStats.get("cli.issues");
-      if (C.MergedStats)
-        C.MergedStats->merge(WorkerStats);
+    // cli.issues); a malformed file (torn write) is counted and
+    // diagnosed rather than silently dropped.
+    uint64_t Issues = recoverWorkerStats(readWholeFile(W.StatsPath),
+                                         Apps[W.AppIdx].Name, C.MergedStats,
+                                         N.StatsParseFailed);
+
+    // Batch timeline: one supervisor-side span per worker lifetime, plus
+    // the worker's own in-process events (its trace file carries its pid,
+    // so the merged document keeps the processes apart). Each app gets a
+    // synthetic lane: concurrent workers would overlap on the
+    // coordinator's own track, while retries of one app serialize and so
+    // share its lane cleanly.
+    trace::addComplete("worker: " + Apps[W.AppIdx].Name + " (attempt " +
+                           std::to_string(W.AttemptNo) + ")",
+                       "supervise", W.SpawnTsUs, trace::nowUs(),
+                       1000 + static_cast<uint32_t>(W.AppIdx));
+    if (C.CollectTraces && !W.TracePath.empty()) {
+      std::string Blob = trace::extractEvents(readWholeFile(W.TracePath));
+      if (!Blob.empty())
+        TraceBlobs.push_back(std::move(Blob));
+      removeQuiet(W.TracePath);
     }
 
     switch (Cls) {
@@ -332,6 +377,9 @@ int Supervisor::runBatch(const std::vector<AppTask> &Apps) {
       // Retry ladder: degraded re-run, front of the queue so the app
       // resolves before new work starts.
       N.Retried += 1;
+      trace::addInstant("retry: " + Apps[W.AppIdx].Name + " (attempt " +
+                            std::to_string(W.AttemptNo + 1) + ")",
+                        "supervise");
       Pending.push_front({W.AppIdx, W.AttemptNo + 1});
     } else {
       if (!Hard && W.AttemptNo > 1 && Cls != ExitClass::Error)
@@ -388,10 +436,14 @@ int Supervisor::runBatch(const std::vector<AppTask> &Apps) {
         if (!W.TermSent && El > C.HardDeadlineMs) {
           W.TermSent = true;
           W.WatchdogKilled = true;
+          trace::addInstant("watchdog SIGTERM: " + Apps[W.AppIdx].Name,
+                            "supervise");
           ::kill(W.Pid, SIGTERM);
         } else if (W.TermSent && !W.KillSent &&
                    El > C.HardDeadlineMs + C.GraceMs) {
           W.KillSent = true;
+          trace::addInstant("watchdog SIGKILL: " + Apps[W.AppIdx].Name,
+                            "supervise");
           ::kill(W.Pid, SIGKILL);
         }
       }
@@ -421,4 +473,5 @@ void Supervisor::exportStats(Stats &S) const {
   S.add("supervise.retried", N.Retried);
   S.add("supervise.recovered", N.Recovered);
   S.add("supervise.resumed_skips", N.ResumedSkips);
+  S.add("supervise.stats_parse_failed", N.StatsParseFailed);
 }

@@ -100,6 +100,11 @@ struct SupervisorConfig {
   bool Resume = false;
   /// Fold every worker's --stats-json counters into MergedStats.
   Stats *MergedStats = nullptr;
+  /// Hand every worker a --trace=<temp> flag and collect the event blobs
+  /// of the finished workers (takeTraceBlobs()) so the caller can write
+  /// one merged batch timeline. Worker events carry their own pid and
+  /// absolute monotonic timestamps, so they align with the supervisor's.
+  bool CollectTraces = false;
 };
 
 /// Fills the non-cooperative backstop limits of \p C from the cooperative
@@ -113,6 +118,17 @@ void deriveHardLimits(const RunGuard::Limits &Coop, SupervisorConfig &C);
 /// Resolves the running executable's path (/proc/self/exe, falling back
 /// to \p Argv0) for worker self-exec.
 std::string resolveSelfExe(const char *Argv0);
+
+/// Recovers a finished worker's --stats-json counters: merges everything
+/// that parsed into \p Merged (when non-null) and returns the worker's
+/// cli.issues count. An empty \p StatsText is normal (a crashed worker
+/// usually never wrote its stats file) and not an error. Malformed JSON
+/// increments \p ParseFailures and emits a stderr diagnostic naming
+/// \p App — the counters that did parse are still merged, so a torn
+/// write surfaces instead of silently dropping the worker's data.
+uint64_t recoverWorkerStats(const std::string &StatsText,
+                            const std::string &App, Stats *Merged,
+                            uint64_t &ParseFailures);
 
 /// Worker-side arming, called by taj-cli main() when spawned under a
 /// supervisor (TAJ_SUPERVISED_WORKER=1): installs a new-handler that
@@ -132,15 +148,21 @@ public:
   int runBatch(const std::vector<AppTask> &Apps);
 
   /// Exports supervise.{spawned,crashed,timed_out,oom_killed,retried,
-  /// recovered,resumed_skips} counters.
+  /// recovered,resumed_skips,stats_parse_failed} counters.
   void exportStats(Stats &S) const;
+
+  /// The collected worker trace-event blobs (CollectTraces only), in
+  /// finish order, ready for trace::writeJsonMerged(). Moves them out.
+  std::vector<std::string> takeTraceBlobs() { return std::move(TraceBlobs); }
 
 private:
   SupervisorConfig C;
   struct Counters {
     uint64_t Spawned = 0, Crashed = 0, TimedOut = 0, OomKilled = 0,
-             Retried = 0, Recovered = 0, ResumedSkips = 0;
+             Retried = 0, Recovered = 0, ResumedSkips = 0,
+             StatsParseFailed = 0;
   } N;
+  std::vector<std::string> TraceBlobs;
 };
 
 } // namespace supervise

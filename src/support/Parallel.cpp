@@ -2,6 +2,8 @@
 
 #include "support/Parallel.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <exception>
@@ -31,6 +33,7 @@ void taj::parallelForInterleaved(
   if (W > NumItems)
     W = NumItems == 0 ? 1 : static_cast<unsigned>(NumItems);
   if (W == 1) {
+    trace::Span S("worker 0 (inline)", "parallel");
     for (size_t I = 0; I < NumItems; ++I)
       Fn(0, I);
     return;
@@ -39,6 +42,10 @@ void taj::parallelForInterleaved(
   std::mutex ErrMutex;
   std::exception_ptr FirstError;
   auto Body = [&](unsigned Worker) {
+    // One span per worker fan-out (not per item): with tracing disabled
+    // this is a single relaxed atomic load, preserving the <1% overhead
+    // contract of the parallel slicing engine.
+    trace::Span S("worker " + std::to_string(Worker), "parallel");
     try {
       for (size_t I = Worker; I < NumItems; I += W)
         Fn(Worker, I);

@@ -2,6 +2,8 @@
 
 #include "support/RunGuard.h"
 
+#include "support/Trace.h"
+
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -83,6 +85,12 @@ std::string RunStatus::toString() const {
     }
   }
   return Out;
+}
+
+void taj::traceGuardStop(CutoffReason R, RunPhase P) {
+  trace::addInstant(std::string("guard-stop: ") + cutoffReasonName(R) +
+                        " in " + phaseName(P),
+                    "guard");
 }
 
 const DegradationPreset &taj::degradationForAttempt(unsigned Attempt) {

@@ -84,6 +84,12 @@ struct DegradationPreset {
 /// leaves room for a deeper ladder.
 const DegradationPreset &degradationForAttempt(unsigned Attempt);
 
+/// Emits a thread-scoped instant event ("guard-stop: <reason> in
+/// <phase>") into the global trace sink, so a truncated phase is visible
+/// on the --trace timeline. No-op while tracing is disabled. Defined in
+/// RunGuard.cpp to keep Trace.h out of this header.
+void traceGuardStop(CutoffReason R, RunPhase P);
+
 /// Structured diagnostic for one phase of a governed run.
 struct PhaseReport {
   RunPhase Phase = RunPhase::PointerAnalysis;
@@ -267,6 +273,7 @@ private:
       CutPhase = CurPhase;
       CutoffAt = Checkpoints.load(std::memory_order_relaxed);
       StopFlag.store(true, std::memory_order_release);
+      traceGuardStop(R, CurPhase); // one-shot, off the hot path
     }
     return false;
   }

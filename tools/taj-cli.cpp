@@ -50,8 +50,16 @@
 //   --resume              skip apps whose terminal outcome the journal
 //                         already records; re-run only the rest
 //   --stats-json=<path>   write every statistics counter (solver, run
-//                         governance, persist.*, supervise.*) as one
-//                         JSON object
+//                         governance, persist.*, supervise.*, and the
+//                         per-phase phase.* wall/CPU/peak-RSS breakdown)
+//                         as one JSON object
+//   --trace=PATH          write a Chrome trace-event JSON timeline of the
+//                         run (loadable in chrome://tracing / Perfetto):
+//                         spans for every pipeline phase, per-worker spans
+//                         in the parallel slicing engine, instant events
+//                         for guard stops and cache hits/misses. Under
+//                         --jobs>=1 each worker's trace is collected and
+//                         merged into one batch timeline keyed by pid/tid.
 //   --raw                 print raw flows instead of LCP-grouped reports
 //   --dump-ir             print the parsed (SSA) program and exit
 //   --stats               print analysis statistics
@@ -84,6 +92,7 @@
 #include "persist/Cache.h"
 #include "report/ReportGenerator.h"
 #include "supervise/Supervisor.h"
+#include "support/Trace.h"
 
 #include <cerrno>
 #include <cmath>
@@ -113,7 +122,7 @@ void usage() {
       "               [--hang-at=N] [--cache-dir=PATH] [--cache-max-mb=N]\n"
       "               [--cache-grace-ms=N] [--jobs=N] [--retry=N]\n"
       "               [--journal=PATH] [--resume] [--stats-json=PATH]\n"
-      "               [--raw] [--dump-ir] [--stats]\n"
+      "               [--trace=PATH] [--raw] [--dump-ir] [--stats]\n"
       "               (file.taj [more.taj ...] | --batch=LISTFILE)\n");
 }
 
@@ -248,6 +257,21 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
                       Stats *MergedStats) {
   RunOutcome Out;
 
+  // Per-app profile covering parse and report on top of the run-internal
+  // phases (handed to the analysis via ExternalProfile). Every return
+  // path below exports it, so a failed app still accounts its time.
+  PhaseProfile Prof;
+  // Unreadable/unparseable inputs must still leave a mark in the stats
+  // artifact: the counter tells a supervising parent the app failed on
+  // input, not inside the analysis.
+  auto FailInput = [&]() -> RunOutcome {
+    if (MergedStats) {
+      MergedStats->add("cli.input_errors");
+      Prof.exportStats(*MergedStats);
+    }
+    return Out; // Exit stays ExitError
+  };
+
   // Read every input up front: the content fingerprint keys all cache
   // entries, so it must cover exactly the bytes the frontend would parse.
   std::vector<std::string> Sources(Files.size());
@@ -261,7 +285,7 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
     }
   }
   if (InputError)
-    return Out;
+    return FailInput();
 
   uint64_t H = persist::fnv1a("taj-input", 9);
   for (const std::string &S : Sources) {
@@ -291,6 +315,7 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
   std::string IrKey;
   bool IrWarm = false;
   if (CacheOn) {
+    PhaseScope S(&Prof, "persist_load");
     IrKey = persist::ArtifactCache::makeKey("ir", InputFp, "");
     if (std::optional<persist::LoadedPayload> Payload =
             Cache->load(IrKey, persist::ArtifactKind::Ir)) {
@@ -303,6 +328,7 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
     }
   }
   if (!IrWarm) {
+    PhaseScope S(&Prof, "parse");
     // Frontend: every input file gets its own diagnostics; one bad file
     // does not silently hide behind another, and none aborts the process.
     installBuiltinLibrary(*P);
@@ -317,14 +343,15 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
       }
     }
     if (InputError)
-      return Out;
+      return FailInput();
     std::vector<std::string> VErrors = verifyProgram(*P);
     if (!VErrors.empty()) {
       for (const std::string &E : VErrors)
         std::fprintf(stderr, "verifier: %s\n", E.c_str());
-      return Out;
+      return FailInput();
     }
     if (CacheOn) {
+      PhaseScope SS(&Prof, "persist_store");
       persist::Writer W;
       persist::Access::serializeProgram(*P, W);
       Cache->store(IrKey, persist::ArtifactKind::Ir, W.bytes());
@@ -342,6 +369,8 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
   }
   if (Opt.DumpIr) {
     std::printf("%s", printProgram(*P).c_str());
+    if (MergedStats)
+      Prof.exportStats(*MergedStats);
     Out.Exit = ExitClean;
     return Out;
   }
@@ -351,6 +380,7 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
     return Out;
   C.Cache = Cache;
   C.InputFingerprint = InputFp;
+  C.ExternalProfile = &Prof;
 
   MethodId Root = synthesizeEntrypointDriver(*P);
   TaintAnalysis TA(*P, std::move(C));
@@ -363,24 +393,33 @@ RunOutcome analyzeOne(const std::vector<std::string> &Files,
     R.RunStats.add("persist.corrupt", IrCorrupt);
   }
 
+  const bool FailedNoStatus = !R.Completed && !R.degraded();
+  if (!FailedNoStatus) {
+    if (Opt.Raw) {
+      for (const Issue &I : R.Issues)
+        std::printf("%s: %s -> %s (length %u)\n", rules::ruleName(I.Rule),
+                    describeStmt(*P, I.Source).c_str(),
+                    describeStmt(*P, I.Sink).c_str(), I.Length);
+    } else {
+      PhaseScope RS(&Prof, "report");
+      std::printf("%s",
+                  renderReports(*P, generateReports(*P, R.Issues), &R.Status)
+                      .c_str());
+    }
+  }
+
+  // The profile now covers parse, report and the run-internal phases;
+  // export it into this run's stats before folding them into the merged
+  // set (run() skipped the export because the profile is external).
+  Prof.exportStats(R.RunStats);
   if (MergedStats)
     MergedStats->merge(R.RunStats); // includes the solver counters
 
-  if (!R.Completed && !R.degraded()) {
+  if (FailedNoStatus) {
     // Legacy CS failure channel with no structured status (should not
     // happen: TaintAnalysis reports it as a memory truncation).
     std::fprintf(stderr, "analysis did not complete\n");
     return Out;
-  }
-  if (Opt.Raw) {
-    for (const Issue &I : R.Issues)
-      std::printf("%s: %s -> %s (length %u)\n", rules::ruleName(I.Rule),
-                  describeStmt(*P, I.Source).c_str(),
-                  describeStmt(*P, I.Sink).c_str(), I.Length);
-  } else {
-    std::printf("%s",
-                renderReports(*P, generateReports(*P, R.Issues), &R.Status)
-                    .c_str());
   }
   if (R.degraded())
     std::fprintf(stderr, "run-status: %s\n", R.Status.toString().c_str());
@@ -498,7 +537,7 @@ int main(int Argc, char **Argv) {
     supervise::installWorkerOomHandler();
 
   CliOptions Opt;
-  std::string CacheDir, BatchFile, StatsJsonPath, JournalPath;
+  std::string CacheDir, BatchFile, StatsJsonPath, JournalPath, TracePath;
   uint64_t CacheMaxMb = 0, CacheGraceMs = 0, Jobs = 0, Retry = 1;
   bool CacheGraceSet = false, RetrySet = false, Resume = false;
   std::vector<std::string> Files;
@@ -566,6 +605,8 @@ int main(int Argc, char **Argv) {
       BatchFile = A + 8;
     else if (std::strncmp(A, "--stats-json=", 13) == 0)
       StatsJsonPath = A + 13;
+    else if (std::strncmp(A, "--trace=", 8) == 0)
+      TracePath = A + 8;
     else if (std::strcmp(A, "--raw") == 0)
       Opt.Raw = true;
     else if (std::strcmp(A, "--dump-ir") == 0)
@@ -607,6 +648,11 @@ int main(int Argc, char **Argv) {
       return ExitError;
   }
 
+  // Arm the trace sink before any instrumented work runs; usage errors
+  // above deliberately exit without producing an (empty) trace file.
+  if (!TracePath.empty())
+    trace::enable();
+
   std::unique_ptr<persist::ArtifactCache> Cache;
   if (!CacheDir.empty() && Jobs == 0)
     Cache = std::make_unique<persist::ArtifactCache>(
@@ -614,6 +660,29 @@ int main(int Argc, char **Argv) {
 
   Stats MergedStats;
   Stats *JsonStats = StatsJsonPath.empty() ? nullptr : &MergedStats;
+
+  // Every exit path past this point (normal, truncated, parse failure,
+  // batch-list errors) funnels through this writer, so the stats/trace
+  // artifacts exist whenever the flags were given — a supervising parent
+  // or CI step never reads a missing file just because the run degraded.
+  std::vector<std::string> WorkerTraceBlobs;
+  auto WriteArtifacts = [&]() -> bool {
+    bool Ok = true;
+    if (JsonStats) {
+      std::ofstream JOut(StatsJsonPath, std::ios::trunc);
+      if (!JOut || !(JOut << MergedStats.toJson() << "\n")) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     StatsJsonPath.c_str());
+        Ok = false;
+      }
+    }
+    if (!TracePath.empty() &&
+        !trace::writeJsonMerged(TracePath, WorkerTraceBlobs)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", TracePath.c_str());
+      Ok = false;
+    }
+    return Ok;
+  };
 
   int Exit;
   if (BatchFile.empty()) {
@@ -623,6 +692,9 @@ int main(int Argc, char **Argv) {
     if (!readFile(BatchFile.c_str(), List, IoErr)) {
       std::fprintf(stderr, "error: cannot read '%s': %s\n", BatchFile.c_str(),
                    IoErr.c_str());
+      if (JsonStats)
+        JsonStats->add("cli.input_errors");
+      WriteArtifacts();
       return ExitError;
     }
     // Parse the list up front: blank lines and #-comments skipped, each
@@ -649,6 +721,9 @@ int main(int Argc, char **Argv) {
     if (Apps.empty()) {
       std::fprintf(stderr, "error: batch list '%s' names no apps\n",
                    BatchFile.c_str());
+      if (JsonStats)
+        JsonStats->add("cli.input_errors");
+      WriteArtifacts();
       return ExitError;
     }
     if (Jobs == 0) {
@@ -686,6 +761,7 @@ int main(int Argc, char **Argv) {
       SC.JournalPath = JournalPath;
       SC.Resume = Resume;
       SC.MergedStats = JsonStats;
+      SC.CollectTraces = !TracePath.empty();
       // Derive the non-cooperative backstops (hard deadline, RLIMIT_AS,
       // RLIMIT_CPU) from the cooperative limits after the same environment
       // overlay the workers themselves will apply.
@@ -697,16 +773,11 @@ int main(int Argc, char **Argv) {
       Exit = Sup.runBatch(Apps);
       if (JsonStats)
         Sup.exportStats(*JsonStats);
+      WorkerTraceBlobs = Sup.takeTraceBlobs();
     }
   }
 
-  if (JsonStats) {
-    std::ofstream JOut(StatsJsonPath, std::ios::trunc);
-    if (!JOut || !(JOut << MergedStats.toJson() << "\n")) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   StatsJsonPath.c_str());
-      return ExitError;
-    }
-  }
+  if (!WriteArtifacts())
+    return ExitError;
   return Exit;
 }
