@@ -9,12 +9,24 @@
 #include "bench/BenchCommon.h"
 #include "persist/Cache.h"
 #include "sdg/SDG.h"
+#include "server/Client.h"
+#include "server/Protocol.h"
 #include "slicer/Slicer.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+
+#include <csignal>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace taj;
 
@@ -148,6 +160,131 @@ void BM_ColdVsWarmAnalysis(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ColdVsWarmAnalysis)->Arg(0)->Arg(1);
+
+/// The analysis server's reason to exist, quantified: one warm request
+/// against a running daemon (a pool worker holding the hot artifact tier)
+/// vs the same warm request as a fork-per-request batch run
+/// (`--batch --jobs=1`: process start, cache open, disk restore on every
+/// request). Arg(0) = fork-per-request baseline, Arg(1) = server request.
+/// Both rows run against a prefilled cache, so the delta isolates the
+/// per-request dispatch cost, which is exactly what the daemon amortizes.
+void BM_ServerWarmRequest(benchmark::State &State) {
+  const bool UseServer = State.range(0) != 0;
+  char DirBuf[] = "/tmp/taj-bench-serve-XXXXXX";
+  const char *DirC = ::mkdtemp(DirBuf);
+  const std::string Dir = DirC ? DirC : "/tmp";
+  const std::string CacheDir = Dir + "/cache";
+
+  auto Spawn = [](const std::vector<std::string> &Args, bool DropStdout) {
+    pid_t Pid = ::fork();
+    if (Pid != 0)
+      return Pid;
+    if (DropStdout) {
+      int Null = ::open("/dev/null", O_WRONLY);
+      if (Null >= 0) {
+        ::dup2(Null, STDOUT_FILENO);
+        ::close(Null);
+      }
+    }
+    std::vector<std::string> Store;
+    Store.push_back(TAJ_CLI_PATH);
+    for (const std::string &A : Args)
+      Store.push_back(A);
+    std::vector<char *> Argv;
+    for (std::string &S : Store)
+      Argv.push_back(S.data());
+    Argv.push_back(nullptr);
+    ::execv(TAJ_CLI_PATH, Argv.data());
+    ::_exit(127);
+  };
+  auto Wait = [](pid_t Pid) {
+    int St = 0;
+    while (::waitpid(Pid, &St, 0) < 0 && errno == EINTR)
+      ;
+    return WIFEXITED(St) ? WEXITSTATUS(St) : -1;
+  };
+
+  if (!UseServer) {
+    const std::string ListPath = Dir + "/list.txt";
+    {
+      std::ofstream List(ListPath);
+      List << TAJ_EXAMPLE_TAJ << "\n";
+    }
+    const std::vector<std::string> Args = {"--batch=" + ListPath, "--jobs=1",
+                                           "--cache-dir=" + CacheDir};
+    if (Wait(Spawn(Args, true)) != 0) // prefill: the timed runs are warm
+      State.SkipWithError("batch prefill failed");
+    for (auto _ : State) {
+      if (Wait(Spawn(Args, true)) != 0) {
+        State.SkipWithError("batch request failed");
+        break;
+      }
+    }
+    State.SetLabel("fork-per-request");
+  } else {
+    const std::string Sock = Dir + "/srv.sock";
+    pid_t Daemon = Spawn({"--serve=" + Sock, "--pool-size=1",
+                          "--cache-dir=" + CacheDir},
+                         true);
+    struct sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Sock.c_str(), Sock.size() + 1);
+    bool Up = false;
+    for (int I = 0; I < 500 && !Up; ++I) {
+      int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (Fd >= 0) {
+        Up = ::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                       sizeof(Addr)) == 0;
+        ::close(Fd);
+      }
+      if (!Up)
+        ::usleep(20000);
+    }
+
+    server::Request Req;
+    server::AppSource Src;
+    Src.Name = TAJ_EXAMPLE_TAJ;
+    Src.Inline = true;
+    {
+      std::ifstream In(TAJ_EXAMPLE_TAJ, std::ios::binary);
+      Src.Content = std::string((std::istreambuf_iterator<char>(In)),
+                                std::istreambuf_iterator<char>());
+    }
+    Req.Sources.push_back(std::move(Src));
+
+    server::Response Resp;
+    std::string Err;
+    // Prefill: request 1 warms the worker's hot tier.
+    if (!Up || !server::requestAnalysis(Sock, Req, Resp, Err) ||
+        Resp.St != server::Status::Ok)
+      State.SkipWithError("server prefill failed");
+    double HotHits = 0;
+    for (auto _ : State) {
+      if (!server::requestAnalysis(Sock, Req, Resp, Err) ||
+          Resp.St != server::Status::Ok) {
+        State.SkipWithError("server request failed");
+        break;
+      }
+      const std::string Needle = "\"persist.mem_hit\":";
+      size_t At = Resp.StatsJson.find(Needle);
+      if (At != std::string::npos)
+        HotHits += std::atof(Resp.StatsJson.c_str() + At + Needle.size());
+    }
+    State.counters["server_hot_hits"] =
+        benchmark::Counter(HotHits, benchmark::Counter::kAvgIterations);
+    State.SetLabel("server-warm");
+    if (Daemon > 0) {
+      ::kill(Daemon, SIGTERM);
+      Wait(Daemon);
+    }
+  }
+  if (DirC) {
+    std::error_code Ec;
+    std::filesystem::remove_all(DirC, Ec);
+  }
+}
+BENCHMARK(BM_ServerWarmRequest)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_Generation(benchmark::State &State) {
   const AppSpec &Spec = appByIndex(State.range(0));

@@ -2,6 +2,7 @@
 
 #include "persist/Cache.h"
 
+#include "persist/MemCache.h"
 #include "support/RunGuard.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -34,12 +35,29 @@ void diag(const std::string &What, const std::string &Why) {
 ArtifactCache::ArtifactCache(std::string Dir, uint64_t MaxBytes,
                              uint64_t EvictGraceMs)
     : Dir(std::move(Dir)), MaxBytes(MaxBytes), EvictGraceMs(EvictGraceMs) {
+  if (this->Dir.empty())
+    return; // mem-only operation: no disk tier, and no diagnostic
   std::error_code Ec;
   fs::create_directories(this->Dir, Ec);
   Enabled = !Ec && fs::is_directory(this->Dir, Ec) && !Ec;
   if (!Enabled)
     diag("cache directory '" + this->Dir + "'",
          Ec ? Ec.message() : "not a directory");
+}
+
+void ArtifactCache::attachMemTier(MemCache *M) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Mem = M;
+}
+
+uint64_t ArtifactCache::memHits() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Mem ? Mem->hits() : 0;
+}
+
+uint64_t ArtifactCache::memStores() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Mem ? Mem->stores() : 0;
 }
 
 std::string ArtifactCache::makeKey(const char *Phase,
@@ -65,6 +83,16 @@ std::optional<LoadedPayload> ArtifactCache::load(const std::string &Key,
                                                  ArtifactKind Kind) {
   trace::Span TS("cache-load: " + Key, "persist");
   std::lock_guard<std::mutex> Lock(Mu);
+  // Hot tier first: the payload was verified when it entered the tier, so
+  // a hit skips the disk read and the checksum re-verify entirely.
+  if (Mem) {
+    if (std::optional<std::vector<uint8_t>> V = Mem->get(Key)) {
+      ++Hits;
+      trace::addInstant("cache-hit(mem): " + Key, "persist");
+      const size_t Len = V->size();
+      return LoadedPayload(std::move(*V), 0, Len);
+    }
+  }
   if (!Enabled) {
     ++Misses;
     return std::nullopt;
@@ -101,6 +129,10 @@ std::optional<LoadedPayload> ArtifactCache::load(const std::string &Key,
   }
   ++Hits;
   trace::addInstant("cache-hit: " + Key, "persist");
+  // Promote into the hot tier: the next load of this key (this process's
+  // next request over the same app) is served from memory.
+  if (Mem)
+    Mem->put(Key, Payload, PayloadLen);
   // Refresh the LRU position so a warm working set survives eviction.
   std::error_code Ec;
   fs::last_write_time(Path, fs::file_time_type::clock::now(), Ec);
@@ -121,8 +153,15 @@ void ArtifactCache::store(const std::string &Key, ArtifactKind Kind,
                           const std::vector<uint8_t> &Payload) {
   trace::Span TS("cache-store: " + Key, "persist");
   std::lock_guard<std::mutex> Lock(Mu);
-  if (!Enabled)
+  // The hot tier takes the raw payload (it never re-verifies); the disk
+  // gets the wrapped, checksummed record.
+  if (Mem)
+    Mem->put(Key, Payload.data(), Payload.size());
+  if (!Enabled) {
+    if (Mem)
+      ++Stores; // mem-only operation: the store still happened
     return;
+  }
   std::vector<uint8_t> Record = wrapRecord(Kind, Payload);
   const std::string Path = pathFor(Key);
   // Pid-unique temp name: concurrent supervised workers may store the
@@ -156,8 +195,12 @@ void ArtifactCache::noteRestoreFailure(const std::string &Key) {
   std::lock_guard<std::mutex> Lock(Mu);
   ++Corrupt;
   diag("cache entry " + Key, "structural restore failed");
-  std::error_code Ec;
-  fs::remove(pathFor(Key), Ec);
+  if (Mem)
+    Mem->erase(Key); // both tiers drop the key together
+  if (Enabled) {
+    std::error_code Ec;
+    fs::remove(pathFor(Key), Ec);
+  }
 }
 
 void ArtifactCache::evictToCap() {
@@ -238,6 +281,8 @@ void ArtifactCache::exportStats(Stats &S) const {
   S.add("persist.evict_skipped", EvictSkipped);
   S.add("persist.corrupt", Corrupt);
   S.add("persist.touch_failed", TouchFailed);
+  if (Mem)
+    Mem->exportStats(S);
 }
 
 //===----------------------------------------------------------------------===//

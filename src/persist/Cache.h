@@ -31,8 +31,19 @@
 /// exceed the cap by the skipped bytes. Stale temp files older than the
 /// grace window (a crashed worker's leftovers) are swept during eviction.
 ///
+/// Hot tier: a MemCache attached via attachMemTier() is probed before the
+/// disk on every load (a hit skips the read and the checksum re-verify),
+/// is filled on every store, and is promoted into on every disk hit. Keys
+/// are content addresses, so the two tiers cannot disagree; the only
+/// invalidation path, noteRestoreFailure(), drops both. With an empty
+/// directory the cache runs mem-only (loads/stores touch just the tier) —
+/// the analysis-server worker configuration when no --cache-dir is given.
+///
 /// Counters (exported into Stats under persist.*): hit, miss, store,
-/// evict, evict_skipped, corrupt, touch_failed.
+/// evict, evict_skipped, corrupt, touch_failed, and mem_{hit,miss,store,
+/// evict} when a hot tier is attached. A mem hit counts as a persist.hit
+/// too — callers windowing hit deltas see warm loads whichever tier
+/// served them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,6 +63,8 @@ class ClassHierarchy;
 class Stats;
 
 namespace persist {
+
+class MemCache;
 
 /// A verified record payload returned by ArtifactCache::load. Owns the raw
 /// record bytes and exposes the payload window without copying it (the
@@ -77,13 +90,20 @@ public:
   /// total size of stored entries (0 = uncapped). \p EvictGraceMs is the
   /// concurrent-reader grace window: eviction skips entries touched more
   /// recently than this (0 = none; supervised batch workers default it
-  /// on). If the directory cannot be created the cache is disabled: loads
-  /// miss, stores are dropped.
+  /// on). If the directory cannot be created the disk tier is disabled:
+  /// loads miss, stores are dropped. An empty \p Dir silently disables the
+  /// disk tier (mem-only operation once a hot tier is attached).
   explicit ArtifactCache(std::string Dir, uint64_t MaxBytes = 0,
                          uint64_t EvictGraceMs = 0);
 
-  bool enabled() const { return Enabled; }
+  /// True when any tier can serve loads (disk usable or hot tier attached).
+  bool enabled() const { return Enabled || Mem != nullptr; }
   const std::string &dir() const { return Dir; }
+
+  /// Layers the in-memory hot tier \p M (not owned; must outlive the
+  /// cache) over the disk. Pass nullptr to detach.
+  void attachMemTier(MemCache *M);
+  MemCache *memTier() const { return Mem; }
 
   /// Composes the content address for one phase entry:
   /// "<phase>-<hex16(fnv(input fp | config fp | format version))>".
@@ -119,6 +139,10 @@ public:
   /// Hits whose LRU mtime refresh failed (e.g. a read-only cache dir):
   /// the payload is still served, but eviction order is rotting.
   uint64_t touchFailures() const { return TouchFailed; }
+  /// Hits served by the attached hot tier (0 when none is attached).
+  uint64_t memHits() const;
+  /// Payloads admitted into the attached hot tier (0 when none).
+  uint64_t memStores() const;
 
 private:
   std::string pathFor(const std::string &Key) const;
@@ -129,6 +153,7 @@ private:
   uint64_t MaxBytes;
   uint64_t EvictGraceMs;
   bool Enabled = false;
+  MemCache *Mem = nullptr;
   mutable std::mutex Mu;
   uint64_t Hits = 0, Misses = 0, Stores = 0, Evictions = 0, EvictSkipped = 0,
            Corrupt = 0, TouchFailed = 0;

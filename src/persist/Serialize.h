@@ -165,6 +165,8 @@ public:
   /// Reads \p N 32-bit little-endian words into \p V (bounds-checked as
   /// one block; bulk byte copy on little-endian hosts).
   bool u32Array(uint32_t *V, size_t N) {
+    if (N == 0)
+      return true; // V may be a null empty-vector data() pointer
     if (!take(N * 4))
       return false;
     if constexpr (std::endian::native == std::endian::little) {
@@ -178,6 +180,8 @@ public:
   }
   /// Reads \p N raw bytes into \p V (bounds-checked as one block).
   bool raw(uint8_t *V, size_t N) {
+    if (N == 0)
+      return true; // V may be a null empty-vector data() pointer
     if (!take(N))
       return false;
     std::memcpy(V, D + Pos, N);
@@ -186,6 +190,8 @@ public:
   }
   /// Reads \p N 64-bit little-endian words into \p V.
   bool u64Array(uint64_t *V, size_t N) {
+    if (N == 0)
+      return true; // V may be a null empty-vector data() pointer
     if (!take(N * 8))
       return false;
     if constexpr (std::endian::native == std::endian::little) {

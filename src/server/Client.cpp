@@ -1,0 +1,57 @@
+//===- server/Client.cpp - Analysis-server client -------------------------===//
+
+#include "server/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace taj;
+using namespace taj::server;
+
+bool server::requestAnalysis(const std::string &SocketPath, const Request &Req,
+                             Response &Resp, std::string &Err) {
+  struct sockaddr_un Addr;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long";
+    return false;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int RC;
+  do {
+    RC = ::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                   sizeof(Addr));
+  } while (RC < 0 && errno == EINTR);
+  if (RC < 0) {
+    Err = "connect '" + SocketPath + "': " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (!writeFrame(Fd, serializeRequest(Req))) {
+    Err = "send failed (server gone?)";
+    ::close(Fd);
+    return false;
+  }
+  std::vector<uint8_t> Payload;
+  if (!readFrame(Fd, Payload)) {
+    Err = "no response (server dropped the connection)";
+    ::close(Fd);
+    return false;
+  }
+  ::close(Fd);
+  if (!deserializeResponse(Payload.data(), Payload.size(), Resp)) {
+    Err = "undecodable response";
+    return false;
+  }
+  return true;
+}

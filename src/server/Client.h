@@ -1,0 +1,35 @@
+//===- server/Client.h - Analysis-server client ----------------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocking client for the analysis server: connect to the daemon's
+/// Unix-domain socket, send one Request frame, wait for the Response
+/// frame. One request per connection — the connection doubles as the
+/// request's lifetime, so a client that dies mid-wait is detected by the
+/// daemon as an EOF on the fd and costs nothing to clean up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_SERVER_CLIENT_H
+#define TAJ_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+
+#include <string>
+
+namespace taj {
+namespace server {
+
+/// Sends \p Req to the daemon at \p SocketPath and blocks for the
+/// response. False (with a diagnostic in \p Err) on connect failure,
+/// send failure, or a dropped/undecodable response.
+bool requestAnalysis(const std::string &SocketPath, const Request &Req,
+                     Response &Resp, std::string &Err);
+
+} // namespace server
+} // namespace taj
+
+#endif // TAJ_SERVER_CLIENT_H

@@ -1,0 +1,840 @@
+//===- server/Server.cpp - Persistent analysis daemon ---------------------===//
+
+#include "server/Server.h"
+
+#include "persist/Cache.h"
+#include "persist/MemCache.h"
+#include "supervise/Supervisor.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+using namespace taj;
+using namespace taj::server;
+
+namespace {
+
+volatile sig_atomic_t GDrain = 0;
+
+void drainHandler(int) { GDrain = 1; }
+
+/// Installs the drain handlers without SA_RESTART, so a signal interrupts
+/// poll() with EINTR and the loop notices immediately.
+void installDrainHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = drainHandler;
+  ::sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+}
+
+/// Extracts one complete frame payload from the front of \p Buf. Returns
+/// true when a frame was taken; \p Bad flags an unrecoverable stream
+/// (bad magic / oversized length) — the connection must be dropped.
+bool takeFrame(std::string &Buf, std::vector<uint8_t> &Payload, bool &Bad) {
+  Bad = false;
+  if (Buf.size() < 8)
+    return false;
+  const uint8_t *B = reinterpret_cast<const uint8_t *>(Buf.data());
+  uint32_t Magic;
+  std::memcpy(&Magic, B, 4);
+  if (Magic != FrameMagic) {
+    Bad = true;
+    return false;
+  }
+  const uint32_t Len = static_cast<uint32_t>(B[4]) |
+                       (static_cast<uint32_t>(B[5]) << 8) |
+                       (static_cast<uint32_t>(B[6]) << 16) |
+                       (static_cast<uint32_t>(B[7]) << 24);
+  if (Len > MaxFrameBytes) {
+    Bad = true;
+    return false;
+  }
+  if (Buf.size() < 8 + static_cast<size_t>(Len))
+    return false;
+  Payload.assign(B + 8, B + 8 + Len);
+  Buf.erase(0, 8 + static_cast<size_t>(Len));
+  return true;
+}
+
+/// One admitted request, from admission through (possibly retried)
+/// completion.
+struct PendingReq {
+  int ClientFd = -1; ///< -1 once the client vanished (outcome discarded)
+  std::vector<AppSource> Sources;
+  RunOptions Opt; ///< base + overrides, degraded further per retry
+  std::string AppName;
+  unsigned AttemptNo = 1;
+  uint64_t Line = 0; ///< request serial, the journal's line key
+  uint64_t BeginUs = 0;
+};
+
+/// One pool member. Fd is the daemon side of the socketpair; worker
+/// death is detected as EOF on it, then reaped with a blocking waitpid.
+struct PoolWorker {
+  pid_t Pid = -1;
+  int Fd = -1;
+  bool Busy = false;
+  PendingReq Cur;
+  double DeadlineAt = 0; ///< daemon-clock ms of the watchdog SIGTERM (0=off)
+  double GraceMs = 2000;
+  double KillAt = 0; ///< armed after SIGTERM: ms of the SIGKILL escalation
+  bool TermSent = false;
+  std::string InBuf;
+};
+
+/// One connected client that has not been admitted yet (reading its
+/// request frame) or is waiting for its response.
+struct ClientConn {
+  int Fd = -1;
+  std::string Buf;
+  bool Admitted = false;
+};
+
+/// The pool worker's request loop: long-lived caches (disk tier shared
+/// with every other worker through the filesystem, hot tier private),
+/// one spool file for stdout capture, one analysis per request frame.
+[[noreturn]] void workerMain(const ServerOptions &O, int Fd) {
+  // The daemon's drain handlers were inherited across fork; a watchdog
+  // SIGTERM must kill this process, not set a flag in it.
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+#if defined(__linux__)
+  // No orphans: if the daemon dies, its pool dies with it.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  // Allocation failure dies as the deterministic OOM exit code the
+  // daemon's classification understands, not an uncatchable abort.
+  supervise::installWorkerOomHandler();
+
+  const uint64_t GraceMs =
+      O.CacheGraceSet ? O.CacheGraceMs : (O.CacheDir.empty() ? 0 : 60000);
+  persist::ArtifactCache Cache(O.CacheDir, O.CacheMaxMb * 1024 * 1024,
+                               GraceMs);
+  persist::MemCache Hot(O.HotMaxMb * 1024 * 1024);
+  Cache.attachMemTier(&Hot);
+
+  // One anonymous spool file, reused for every request's stdout capture.
+  const char *TmpDir = std::getenv("TMPDIR");
+  std::string Tmpl = std::string(TmpDir ? TmpDir : "/tmp") +
+                     "/taj-serve-spool-XXXXXX";
+  std::vector<char> TmplBuf(Tmpl.begin(), Tmpl.end());
+  TmplBuf.push_back('\0');
+  int Spool = ::mkstemp(TmplBuf.data());
+  if (Spool >= 0)
+    ::unlink(TmplBuf.data());
+  int OrigOut = ::dup(STDOUT_FILENO);
+
+  std::vector<uint8_t> Payload;
+  while (readFrame(Fd, Payload)) {
+    Request Req;
+    Response Resp;
+    if (!deserializeRequest(Payload.data(), Payload.size(), Req)) {
+      Resp.St = Status::ProtocolError;
+      Resp.Message = "undecodable request";
+      if (!writeFrame(Fd, serializeResponse(Resp)))
+        break;
+      continue;
+    }
+    RunOptions Opt = O.Base;
+    bool OptOk = !Req.Sources.empty();
+    for (const std::string &Ov : Req.Overrides)
+      if (parseRunOption(Ov.c_str(), Opt) != OptionParse::Matched) {
+        OptOk = false;
+        break;
+      }
+    if (!OptOk) {
+      // The daemon validated at admission; reaching this means the two
+      // sides disagree — answer rather than die, but call it out.
+      Resp.St = Status::BadRequest;
+      Resp.Message = "invalid request options";
+      if (!writeFrame(Fd, serializeResponse(Resp)))
+        break;
+      continue;
+    }
+
+    // Fresh ring per request: the response carries only this request's
+    // events, on this worker's pid.
+    const bool Tracing = !O.TracePath.empty();
+    if (Tracing)
+      trace::enable();
+
+    const uint64_t MemHit0 = Cache.memHits();
+    const uint64_t MemStore0 = Cache.memStores();
+    Stats ReqStats;
+
+    // Capture stdout onto the spool so the response report is exactly
+    // the bytes a batch run would have printed.
+    std::fflush(stdout);
+    const bool Spooled = Spool >= 0 && OrigOut >= 0 &&
+                         ::lseek(Spool, 0, SEEK_SET) == 0 &&
+                         ::ftruncate(Spool, 0) == 0 &&
+                         ::dup2(Spool, STDOUT_FILENO) == STDOUT_FILENO;
+    RunOutcome Out = analyzeApp(Req.Sources, Opt, &Cache, &ReqStats);
+    std::fflush(stdout);
+    if (Spooled) {
+      ::dup2(OrigOut, STDOUT_FILENO);
+      std::clearerr(stdout); // a spool write error must not outlive the swap
+      off_t End = ::lseek(Spool, 0, SEEK_END);
+      if (End > 0) {
+        Resp.Report.resize(static_cast<size_t>(End));
+        if (::lseek(Spool, 0, SEEK_SET) != 0 ||
+            !readFull(Spool, &Resp.Report[0], Resp.Report.size())) {
+          Resp.Report.clear();
+          Out.Exit = ExitError; // report lost: do not claim a clean run
+        }
+      }
+    }
+
+    ReqStats.add("persist.mem_hit", Cache.memHits() - MemHit0);
+    ReqStats.add("persist.mem_store", Cache.memStores() - MemStore0);
+
+    Resp.St = Out.Exit == ExitClean
+                  ? Status::Ok
+                  : Out.Exit == ExitTruncated ? Status::Truncated
+                                              : Status::Error;
+    Resp.Exit = Out.Exit;
+    Resp.Issues = Out.NumIssues;
+    Resp.StatsJson = ReqStats.toJson();
+    if (Tracing)
+      Resp.TraceBlob = trace::renderEvents();
+    if (!writeFrame(Fd, serializeResponse(Resp)))
+      break;
+  }
+  // Normal exit path: the daemon closed the pair (drain) or died.
+  std::_Exit(0);
+}
+
+/// The daemon proper. Single-threaded poll() loop; all fds stay blocking
+/// (one read per readiness event; writes always target a peer actively
+/// draining its end).
+class Daemon {
+public:
+  explicit Daemon(const ServerOptions &O)
+      : O(O), Journal(O.JournalPath), ConfigFp(optionsFingerprint(O.Base)) {}
+
+  int run();
+
+private:
+  bool setupSocket();
+  bool spawnWorker(PoolWorker &W);
+  void dispatch();
+  void admit(ClientConn &C, std::vector<uint8_t> &Payload);
+  void refuse(int Fd, Status St, const std::string &Msg);
+  void respond(PendingReq &R, Response &Resp, bool WorkerRan);
+  void onWorkerFrame(size_t Idx, std::vector<uint8_t> &Payload);
+  void onWorkerDeath(size_t Idx);
+  void journalAttempt(const PendingReq &R, supervise::ExitClass Class,
+                      int Signal, int Exit, uint64_t Issues, bool Terminal);
+  void beginDrain();
+  bool writeArtifacts();
+  double nowMs() const { return Clock.elapsedMs(); }
+
+  ServerOptions O;
+  supervise::Journal Journal;
+  std::string ConfigFp;
+  Timer Clock;
+  int ListenFd = -1;
+  std::vector<PoolWorker> Workers;
+  std::vector<ClientConn> Clients;
+  std::deque<PendingReq> Queue;
+  uint64_t NextLine = 0;
+  bool Draining = false;
+  Stats Merged; ///< every served request's counters, for --stats-json
+  std::vector<std::string> TraceBlobs;
+  struct Counters {
+    uint64_t Accepted = 0, RejectedBusy = 0, Served = 0, Retried = 0,
+             HotHits = 0, Drained = 0, Respawned = 0;
+  } N;
+};
+
+bool Daemon::setupSocket() {
+  struct sockaddr_un Addr;
+  if (O.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long: '%s'\n",
+                 O.SocketPath.c_str());
+    return false;
+  }
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, O.SocketPath.c_str(), O.SocketPath.size() + 1);
+  if (::bind(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) < 0) {
+    if (errno == EADDRINUSE) {
+      // A live server owns the path, or a crashed one left it behind.
+      // Probe: if nobody answers, reclaim the stale file.
+      int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      bool Live = Probe >= 0 &&
+                  ::connect(Probe, reinterpret_cast<struct sockaddr *>(&Addr),
+                            sizeof(Addr)) == 0;
+      if (Probe >= 0)
+        ::close(Probe);
+      if (Live) {
+        std::fprintf(stderr, "error: a server is already listening on '%s'\n",
+                     O.SocketPath.c_str());
+        ::close(ListenFd);
+        ListenFd = -1;
+        return false;
+      }
+      ::unlink(O.SocketPath.c_str());
+      if (::bind(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+                 sizeof(Addr)) == 0)
+        goto Bound;
+    }
+    std::fprintf(stderr, "error: bind '%s': %s\n", O.SocketPath.c_str(),
+                 std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+Bound:
+  if (::listen(ListenFd, 64) < 0) {
+    std::fprintf(stderr, "error: listen '%s': %s\n", O.SocketPath.c_str(),
+                 std::strerror(errno));
+    ::close(ListenFd);
+    ::unlink(O.SocketPath.c_str());
+    ListenFd = -1;
+    return false;
+  }
+  return true;
+}
+
+bool Daemon::spawnWorker(PoolWorker &W) {
+  int SP[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, SP) < 0) {
+    std::fprintf(stderr, "error: socketpair: %s\n", std::strerror(errno));
+    return false;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    std::fprintf(stderr, "error: fork: %s\n", std::strerror(errno));
+    ::close(SP[0]);
+    ::close(SP[1]);
+    return false;
+  }
+  if (Pid == 0) {
+    // Child: drop every daemon-side fd; only its own pair end survives.
+    ::close(SP[0]);
+    if (ListenFd >= 0)
+      ::close(ListenFd);
+    for (const PoolWorker &Other : Workers)
+      if (Other.Fd >= 0)
+        ::close(Other.Fd);
+    for (const ClientConn &C : Clients)
+      if (C.Fd >= 0)
+        ::close(C.Fd);
+    workerMain(O, SP[1]);
+  }
+  ::close(SP[1]);
+  W.Pid = Pid;
+  W.Fd = SP[0];
+  W.Busy = false;
+  W.DeadlineAt = W.KillAt = 0;
+  W.TermSent = false;
+  W.InBuf.clear();
+  return true;
+}
+
+void Daemon::refuse(int Fd, Status St, const std::string &Msg) {
+  Response R;
+  R.St = St;
+  R.Exit = exitCodeForStatus(St);
+  R.Message = Msg;
+  writeFrame(Fd, serializeResponse(R)); // best effort: peer may be gone
+  ::close(Fd);
+}
+
+void Daemon::admit(ClientConn &C, std::vector<uint8_t> &Payload) {
+  Request Req;
+  if (!deserializeRequest(Payload.data(), Payload.size(), Req)) {
+    refuse(C.Fd, Status::ProtocolError, "undecodable request");
+    C.Fd = -1;
+    return;
+  }
+  if (Draining) {
+    refuse(C.Fd, Status::ShuttingDown, "server is draining");
+    C.Fd = -1;
+    return;
+  }
+  // Validate before admission: a request the worker would refuse must
+  // not occupy queue depth or a worker slot.
+  PendingReq P;
+  P.Opt = O.Base;
+  bool OptOk = !Req.Sources.empty();
+  std::string BadOpt;
+  for (const std::string &Ov : Req.Overrides)
+    if (parseRunOption(Ov.c_str(), P.Opt) != OptionParse::Matched) {
+      OptOk = false;
+      BadOpt = Ov;
+      break;
+    }
+  if (!OptOk) {
+    refuse(C.Fd, Status::BadRequest,
+           Req.Sources.empty() ? "request names no sources"
+                               : "bad override '" + BadOpt + "'");
+    C.Fd = -1;
+    return;
+  }
+  if (Queue.size() >= O.QueueDepth &&
+      std::none_of(Workers.begin(), Workers.end(),
+                   [](const PoolWorker &W) { return !W.Busy; })) {
+    ++N.RejectedBusy;
+    refuse(C.Fd, Status::Busy, "admission queue full");
+    C.Fd = -1;
+    return;
+  }
+  for (const AppSource &S : Req.Sources) {
+    if (!P.AppName.empty())
+      P.AppName += " ";
+    P.AppName += S.Name;
+  }
+  P.ClientFd = C.Fd;
+  P.Sources = std::move(Req.Sources);
+  P.Line = NextLine++;
+  ++N.Accepted;
+  Queue.push_back(std::move(P));
+  C.Admitted = true; // fd ownership moved to the request
+}
+
+void Daemon::dispatch() {
+  for (size_t I = 0; I < Workers.size() && !Queue.empty(); ++I) {
+    PoolWorker &W = Workers[I];
+    if (W.Busy || W.Fd < 0)
+      continue;
+    W.Cur = std::move(Queue.front());
+    Queue.pop_front();
+    W.Busy = true;
+    Request WireReq;
+    WireReq.Sources = W.Cur.Sources;
+    WireReq.Overrides = encodeRunOptions(W.Cur.Opt);
+    if (!writeFrame(W.Fd, serializeRequest(WireReq))) {
+      // Worker end is dead; the EOF handler reaps it and requeues.
+      Queue.push_front(std::move(W.Cur));
+      W.Busy = false;
+      continue;
+    }
+    // Per-request watchdog, derived exactly like the batch supervisor's
+    // backstops from the request's cooperative limits + environment.
+    RunGuard::Limits Coop;
+    Coop.DeadlineMs = W.Cur.Opt.DeadlineMs;
+    Coop.MaxMemoryBytes = W.Cur.Opt.MaxMemoryMb * 1024 * 1024;
+    supervise::SupervisorConfig SC;
+    supervise::deriveHardLimits(RunGuard::limitsFromEnv(Coop), SC);
+    W.DeadlineAt = SC.HardDeadlineMs > 0 ? nowMs() + SC.HardDeadlineMs : 0;
+    W.GraceMs = SC.GraceMs;
+    W.KillAt = 0;
+    W.TermSent = false;
+    W.Cur.BeginUs = trace::enabled() ? trace::nowUs() : 0;
+  }
+}
+
+void Daemon::journalAttempt(const PendingReq &R, supervise::ExitClass Class,
+                            int Signal, int Exit, uint64_t Issues,
+                            bool Terminal) {
+  if (!Journal.configured())
+    return;
+  supervise::Attempt A;
+  A.Line = R.Line;
+  A.App = R.AppName;
+  A.ConfigFp = ConfigFp;
+  A.AttemptNo = R.AttemptNo;
+  A.Class = Class;
+  A.Signal = Signal;
+  A.Exit = Exit;
+  A.Issues = Issues;
+  A.Terminal = Terminal;
+  Journal.append(A);
+}
+
+void Daemon::respond(PendingReq &R, Response &Resp, bool WorkerRan) {
+  if (WorkerRan) {
+    ++N.Served;
+    if (Draining)
+      ++N.Drained;
+    Stats ReqStats;
+    if (!Resp.StatsJson.empty() && !ReqStats.mergeJson(Resp.StatsJson))
+      std::fprintf(stderr, "taj-serve: malformed stats from worker for '%s'\n",
+                   R.AppName.c_str());
+    N.HotHits += ReqStats.get("persist.mem_hit");
+    Merged.merge(ReqStats);
+    // Stamp the server's counters into the response so a client's
+    // --stats-json shows the daemon-side picture too.
+    ReqStats.add("server.accepted", N.Accepted);
+    ReqStats.add("server.rejected_busy", N.RejectedBusy);
+    ReqStats.add("server.served", N.Served);
+    ReqStats.add("server.retried", N.Retried);
+    ReqStats.add("server.hot_hits", N.HotHits);
+    ReqStats.add("server.drained", N.Drained);
+    Resp.StatsJson = ReqStats.toJson();
+  }
+  if (R.ClientFd >= 0) {
+    writeFrame(R.ClientFd, serializeResponse(Resp)); // best effort
+    ::close(R.ClientFd);
+    R.ClientFd = -1;
+  }
+}
+
+void Daemon::onWorkerFrame(size_t Idx, std::vector<uint8_t> &Payload) {
+  PoolWorker &W = Workers[Idx];
+  Response Resp;
+  if (!deserializeResponse(Payload.data(), Payload.size(), Resp)) {
+    // A worker speaking garbage is as good as dead: kill and let the
+    // death path classify it.
+    std::fprintf(stderr, "taj-serve: undecodable worker response\n");
+    ::kill(W.Pid, SIGKILL);
+    return;
+  }
+  if (!W.Busy)
+    return; // response for a request we already gave up on
+  if (W.Cur.BeginUs)
+    trace::addComplete("serve " + W.Cur.AppName, "server", W.Cur.BeginUs,
+                       trace::nowUs(), static_cast<uint32_t>(1000 + Idx));
+  supervise::ExitClass Class =
+      Resp.Exit == ExitClean
+          ? supervise::ExitClass::Clean
+          : Resp.Exit == ExitTruncated ? supervise::ExitClass::Truncated
+                                       : supervise::ExitClass::Error;
+  journalAttempt(W.Cur, Class, 0, Resp.Exit, Resp.Issues, true);
+  // Keep a copy of the worker's per-request events for the daemon's own
+  // merged timeline; the client still gets the blob for its --trace.
+  if (!Resp.TraceBlob.empty())
+    TraceBlobs.push_back(Resp.TraceBlob);
+  respond(W.Cur, Resp, /*WorkerRan=*/true);
+  W.Busy = false;
+  W.DeadlineAt = W.KillAt = 0;
+  W.TermSent = false;
+  if (Draining && W.Fd >= 0) {
+    // The in-flight request this worker was kept alive for is done.
+    ::close(W.Fd);
+    W.Fd = -1;
+    int Status;
+    pid_t R;
+    do {
+      R = ::waitpid(W.Pid, &Status, 0);
+    } while (R < 0 && errno == EINTR);
+    W.Pid = -1;
+  }
+}
+
+void Daemon::onWorkerDeath(size_t Idx) {
+  PoolWorker &W = Workers[Idx];
+  ::close(W.Fd);
+  W.Fd = -1;
+  int Status = 0;
+  pid_t Reaped;
+  do {
+    Reaped = ::waitpid(W.Pid, &Status, 0);
+  } while (Reaped < 0 && errno == EINTR);
+  const bool WatchdogKilled = W.TermSent;
+  W.Pid = -1;
+  if (W.Busy) {
+    W.Busy = false;
+    PendingReq R = std::move(W.Cur);
+    supervise::ExitClass Class =
+        supervise::classifyWaitStatus(Status, WatchdogKilled);
+    const int Sig = WIFSIGNALED(Status) ? WTERMSIG(Status) : 0;
+    const int Exit = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+    const bool Retryable = Class == supervise::ExitClass::Crashed ||
+                           Class == supervise::ExitClass::Timeout ||
+                           Class == supervise::ExitClass::Oom;
+    if (R.BeginUs)
+      trace::addComplete("serve " + R.AppName + " (died)", "server", R.BeginUs,
+                         trace::nowUs(), static_cast<uint32_t>(1000 + Idx));
+    if (Retryable && R.AttemptNo <= O.MaxRetries && !Draining) {
+      journalAttempt(R, Class, Sig, Exit, 0, /*Terminal=*/false);
+      ++R.AttemptNo;
+      R.Opt = degradeForRetry(R.Opt);
+      ++N.Retried;
+      trace::addInstant("retry " + R.AppName, "server");
+      Queue.push_front(std::move(R));
+    } else {
+      journalAttempt(R, Class, Sig, Exit, 0, /*Terminal=*/true);
+      Response Resp;
+      Resp.St = statusFromExitClass(Class);
+      Resp.Exit = exitCodeForStatus(Resp.St);
+      Resp.Message = std::string("worker ") + supervise::exitClassName(Class);
+      respond(R, Resp, /*WorkerRan=*/true);
+    }
+  }
+  W.DeadlineAt = W.KillAt = 0;
+  W.TermSent = false;
+  W.InBuf.clear();
+  if (!Draining) {
+    if (spawnWorker(W))
+      ++N.Respawned;
+    else
+      std::fprintf(stderr, "taj-serve: worker respawn failed\n");
+  }
+}
+
+void Daemon::beginDrain() {
+  Draining = true;
+  trace::addInstant("drain", "server");
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(O.SocketPath.c_str());
+  }
+  // Everything not yet running gets a clean refusal.
+  for (PendingReq &R : Queue)
+    if (R.ClientFd >= 0) {
+      refuse(R.ClientFd, Status::ShuttingDown, "server is draining");
+      R.ClientFd = -1;
+    }
+  Queue.clear();
+  for (ClientConn &C : Clients)
+    if (!C.Admitted && C.Fd >= 0) {
+      refuse(C.Fd, Status::ShuttingDown, "server is draining");
+      C.Fd = -1;
+    }
+  // Idle workers see EOF on their pair and exit; busy workers keep
+  // running until their in-flight response lands.
+  for (PoolWorker &W : Workers)
+    if (!W.Busy && W.Fd >= 0) {
+      ::close(W.Fd);
+      W.Fd = -1;
+      int Status;
+      pid_t R;
+      do {
+        R = ::waitpid(W.Pid, &Status, 0);
+      } while (R < 0 && errno == EINTR);
+      W.Pid = -1;
+    }
+}
+
+bool Daemon::writeArtifacts() {
+  bool Ok = true;
+  Merged.add("server.accepted", N.Accepted);
+  Merged.add("server.rejected_busy", N.RejectedBusy);
+  Merged.add("server.served", N.Served);
+  Merged.add("server.retried", N.Retried);
+  Merged.add("server.hot_hits", N.HotHits);
+  Merged.add("server.drained", N.Drained);
+  Merged.add("server.respawned", N.Respawned);
+  if (!O.StatsJsonPath.empty()) {
+    std::FILE *F = std::fopen(O.StatsJsonPath.c_str(), "w");
+    const std::string J = Merged.toJson() + "\n";
+    if (!F || std::fwrite(J.data(), 1, J.size(), F) != J.size()) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   O.StatsJsonPath.c_str());
+      Ok = false;
+    }
+    if (F && std::fclose(F) != 0)
+      Ok = false;
+  }
+  if (!O.TracePath.empty() &&
+      !trace::writeJsonMerged(O.TracePath, TraceBlobs)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", O.TracePath.c_str());
+    Ok = false;
+  }
+  return Ok;
+}
+
+int Daemon::run() {
+  if (!setupSocket())
+    return ExitError;
+  Workers.resize(O.PoolSize);
+  for (PoolWorker &W : Workers)
+    if (!spawnWorker(W)) {
+      // A partial pool still serves; no pool at all cannot.
+      bool Any = std::any_of(Workers.begin(), Workers.end(),
+                             [](const PoolWorker &X) { return X.Fd >= 0; });
+      if (!Any) {
+        ::close(ListenFd);
+        ::unlink(O.SocketPath.c_str());
+        return ExitError;
+      }
+    }
+  installDrainHandlers();
+  std::fprintf(stderr, "taj-serve: listening on %s (pool=%u queue=%u)\n",
+               O.SocketPath.c_str(), O.PoolSize, O.QueueDepth);
+
+  std::vector<struct pollfd> Pfds;
+  std::vector<uint8_t> Payload;
+  char RdBuf[65536];
+  for (;;) {
+    if (GDrain && !Draining)
+      beginDrain();
+    if (Draining) {
+      bool AnyAlive = std::any_of(Workers.begin(), Workers.end(),
+                                  [](const PoolWorker &W) {
+                                    return W.Pid >= 0;
+                                  });
+      if (!AnyAlive)
+        break;
+    } else {
+      dispatch();
+    }
+
+    // Watchdog pass: SIGTERM at the hard deadline, SIGKILL after grace.
+    double Now = nowMs();
+    double NextWake = -1;
+    for (PoolWorker &W : Workers) {
+      if (!W.Busy || W.Pid < 0)
+        continue;
+      if (W.TermSent) {
+        if (Now >= W.KillAt) {
+          trace::addInstant("watchdog SIGKILL " + W.Cur.AppName, "server");
+          ::kill(W.Pid, SIGKILL);
+          W.KillAt = Now + 1000; // re-nudge if the zombie lingers
+        }
+        if (NextWake < 0 || W.KillAt - Now < NextWake)
+          NextWake = W.KillAt - Now;
+      } else if (W.DeadlineAt > 0) {
+        if (Now >= W.DeadlineAt) {
+          trace::addInstant("watchdog SIGTERM " + W.Cur.AppName, "server");
+          ::kill(W.Pid, SIGTERM);
+          W.TermSent = true;
+          W.KillAt = Now + W.GraceMs;
+          if (NextWake < 0 || W.GraceMs < NextWake)
+            NextWake = W.GraceMs;
+        } else if (NextWake < 0 || W.DeadlineAt - Now < NextWake) {
+          NextWake = W.DeadlineAt - Now;
+        }
+      }
+    }
+
+    Pfds.clear();
+    // Index map: Pfds[i] corresponds to Kind[i]/Which[i].
+    std::vector<int> Kind;  // 0=listen, 1=client, 2=worker
+    std::vector<size_t> Which;
+    if (ListenFd >= 0) {
+      Pfds.push_back({ListenFd, POLLIN, 0});
+      Kind.push_back(0);
+      Which.push_back(0);
+    }
+    for (size_t I = 0; I < Clients.size(); ++I)
+      if (Clients[I].Fd >= 0 && !Clients[I].Admitted) {
+        Pfds.push_back({Clients[I].Fd, POLLIN, 0});
+        Kind.push_back(1);
+        Which.push_back(I);
+      }
+    for (size_t I = 0; I < Workers.size(); ++I)
+      if (Workers[I].Fd >= 0) {
+        Pfds.push_back({Workers[I].Fd, POLLIN, 0});
+        Kind.push_back(2);
+        Which.push_back(I);
+      }
+
+    int Timeout = NextWake < 0 ? -1 : static_cast<int>(NextWake) + 1;
+    int RC = ::poll(Pfds.data(), Pfds.size(), Timeout);
+    if (RC < 0) {
+      if (errno == EINTR)
+        continue; // drain signal or reaped child; loop re-evaluates
+      std::fprintf(stderr, "error: poll: %s\n", std::strerror(errno));
+      break;
+    }
+
+    for (size_t I = 0; I < Pfds.size(); ++I) {
+      if (Pfds[I].revents == 0)
+        continue;
+      if (Kind[I] == 0) {
+        int CFd = ::accept(ListenFd, nullptr, nullptr);
+        if (CFd >= 0) {
+          ClientConn C;
+          C.Fd = CFd;
+          // Reuse a dead slot to keep the vector bounded.
+          auto It = std::find_if(Clients.begin(), Clients.end(),
+                                 [](const ClientConn &X) {
+                                   return X.Fd < 0;
+                                 });
+          if (It != Clients.end())
+            *It = std::move(C);
+          else
+            Clients.push_back(std::move(C));
+        }
+      } else if (Kind[I] == 1) {
+        ClientConn &C = Clients[Which[I]];
+        ssize_t Got = ::read(C.Fd, RdBuf, sizeof(RdBuf));
+        if (Got <= 0) {
+          if (Got < 0 && errno == EINTR)
+            continue;
+          ::close(C.Fd); // EOF before a full request: client gave up
+          C.Fd = -1;
+          C.Buf.clear();
+          continue;
+        }
+        C.Buf.append(RdBuf, static_cast<size_t>(Got));
+        bool Bad = false;
+        if (takeFrame(C.Buf, Payload, Bad)) {
+          admit(C, Payload);
+          // One request per connection: whatever trails the frame is
+          // noise; the fd now belongs to the pending request.
+          C.Buf.clear();
+          if (!C.Admitted)
+            C.Fd = -1; // refuse() closed it
+        } else if (Bad || C.Buf.size() > 8 + static_cast<size_t>(
+                                                 MaxFrameBytes)) {
+          refuse(C.Fd, Status::ProtocolError, "bad frame");
+          C.Fd = -1;
+          C.Buf.clear();
+        }
+      } else {
+        PoolWorker &W = Workers[Which[I]];
+        ssize_t Got = ::read(W.Fd, RdBuf, sizeof(RdBuf));
+        if (Got <= 0) {
+          if (Got < 0 && errno == EINTR)
+            continue;
+          onWorkerDeath(Which[I]);
+          continue;
+        }
+        W.InBuf.append(RdBuf, static_cast<size_t>(Got));
+        bool Bad = false;
+        while (W.Pid > 0 && takeFrame(W.InBuf, Payload, Bad))
+          onWorkerFrame(Which[I], Payload);
+        if (Bad && W.Pid > 0) {
+          std::fprintf(stderr, "taj-serve: corrupt worker stream\n");
+          ::kill(W.Pid, SIGKILL);
+        }
+      }
+    }
+    // Compact dead client slots opportunistically.
+    Clients.erase(std::remove_if(Clients.begin(), Clients.end(),
+                                 [](const ClientConn &C) {
+                                   return C.Fd < 0 && C.Admitted;
+                                 }),
+                  Clients.end());
+  }
+
+  const bool Ok = writeArtifacts();
+  std::fprintf(stderr, "taj-serve: drained (%llu served, %llu busy-rejected, "
+                       "%llu retried, %llu hot hits)\n",
+               static_cast<unsigned long long>(N.Served),
+               static_cast<unsigned long long>(N.RejectedBusy),
+               static_cast<unsigned long long>(N.Retried),
+               static_cast<unsigned long long>(N.HotHits));
+  return Ok ? ExitClean : ExitError;
+}
+
+} // namespace
+
+int server::runServer(const ServerOptions &O) {
+  Daemon D(O);
+  return D.run();
+}

@@ -1,0 +1,99 @@
+//===- server/Server.h - Persistent analysis daemon ------------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis server: a long-running daemon (`taj-cli --serve=SOCKET`)
+/// that accepts analysis requests over a Unix-domain socket and serves
+/// them from a pre-forked pool of warm worker processes.
+///
+/// Why a daemon: batch mode amortizes the artifact cache across one run,
+/// but every `--jobs` worker still pays process start, cache open and a
+/// cold in-memory state per app. The server keeps PoolSize workers alive
+/// across requests; each worker owns the shared on-disk ArtifactCache
+/// plus a per-worker in-memory hot tier (persist::MemCache) holding
+/// verified payload bytes, so a warm request skips exec, disk reads and
+/// checksum re-verification entirely.
+///
+/// Architecture (single-threaded daemon, process-isolated workers):
+///
+///   clients --UNIX socket--> daemon --socketpair--> worker[0..N)
+///
+///  - admission control: a bounded queue (QueueDepth) of decoded,
+///    validated requests; a request arriving with the queue full is
+///    answered `busy` immediately and never touches a worker;
+///  - dispatch: idle workers pull from the queue FIFO; the request's
+///    config overrides are re-encoded through the canonical
+///    encodeRunOptions() form, so a server request is bit-for-bit the
+///    run a batch worker would have performed;
+///  - supervision: the Supervisor's non-cooperative discipline, re-hosted
+///    on the pool — a per-request watchdog (hard deadline derived from
+///    the request's cooperative deadline via deriveHardLimits: 2x + 1s,
+///    TAJ_HARD_DEADLINE_MS / TAJ_WATCHDOG_GRACE_MS overridable) with
+///    SIGTERM -> SIGKILL escalation, six-way exit classification of dead
+///    workers (supervise::classifyWaitStatus) mapped onto protocol
+///    status codes, and the same degraded-config retry ladder
+///    (degradeForRetry) before a crash/timeout/OOM becomes the client's
+///    answer. RLIMIT backstops remain batch-only: a pre-forked worker
+///    serves requests with different budgets, and rlimits cannot be
+///    raised back once lowered. Workers do install the allocation-failure
+///    OOM handler, so bad_alloc still dies as WorkerOomExitCode -> `oom`;
+///  - isolation: a crashed worker takes its hot tier with it and is
+///    respawned; the daemon, the queue and the other workers are
+///    unaffected;
+///  - drain: SIGTERM/SIGINT stops accepting (socket closed + unlinked),
+///    answers queued requests `shutting-down`, lets in-flight requests
+///    finish, reaps the pool, flushes the journal/stats/trace artifacts,
+///    and exits 0.
+///
+/// Observability: `server.{accepted,rejected_busy,served,retried,
+/// hot_hits,drained}` counters are stamped into every response's stats
+/// blob and the daemon's final --stats-json; with --trace each request
+/// occupies a synthetic per-worker lane (tid 1000+worker) in the merged
+/// timeline alongside the workers' own phase spans; with --journal every
+/// attempt appends the same JSONL records a supervised batch writes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_SERVER_SERVER_H
+#define TAJ_SERVER_SERVER_H
+
+#include "server/Protocol.h"
+#include "server/Service.h"
+
+#include <cstdint>
+#include <string>
+
+namespace taj {
+namespace server {
+
+/// Everything the daemon needs: transport, pool shape, admission bounds,
+/// the base analysis options requests override, cache configuration and
+/// artifact destinations.
+struct ServerOptions {
+  std::string SocketPath;
+  unsigned PoolSize = 2;
+  unsigned QueueDepth = 16;
+  unsigned MaxRetries = 1;
+  RunOptions Base;
+  std::string CacheDir; ///< "" = no disk tier (workers run mem-only)
+  uint64_t CacheMaxMb = 0;
+  uint64_t CacheGraceMs = 0;
+  bool CacheGraceSet = false;
+  uint64_t HotMaxMb = 256; ///< per-worker hot-tier byte cap (0 = uncapped)
+  std::string JournalPath;
+  std::string StatsJsonPath;
+  std::string TracePath;
+};
+
+/// Runs the daemon until a drain signal, serving requests on
+/// O.SocketPath. Returns the process exit code: 0 after a clean drain,
+/// ExitError when the socket cannot be set up.
+int runServer(const ServerOptions &O);
+
+} // namespace server
+} // namespace taj
+
+#endif // TAJ_SERVER_SERVER_H

@@ -1,0 +1,138 @@
+//===- server/Service.h - Single-app analysis service ----------*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-app analysis pipeline as a reusable service: everything
+/// taj-cli does for one app — read inputs, warm-start the frontend from
+/// the artifact cache, run the governed analysis, render the report —
+/// factored out of the CLI driver so the analysis server's pool workers
+/// run the *same* code path request after request. The option set, its
+/// strict flag parsing, its canonical flag re-encoding and the retry
+/// degradation all live here too: the CLI, the batch supervisor and the
+/// server daemon must agree byte-for-byte on what a configuration means,
+/// and one definition is the only way they stay agreed.
+///
+/// Output contract: analyzeApp() prints the report to stdout (callers
+/// that need it as bytes — the server worker — redirect fd 1 around the
+/// call) and diagnostics to stderr, exactly like the historical in-CLI
+/// path; server-mode output is byte-identical to batch-mode output by
+/// construction, not by comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_SERVER_SERVICE_H
+#define TAJ_SERVER_SERVICE_H
+
+#include "dataflow/ConstString.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taj {
+
+class Stats;
+struct AnalysisConfig;
+
+namespace persist {
+class ArtifactCache;
+}
+
+namespace server {
+
+/// The documented taj-cli exit contract, shared by every driver.
+enum ExitCode { ExitClean = 0, ExitError = 1, ExitTruncated = 2 };
+
+/// Strict numeric flag parsing: "--fail-at=abc" or "--deadline-ms=" must
+/// be a usage error, not a silently ignored limit.
+bool parseNum(const char *Flag, const char *Text, double &Out);
+
+/// Integer flags additionally range-check before the narrowing cast:
+/// "--budget=5e9" must be a usage error, not a silent uint32_t wrap.
+bool parseUInt(const char *Flag, const char *Text, uint64_t Max,
+               uint64_t &Out);
+bool parseU32(const char *Flag, const char *Text, uint32_t &Out);
+
+/// Counter-like uint64 flags stay within double's exact-integer range so
+/// the strtod round-trip cannot quietly lose precision.
+constexpr uint64_t MaxExactU64 = 1ull << 53;
+
+/// Everything one analysis run needs besides its input files: the
+/// analysis-shaping flags of taj-cli, identically interpreted by the CLI,
+/// the batch supervisor's workers and the analysis server.
+struct RunOptions {
+  std::string ConfigName = "hybrid";
+  uint32_t Budget = 0, MaxLen = 0, NestedDepth = 32;
+  uint32_t Threads = 0; // 0 = auto (TAJ_THREADS, then hardware concurrency)
+  double DeadlineMs = 0;
+  uint64_t MaxMemoryMb = 0, FailAt = 0, CrashAt = 0, HangAt = 0;
+  StringAnalysisMode StringAnalysis = StringAnalysisMode::Ipa;
+  bool Raw = false, DumpIr = false, ShowStats = false;
+};
+
+/// Result of offering one command-line argument to the shared option set.
+enum class OptionParse {
+  Matched, ///< recognized and applied
+  NoMatch, ///< not an analysis option (caller handles or rejects)
+  Bad,     ///< recognized but malformed (diagnostic already on stderr)
+};
+
+/// Applies \p Arg (e.g. "--budget=100") to \p O when it is one of the
+/// shared analysis options. This is the one parser behind taj-cli's
+/// analysis flags and the server's per-request config overrides.
+OptionParse parseRunOption(const char *Arg, RunOptions &O);
+
+/// Materializes the AnalysisConfig \p O describes (preset + overrides).
+/// False (with a stderr diagnostic) on an unknown config name.
+bool buildConfig(const RunOptions &O, AnalysisConfig &C);
+
+/// Re-encodes \p O as the canonical flag list parseRunOption() accepts:
+/// the wire form for supervised worker argv and server request overrides.
+/// A round trip through encode+parse reproduces the run exactly.
+std::vector<std::string> encodeRunOptions(const RunOptions &O);
+
+/// Fingerprint of the result-relevant configuration, stamped into journal
+/// records so --resume (and the server journal) never trusts records from
+/// a differently-configured run. Threads and --stats are excluded: they
+/// do not change per-app results.
+std::string optionsFingerprint(const RunOptions &O);
+
+/// The degraded flag set for retry attempts, derived from the shared
+/// RunGuard degradation preset: halved effective call-graph budget,
+/// local-only string analysis, one slicing thread, fault injection
+/// stripped.
+RunOptions degradeForRetry(const RunOptions &O);
+
+/// One input of an app: a file path, or an inline source shipped over the
+/// server protocol (Name is then only a display name for diagnostics).
+struct AppSource {
+  std::string Name;
+  bool Inline = false;
+  std::string Content;
+};
+
+struct RunOutcome {
+  int Exit = ExitError;
+  size_t NumIssues = 0;
+};
+
+/// Reads \p Path into \p Out; false (with strerror-ish \p Err) on failure.
+bool readFileText(const char *Path, std::string &Out, std::string &Err);
+
+/// Analyzes one app (a set of .taj sources forming one program) end to
+/// end: frontend (IR cache aware), analysis (points-to/SDG cache aware
+/// via AnalysisConfig), report rendering to stdout. \p MergedStats, when
+/// set, accumulates every counter for --stats-json; per-run persist.*
+/// deltas are windowed, so a long-lived caller (a server worker) gets
+/// clean per-request numbers from a shared cache.
+RunOutcome analyzeApp(const std::vector<AppSource> &Sources,
+                      const RunOptions &Opt, persist::ArtifactCache *Cache,
+                      Stats *MergedStats);
+
+} // namespace server
+} // namespace taj
+
+#endif // TAJ_SERVER_SERVICE_H

@@ -1,0 +1,784 @@
+//===- tests/server_test.cpp - Analysis server ----------------------------===//
+//
+// The analysis server must be a transparent accelerator: a request served
+// by a warm pool worker returns byte-for-byte the report a local run would
+// print, under the same exit contract, while the daemon enforces admission
+// control, per-request watchdogs, the degraded-config retry ladder and a
+// clean SIGTERM drain. These tests pin that contract down:
+//  - the framed wire protocol round-trips and rejects malformed frames;
+//  - the in-memory hot tier (persist::MemCache) LRU-evicts by bytes,
+//    rejects oversized entries, and layers over the disk cache (promotion
+//    on disk hits, mem-only operation without a cache dir);
+//  - the shared option set round-trips through its canonical encoding and
+//    the retry degradation strips fault injection;
+//  - the new flags obey the dependency matrix (usage errors, not silent
+//    acceptance);
+//  - server responses are byte-identical to local runs, including eight
+//    concurrent clients checked against a `--batch` baseline;
+//  - admission control answers `busy` when the queue is full, the
+//    watchdog turns a hung worker into a `timeout` answer plus a
+//    respawned worker, and a crashed request recovers through the retry
+//    ladder with a journaled non-terminal attempt;
+//  - SIGTERM drains: in-flight work resolved, artifacts written, exit 0,
+//    later connections cleanly refused;
+//  - SIGPIPE on a reader-less stdout is an error exit, not a signal death.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/Cache.h"
+#include "persist/MemCache.h"
+#include "server/Client.h"
+#include "server/Protocol.h"
+#include "server/Service.h"
+#include "supervise/Journal.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace taj;
+using namespace taj::server;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Self-cleaning scratch directory for one test.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/taj-server-XXXXXX";
+    const char *D = ::mkdtemp(Buf);
+    EXPECT_NE(D, nullptr);
+    Path = D ? D : "";
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::error_code Ec;
+      fs::remove_all(Path, Ec);
+    }
+  }
+};
+
+std::string readWhole(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeWhole(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Text;
+}
+
+/// Runs taj-cli through a shell, capturing stdout+stderr merged.
+std::string runCli(const std::string &Args, int &ExitCode) {
+  std::string Cmd = std::string(TAJ_CLI_PATH) + " " + Args + " 2>&1";
+  FILE *P = ::popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr);
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int St = ::pclose(P);
+  ExitCode = WIFEXITED(St) ? WEXITSTATUS(St) : -1;
+  return Out;
+}
+
+/// Extracts an integer counter from a --stats-json file (missing = -1).
+long long statOf(const std::string &JsonPath, const std::string &Name) {
+  std::string J = readWhole(JsonPath);
+  std::string Needle = "\"" + Name + "\":";
+  size_t At = J.find(Needle);
+  if (At == std::string::npos)
+    return -1;
+  return std::atoll(J.c_str() + At + Needle.size());
+}
+
+/// Forks and execs taj-cli with \p Args, stdout/stderr redirected to files
+/// ("" keeps the test's own), with optional extra environment. Returns the
+/// child pid.
+pid_t spawnCli(const std::vector<std::string> &Args,
+               const std::string &OutPath, const std::string &ErrPath,
+               const std::vector<std::pair<std::string, std::string>> &Env =
+                   {}) {
+  pid_t Pid = ::fork();
+  if (Pid != 0)
+    return Pid;
+  if (!OutPath.empty()) {
+    int Fd = ::open(OutPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd < 0 || ::dup2(Fd, STDOUT_FILENO) < 0)
+      ::_exit(126);
+    ::close(Fd);
+  }
+  if (!ErrPath.empty()) {
+    int Fd = ::open(ErrPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd < 0 || ::dup2(Fd, STDERR_FILENO) < 0)
+      ::_exit(126);
+    ::close(Fd);
+  }
+  for (const auto &E : Env)
+    ::setenv(E.first.c_str(), E.second.c_str(), 1);
+  std::vector<std::string> Store;
+  Store.push_back(TAJ_CLI_PATH);
+  for (const std::string &A : Args)
+    Store.push_back(A);
+  std::vector<char *> Argv;
+  for (std::string &S : Store)
+    Argv.push_back(S.data());
+  Argv.push_back(nullptr);
+  ::execv(TAJ_CLI_PATH, Argv.data());
+  ::_exit(127);
+}
+
+/// Blocks for \p Pid; exited children return their code, signaled ones
+/// -100-signo (so assertions can tell the two apart).
+int waitExit(pid_t Pid) {
+  int St = 0;
+  pid_t R;
+  do {
+    R = ::waitpid(Pid, &St, 0);
+  } while (R < 0 && errno == EINTR);
+  if (R < 0)
+    return -1;
+  if (WIFEXITED(St))
+    return WEXITSTATUS(St);
+  return WIFSIGNALED(St) ? -100 - WTERMSIG(St) : -1;
+}
+
+/// Polls until something accepts connections on \p Path (sanitized CI
+/// builds start slowly).
+bool waitForSocket(const std::string &Path, int TimeoutMs = 20000) {
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  for (int Waited = 0; Waited < TimeoutMs; Waited += 20) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd >= 0) {
+      bool Up = ::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                          sizeof(Addr)) == 0;
+      ::close(Fd);
+      if (Up)
+        return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+/// One daemon instance for a test: started via fork+exec, drained with
+/// SIGTERM, SIGKILLed as a last resort on teardown.
+struct ServerHandle {
+  pid_t Pid = -1;
+  std::string Sock;
+
+  bool start(const TempDir &T, std::vector<std::string> ExtraArgs,
+             const std::vector<std::pair<std::string, std::string>> &Env =
+                 {}) {
+    Sock = T.Path + "/srv.sock";
+    std::vector<std::string> Args = {"--serve=" + Sock};
+    Args.insert(Args.end(), ExtraArgs.begin(), ExtraArgs.end());
+    Pid = spawnCli(Args, "", T.Path + "/server.err", Env);
+    return Pid > 0 && waitForSocket(Sock);
+  }
+
+  /// SIGTERM drain; returns the daemon's exit code.
+  int stop() {
+    if (Pid <= 0)
+      return -1;
+    ::kill(Pid, SIGTERM);
+    int Code = waitExit(Pid);
+    Pid = -1;
+    return Code;
+  }
+
+  ~ServerHandle() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      waitExit(Pid);
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, RequestRoundTrips) {
+  Request R;
+  R.Sources.push_back({"a.taj", true, "class A extends Object {}\n"});
+  R.Sources.push_back({"b.taj", false, ""});
+  R.Overrides = {"--config=cs", "--budget=100"};
+  std::vector<uint8_t> Wire = serializeRequest(R);
+  Request Back;
+  ASSERT_TRUE(deserializeRequest(Wire.data(), Wire.size(), Back));
+  ASSERT_EQ(Back.Sources.size(), 2u);
+  EXPECT_EQ(Back.Sources[0].Name, "a.taj");
+  EXPECT_TRUE(Back.Sources[0].Inline);
+  EXPECT_EQ(Back.Sources[0].Content, R.Sources[0].Content);
+  EXPECT_FALSE(Back.Sources[1].Inline);
+  EXPECT_EQ(Back.Overrides, R.Overrides);
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  Response R;
+  R.St = Status::Truncated;
+  R.Exit = 2;
+  R.Issues = 7;
+  R.Report = "report bytes\nwith \"quotes\" and \x01 binary\n";
+  R.StatsJson = "{\"cli.issues\":7}";
+  R.TraceBlob = "{\"name\":\"x\"}";
+  R.Message = "msg";
+  std::vector<uint8_t> Wire = serializeResponse(R);
+  Response Back;
+  ASSERT_TRUE(deserializeResponse(Wire.data(), Wire.size(), Back));
+  EXPECT_EQ(Back.St, Status::Truncated);
+  EXPECT_EQ(Back.Exit, 2);
+  EXPECT_EQ(Back.Issues, 7u);
+  EXPECT_EQ(Back.Report, R.Report);
+  EXPECT_EQ(Back.StatsJson, R.StatsJson);
+  EXPECT_EQ(Back.TraceBlob, R.TraceBlob);
+  EXPECT_EQ(Back.Message, R.Message);
+}
+
+TEST(Protocol, RejectsMalformedPayloads) {
+  Request R;
+  R.Sources.push_back({"a.taj", true, "text"});
+  std::vector<uint8_t> Wire = serializeRequest(R);
+  Request Back;
+  // Every truncation of a valid payload must be rejected, not crash.
+  for (size_t Len = 0; Len < Wire.size(); ++Len)
+    EXPECT_FALSE(deserializeRequest(Wire.data(), Len, Back)) << Len;
+  // Trailing garbage is a protocol error too.
+  Wire.push_back(0);
+  EXPECT_FALSE(deserializeRequest(Wire.data(), Wire.size(), Back));
+
+  Response Resp;
+  Resp.Report = "r";
+  std::vector<uint8_t> RW = serializeResponse(Resp);
+  Response RBack;
+  for (size_t Len = 0; Len < RW.size(); ++Len)
+    EXPECT_FALSE(deserializeResponse(RW.data(), Len, RBack)) << Len;
+  // An out-of-range status byte is rejected.
+  RW[0] = 200;
+  EXPECT_FALSE(deserializeResponse(RW.data(), RW.size(), RBack));
+}
+
+TEST(Protocol, FramesRoundTripAndRejectCorruption) {
+  int P[2];
+  ASSERT_EQ(::pipe(P), 0);
+  std::vector<uint8_t> Payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(writeFrame(P[1], Payload));
+  std::vector<uint8_t> Back;
+  ASSERT_TRUE(readFrame(P[0], Back));
+  EXPECT_EQ(Back, Payload);
+
+  // Bad magic: rejected.
+  const uint8_t BadHdr[8] = {'X', 'X', 'X', 'X', 1, 0, 0, 0};
+  ASSERT_TRUE(writeFull(P[1], BadHdr, sizeof(BadHdr)));
+  EXPECT_FALSE(readFrame(P[0], Back));
+
+  // Oversized announced length: rejected before any allocation attempt.
+  uint8_t Huge[8];
+  const uint32_t Magic = FrameMagic;
+  std::memcpy(Huge, &Magic, 4);
+  const uint32_t TooBig = MaxFrameBytes + 1;
+  std::memcpy(Huge + 4, &TooBig, 4);
+  ASSERT_TRUE(writeFull(P[1], Huge, sizeof(Huge)));
+  EXPECT_FALSE(readFrame(P[0], Back));
+
+  // EOF mid-frame: rejected, not blocked on.
+  const uint8_t Short[8] = {'T', 'A', 'J', '1', 100, 0, 0, 0};
+  ASSERT_TRUE(writeFull(P[1], Short, sizeof(Short)));
+  ::close(P[1]);
+  EXPECT_FALSE(readFrame(P[0], Back));
+  ::close(P[0]);
+}
+
+//===----------------------------------------------------------------------===//
+// Hot tier (persist::MemCache) and its layering over the disk cache
+//===----------------------------------------------------------------------===//
+
+TEST(MemCache, LruEvictsByBytes) {
+  persist::MemCache M(100);
+  std::vector<uint8_t> Forty(40, 1);
+  M.put("a", Forty.data(), Forty.size());
+  M.put("b", Forty.data(), Forty.size());
+  EXPECT_EQ(M.entries(), 2u);
+  EXPECT_EQ(M.bytes(), 80u);
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_TRUE(M.get("a").has_value());
+  M.put("c", Forty.data(), Forty.size());
+  EXPECT_EQ(M.evictions(), 1u);
+  EXPECT_TRUE(M.get("a").has_value());
+  EXPECT_FALSE(M.get("b").has_value());
+  EXPECT_TRUE(M.get("c").has_value());
+  EXPECT_LE(M.bytes(), 100u);
+}
+
+TEST(MemCache, OversizedEntryIsRejectedOutright) {
+  persist::MemCache M(10);
+  std::vector<uint8_t> Big(11, 1);
+  M.put("big", Big.data(), Big.size());
+  EXPECT_EQ(M.entries(), 0u);
+  EXPECT_FALSE(M.get("big").has_value());
+  // A fitting entry is unaffected by the earlier rejection.
+  M.put("ok", Big.data(), 10);
+  EXPECT_TRUE(M.get("ok").has_value());
+}
+
+TEST(MemCache, CountersEraseAndReplace) {
+  persist::MemCache M(0); // uncapped
+  const uint8_t D[4] = {1, 2, 3, 4};
+  EXPECT_FALSE(M.get("k").has_value());
+  M.put("k", D, 4);
+  M.put("k", D, 2); // replace shrinks the byte accounting
+  EXPECT_EQ(M.bytes(), 2u);
+  EXPECT_EQ(M.entries(), 1u);
+  ASSERT_TRUE(M.get("k").has_value());
+  EXPECT_EQ(M.get("k")->size(), 2u);
+  M.erase("k");
+  EXPECT_EQ(M.bytes(), 0u);
+  EXPECT_FALSE(M.get("k").has_value());
+  EXPECT_EQ(M.stores(), 2u);
+  EXPECT_GE(M.misses(), 2u);
+  Stats S;
+  M.exportStats(S);
+  EXPECT_EQ(S.get("persist.mem_store"), 2u);
+}
+
+TEST(ArtifactCache, MemOnlyModeServesLoadsWithoutADirectory) {
+  persist::ArtifactCache Cache(""); // no disk tier
+  EXPECT_FALSE(Cache.enabled());
+  persist::MemCache Hot(0);
+  Cache.attachMemTier(&Hot);
+  EXPECT_TRUE(Cache.enabled());
+  std::vector<uint8_t> Payload = {9, 8, 7};
+  Cache.store("ir-abc", persist::ArtifactKind::Ir, Payload);
+  auto Loaded = Cache.load("ir-abc", persist::ArtifactKind::Ir);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(std::vector<uint8_t>(Loaded->data(),
+                                 Loaded->data() + Loaded->size()),
+            Payload);
+  EXPECT_EQ(Cache.memHits(), 1u);
+  EXPECT_EQ(Cache.hits(), 1u); // a mem hit counts as a cache hit
+  EXPECT_EQ(Cache.stores(), 1u);
+}
+
+TEST(ArtifactCache, DiskHitsPromoteIntoTheHotTier) {
+  TempDir T;
+  std::vector<uint8_t> Payload = {1, 2, 3, 4};
+  {
+    persist::ArtifactCache Cold(T.Path);
+    Cold.store("ir-k", persist::ArtifactKind::Ir, Payload);
+  }
+  persist::ArtifactCache Cache(T.Path);
+  persist::MemCache Hot(0);
+  Cache.attachMemTier(&Hot);
+  ASSERT_TRUE(Cache.load("ir-k", persist::ArtifactKind::Ir).has_value());
+  EXPECT_EQ(Cache.memHits(), 0u); // first load came from disk...
+  EXPECT_EQ(Hot.entries(), 1u);   // ...and was promoted
+  ASSERT_TRUE(Cache.load("ir-k", persist::ArtifactKind::Ir).has_value());
+  EXPECT_EQ(Cache.memHits(), 1u); // second load skips the disk
+  // Invalidation drops both tiers.
+  Cache.noteRestoreFailure("ir-k");
+  EXPECT_EQ(Hot.entries(), 0u);
+  EXPECT_FALSE(Cache.load("ir-k", persist::ArtifactKind::Ir).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Shared option set
+//===----------------------------------------------------------------------===//
+
+TEST(Service, OptionsRoundTripThroughCanonicalEncoding) {
+  RunOptions O;
+  O.ConfigName = "hybrid-prioritized";
+  O.Budget = 1234;
+  O.MaxLen = 9;
+  O.NestedDepth = 5;
+  O.Threads = 3;
+  O.DeadlineMs = 250.5;
+  O.MaxMemoryMb = 512;
+  O.Raw = true;
+  RunOptions Back;
+  for (const std::string &A : encodeRunOptions(O))
+    ASSERT_EQ(parseRunOption(A.c_str(), Back), OptionParse::Matched) << A;
+  EXPECT_EQ(optionsFingerprint(Back), optionsFingerprint(O));
+  // The fingerprint is sensitive to result-relevant fields...
+  RunOptions Changed = O;
+  Changed.Budget = 1235;
+  EXPECT_NE(optionsFingerprint(Changed), optionsFingerprint(O));
+  // ...but not to thread count (results are thread-count invariant).
+  RunOptions Threads = O;
+  Threads.Threads = 7;
+  EXPECT_EQ(optionsFingerprint(Threads), optionsFingerprint(O));
+}
+
+TEST(Service, RetryDegradationStripsFaultInjection) {
+  RunOptions O;
+  O.CrashAt = 5;
+  O.HangAt = 6;
+  O.FailAt = 7;
+  O.Threads = 8;
+  RunOptions D = degradeForRetry(O);
+  EXPECT_EQ(D.CrashAt, 0u);
+  EXPECT_EQ(D.HangAt, 0u);
+  EXPECT_EQ(D.FailAt, 0u);
+  EXPECT_EQ(D.Threads, 1u);
+  EXPECT_EQ(D.StringAnalysis, StringAnalysisMode::Local);
+}
+
+//===----------------------------------------------------------------------===//
+// Flag-dependency matrix
+//===----------------------------------------------------------------------===//
+
+TEST(CliUsage, ServerFlagMatrix) {
+  int Exit;
+  std::string Out;
+
+  Out = runCli("--connect=/tmp/nowhere.sock", Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("--connect requires input files"), std::string::npos);
+
+  Out = runCli("--serve=/tmp/x.sock --batch=list.txt", Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("--serve is exclusive"), std::string::npos);
+
+  Out = runCli(std::string("--serve=/tmp/x.sock ") + TAJ_EXAMPLE_TAJ, Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("--serve is exclusive"), std::string::npos);
+
+  Out = runCli("--serve=/tmp/x.sock --connect=/tmp/y.sock", Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("exclusive"), std::string::npos);
+
+  Out = runCli("--serve=/tmp/x.sock --jobs=2", Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("--jobs/--resume do not apply"), std::string::npos);
+
+  Out = runCli(std::string("--pool-size=2 ") + TAJ_EXAMPLE_TAJ, Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("require --serve"), std::string::npos);
+
+  Out = runCli(std::string("--queue-depth=4 ") + TAJ_EXAMPLE_TAJ, Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("require --serve"), std::string::npos);
+
+  Out = runCli("--serve=/tmp/x.sock --pool-size=0", Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("--pool-size must be >= 1"), std::string::npos);
+
+  Out = runCli("--serve=/tmp/x.sock --pool-size=abc", Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("non-negative number"), std::string::npos);
+
+  Out = runCli("--serve=/tmp/x.sock --queue-depth=1e9", Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("out of range"), std::string::npos);
+
+  Out = runCli(std::string("--connect=/tmp/x.sock --cache-dir=/tmp/c ") +
+                   TAJ_EXAMPLE_TAJ,
+               Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("do not apply to --connect"), std::string::npos);
+}
+
+TEST(CliUsage, ConnectToMissingServerIsAnError) {
+  TempDir T;
+  int Exit;
+  std::string Out = runCli("--connect=" + T.Path + "/absent.sock " +
+                               TAJ_EXAMPLE_TAJ,
+                           Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("connect"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Serve: identity, hot tier, admission, retries, drain
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, ResponseIsByteIdenticalToLocalRunAndWarmsTheHotTier) {
+  TempDir T;
+
+  // Local baseline.
+  std::string LocalOut = T.Path + "/local.out";
+  pid_t P = spawnCli({TAJ_EXAMPLE_TAJ}, LocalOut, T.Path + "/local.err");
+  ASSERT_EQ(waitExit(P), 0);
+
+  // One worker, so the second request must land on the warmed tier.
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T, {"--pool-size=1", "--cache-dir=" + T.Path + "/cache",
+                          "--stats-json=" + T.Path + "/server-stats.json"}));
+
+  for (int I = 0; I < 2; ++I) {
+    std::string Out = T.Path + "/c" + std::to_string(I) + ".out";
+    std::string StatsPath = T.Path + "/c" + std::to_string(I) + ".json";
+    pid_t C = spawnCli({"--connect=" + S.Sock, "--stats-json=" + StatsPath,
+                        TAJ_EXAMPLE_TAJ},
+                       Out, T.Path + "/client.err");
+    ASSERT_EQ(waitExit(C), 0) << readWhole(T.Path + "/client.err");
+    EXPECT_EQ(readWhole(Out), readWhole(LocalOut)) << "request " << I;
+  }
+  // Request 0 filled the tier, request 1 was served from it.
+  EXPECT_EQ(statOf(T.Path + "/c0.json", "persist.mem_hit"), 0);
+  EXPECT_GT(statOf(T.Path + "/c0.json", "persist.mem_store"), 0);
+  EXPECT_GT(statOf(T.Path + "/c1.json", "persist.mem_hit"), 0);
+  EXPECT_EQ(statOf(T.Path + "/c1.json", "persist.miss"), 0);
+  EXPECT_GT(statOf(T.Path + "/c1.json", "server.hot_hits"), 0);
+  EXPECT_EQ(statOf(T.Path + "/c1.json", "server.served"), 2);
+
+  EXPECT_EQ(S.stop(), 0);
+  EXPECT_EQ(statOf(T.Path + "/server-stats.json", "server.served"), 2);
+  EXPECT_GT(statOf(T.Path + "/server-stats.json", "server.hot_hits"), 0);
+}
+
+TEST(Serve, EightConcurrentClientsMatchTheBatchBaseline) {
+  TempDir T;
+  const std::string Base = readWhole(TAJ_EXAMPLE_TAJ);
+  ASSERT_FALSE(Base.empty());
+
+  // Eight app variants with two distinct report shapes: even variants
+  // keep the SQLi flow, odd ones drop it, so a cross-wired response
+  // (client A receiving client B's report) cannot go unnoticed.
+  std::vector<std::string> Apps;
+  std::string List;
+  for (int I = 0; I < 8; ++I) {
+    std::string Text = Base + "\n// variant " + std::to_string(I) + "\n";
+    if (I % 2 == 1) {
+      size_t At = Text.find("q = db.executeQuery(bio);");
+      ASSERT_NE(At, std::string::npos);
+      size_t LineStart = Text.rfind('\n', At) + 1;
+      size_t LineEnd = Text.find('\n', At) + 1;
+      Text.erase(LineStart, LineEnd - LineStart);
+    }
+    std::string Path = T.Path + "/app" + std::to_string(I) + ".taj";
+    writeWhole(Path, Text);
+    Apps.push_back(Path);
+    List += Path + "\n";
+  }
+  writeWhole(T.Path + "/list.txt", List);
+
+  // Baseline: a cold supervised batch over the same eight variants
+  // (supervised batch stdout is itself pinned byte-identical to the
+  // in-process loop by the supervise suite).
+  std::string BatchOut = T.Path + "/batch.out";
+  pid_t B = spawnCli({"--batch=" + T.Path + "/list.txt", "--jobs=2"},
+                     BatchOut, T.Path + "/batch.err");
+  ASSERT_EQ(waitExit(B), 0);
+  const std::string Batch = readWhole(BatchOut);
+
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T, {"--pool-size=4",
+                          "--cache-dir=" + T.Path + "/cache"}));
+
+  std::vector<pid_t> Clients;
+  for (int I = 0; I < 8; ++I)
+    Clients.push_back(spawnCli({"--connect=" + S.Sock, Apps[I]},
+                               T.Path + "/out" + std::to_string(I),
+                               T.Path + "/err" + std::to_string(I)));
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(waitExit(Clients[I]), 0)
+        << readWhole(T.Path + "/err" + std::to_string(I));
+
+  for (int I = 0; I < 8; ++I) {
+    // The batch segment for app I sits between "=== <name>\n" and
+    // "--- <name>: exit=".
+    const std::string Head = "=== " + Apps[I] + "\n";
+    const std::string Tail = "--- " + Apps[I] + ": exit=";
+    size_t From = Batch.find(Head);
+    ASSERT_NE(From, std::string::npos) << Apps[I];
+    From += Head.size();
+    size_t To = Batch.find(Tail, From);
+    ASSERT_NE(To, std::string::npos) << Apps[I];
+    EXPECT_EQ(readWhole(T.Path + "/out" + std::to_string(I)),
+              Batch.substr(From, To - From))
+        << Apps[I];
+  }
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(Serve, QueueFullAnswersBusyAndWatchdogTimesOutTheHang) {
+  TempDir T;
+  // One worker, no queue: a second request during the hang must be
+  // refused immediately. The watchdog backstop is armed through the same
+  // environment knobs the batch supervisor honors.
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T,
+                      {"--pool-size=1", "--queue-depth=0", "--retry=0",
+                       "--stats-json=" + T.Path + "/server-stats.json"},
+                      {{"TAJ_HARD_DEADLINE_MS", "2500"},
+                       {"TAJ_WATCHDOG_GRACE_MS", "300"}}));
+
+  // Request 1 hangs at a checkpoint; the watchdog must turn it into a
+  // `timeout` answer (retries disabled) and respawn the worker.
+  pid_t Hung = spawnCli({"--connect=" + S.Sock, "--hang-at=3",
+                         TAJ_EXAMPLE_TAJ},
+                        T.Path + "/hung.out", T.Path + "/hung.err");
+  // Give the hang time to occupy the only worker, then hit admission.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  int BusyExit;
+  std::string BusyOut =
+      runCli("--connect=" + S.Sock + " " + TAJ_EXAMPLE_TAJ, BusyExit);
+  EXPECT_EQ(BusyExit, 1);
+  EXPECT_NE(BusyOut.find("busy"), std::string::npos) << BusyOut;
+
+  EXPECT_EQ(waitExit(Hung), 1);
+  EXPECT_NE(readWhole(T.Path + "/hung.err").find("timeout"),
+            std::string::npos);
+
+  // The respawned worker serves the next request normally.
+  int OkExit;
+  runCli("--connect=" + S.Sock + " " + TAJ_EXAMPLE_TAJ, OkExit);
+  EXPECT_EQ(OkExit, 0);
+
+  EXPECT_EQ(S.stop(), 0);
+  EXPECT_GE(statOf(T.Path + "/server-stats.json", "server.rejected_busy"), 1);
+  EXPECT_GE(statOf(T.Path + "/server-stats.json", "server.respawned"), 1);
+}
+
+TEST(Serve, CrashedRequestRecoversThroughTheRetryLadder) {
+  TempDir T;
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T, {"--pool-size=1", "--retry=1",
+                          "--journal=" + T.Path + "/journal.jsonl",
+                          "--stats-json=" + T.Path + "/server-stats.json"}));
+
+  // The injected crash kills attempt 1; the degraded retry strips fault
+  // injection, so attempt 2 completes and the client sees a clean run.
+  std::string Out = T.Path + "/crash.out";
+  pid_t C = spawnCli({"--connect=" + S.Sock, "--crash-at=3", TAJ_EXAMPLE_TAJ},
+                     Out, T.Path + "/crash.err");
+  EXPECT_EQ(waitExit(C), 0) << readWhole(T.Path + "/crash.err");
+  EXPECT_FALSE(readWhole(Out).empty());
+
+  EXPECT_EQ(S.stop(), 0);
+  EXPECT_GE(statOf(T.Path + "/server-stats.json", "server.retried"), 1);
+
+  // The journal shows the non-terminal crash and the terminal recovery.
+  std::vector<supervise::Attempt> Recs =
+      supervise::Journal::load(T.Path + "/journal.jsonl");
+  ASSERT_GE(Recs.size(), 2u);
+  bool SawCrash = false, SawRecovery = false;
+  for (const supervise::Attempt &A : Recs) {
+    if (A.Class == supervise::ExitClass::Crashed && !A.Terminal)
+      SawCrash = true;
+    if (A.Class == supervise::ExitClass::Clean && A.Terminal &&
+        A.AttemptNo == 2)
+      SawRecovery = true;
+  }
+  EXPECT_TRUE(SawCrash);
+  EXPECT_TRUE(SawRecovery);
+}
+
+TEST(Serve, CooperativeDeadlineTruncatesWithExitTwo) {
+  TempDir T;
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T, {"--pool-size=1"}));
+  int Exit;
+  runCli("--connect=" + S.Sock + " --deadline-ms=0.001 " + TAJ_EXAMPLE_TAJ,
+         Exit);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(Serve, SigtermDrainsInFlightWorkAndRefusesNewConnections) {
+  TempDir T;
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T,
+                      {"--pool-size=1", "--retry=0",
+                       "--stats-json=" + T.Path + "/server-stats.json"},
+                      {{"TAJ_HARD_DEADLINE_MS", "2000"},
+                       {"TAJ_WATCHDOG_GRACE_MS", "300"}}));
+
+  // A served request before the drain.
+  int Exit;
+  runCli("--connect=" + S.Sock + " " + TAJ_EXAMPLE_TAJ, Exit);
+  ASSERT_EQ(Exit, 0);
+
+  // Occupy the worker with a hang, then ask for the drain: the daemon
+  // must keep running until the watchdog resolves the in-flight request
+  // (to a terminal `timeout` answer here), then exit 0.
+  pid_t Hung = spawnCli({"--connect=" + S.Sock, "--hang-at=3",
+                         TAJ_EXAMPLE_TAJ},
+                        T.Path + "/hung.out", T.Path + "/hung.err");
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_EQ(S.stop(), 0);
+  EXPECT_EQ(waitExit(Hung), 1);
+  EXPECT_NE(readWhole(T.Path + "/hung.err").find("timeout"),
+            std::string::npos);
+
+  // The socket is gone: connecting again is a clean client-side error.
+  std::string Out = runCli("--connect=" + S.Sock + " " + TAJ_EXAMPLE_TAJ,
+                           Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("error:"), std::string::npos);
+
+  EXPECT_GE(statOf(T.Path + "/server-stats.json", "server.served"), 1);
+}
+
+TEST(Serve, SecondServerOnTheSameSocketIsRefused) {
+  TempDir T;
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T, {"--pool-size=1"}));
+  int Exit;
+  std::string Out = runCli("--serve=" + S.Sock, Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("already listening"), std::string::npos);
+  EXPECT_EQ(S.stop(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// SIGPIPE / short-write discipline
+//===----------------------------------------------------------------------===//
+
+TEST(Sigpipe, ClosedStdoutIsAnErrorExitNotASignalDeath) {
+  TempDir T;
+  int P[2];
+  ASSERT_EQ(::pipe(P), 0);
+  pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    // Child: stdout is a pipe nobody will ever read.
+    ::dup2(P[1], STDOUT_FILENO);
+    ::close(P[0]);
+    ::close(P[1]);
+    int Fd = ::open((T.Path + "/err").c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (Fd >= 0) {
+      ::dup2(Fd, STDERR_FILENO);
+      ::close(Fd);
+    }
+    ::execl(TAJ_CLI_PATH, TAJ_CLI_PATH, TAJ_EXAMPLE_TAJ,
+            static_cast<char *>(nullptr));
+    ::_exit(127);
+  }
+  // Close both ends: every write in the child now raises EPIPE, which
+  // must surface as exit 1 ("stdout write failed"), not a SIGPIPE death.
+  ::close(P[0]);
+  ::close(P[1]);
+  EXPECT_EQ(waitExit(Pid), 1);
+  EXPECT_NE(readWhole(T.Path + "/err").find("stdout write failed"),
+            std::string::npos);
+}
+
+} // namespace

@@ -4,6 +4,8 @@
 //
 //   taj-cli [options] file.taj [file2.taj ...]
 //   taj-cli [options] --batch=LISTFILE
+//   taj-cli [options] --serve=SOCKET
+//   taj-cli [options] --connect=SOCKET file.taj [file2.taj ...]
 //
 // Options:
 //   --config=<hybrid|hybrid-prioritized|hybrid-optimized|cs|ci>
@@ -31,7 +33,8 @@
 //   --cache-grace-ms=<n>  eviction grace window: entries touched more
 //                         recently are never evicted (protects entries a
 //                         concurrent worker may be mid-read on; defaults
-//                         to 60000 under --jobs>=1, else 0)
+//                         to 60000 under --jobs>=1 and --serve with a
+//                         cache dir, else 0)
 //   --batch=<listfile>    analyze many apps through one shared warm
 //                         cache; each list line names one app's .taj
 //                         files (whitespace-separated; blank lines and
@@ -44,22 +47,43 @@
 //   --retry=<n>           re-runs granted to a crashed / timed-out /
 //                         OOM-killed app, each with a degraded config
 //                         (halved call-graph budget, local string
-//                         analysis, one thread; default 1)
+//                         analysis, one thread; default 1). Applies to
+//                         --jobs>=1 batches and to --serve requests.
 //   --journal=<path>      append-only JSONL journal of per-app attempts
-//                         (crash-safe; enables --resume)
+//                         (crash-safe; enables --resume for batches and
+//                         records per-request attempts under --serve)
 //   --resume              skip apps whose terminal outcome the journal
 //                         already records; re-run only the rest
+//   --serve=<socket>      analysis server: run as a persistent daemon on
+//                         the named Unix-domain socket, serving requests
+//                         from a pre-forked pool of warm workers sharing
+//                         the artifact cache plus a per-worker in-memory
+//                         hot tier. Drains cleanly on SIGTERM/SIGINT.
+//   --connect=<socket>    client mode: ship the positional files (read
+//                         locally, sent inline) plus this command line's
+//                         analysis flags to a running server, print the
+//                         returned report, exit with the usual contract
+//   --pool-size=<n>       server worker pool size (>= 1, default 2)
+//   --queue-depth=<n>     server admission queue bound; a request
+//                         arriving with the queue full and no idle
+//                         worker is answered `busy` (default 16)
+//   --hot-max-mb=<n>      per-worker in-memory hot-tier byte cap
+//                         (0 = uncapped, default 256)
 //   --stats-json=<path>   write every statistics counter (solver, run
-//                         governance, persist.*, supervise.*, and the
-//                         per-phase phase.* wall/CPU/peak-RSS breakdown)
-//                         as one JSON object
+//                         governance, persist.*, supervise.*, server.*,
+//                         and the per-phase phase.* wall/CPU/peak-RSS
+//                         breakdown) as one JSON object; under --serve
+//                         written at drain, under --connect from the
+//                         response's per-request counters
 //   --trace=PATH          write a Chrome trace-event JSON timeline of the
 //                         run (loadable in chrome://tracing / Perfetto):
 //                         spans for every pipeline phase, per-worker spans
 //                         in the parallel slicing engine, instant events
 //                         for guard stops and cache hits/misses. Under
 //                         --jobs>=1 each worker's trace is collected and
-//                         merged into one batch timeline keyed by pid/tid.
+//                         merged into one batch timeline keyed by pid/tid;
+//                         under --serve each request additionally gets a
+//                         span on a synthetic per-worker lane.
 //   --raw                 print raw flows instead of LCP-grouped reports
 //   --dump-ir             print the parsed (SSA) program and exit
 //   --stats               print analysis statistics
@@ -79,23 +103,21 @@
 // In batch mode the process exit code is the worst across all apps
 // (error > truncated > clean); one failing app does not stop the batch.
 // Under --jobs>=1 a crashed, timed-out or OOM-killed worker counts as an
-// error for its app after the retry ladder is exhausted.
+// error for its app after the retry ladder is exhausted. Under --connect
+// the exit code mirrors the response status (busy, shutting-down, crash,
+// timeout and oom all map to error, with the reason on stderr). A daemon
+// exits 0 after a clean drain.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/TaintAnalysis.h"
-#include "frontend/Parser.h"
-#include "ir/Printer.h"
-#include "ir/Verifier.h"
-#include "model/BuiltinLibrary.h"
-#include "model/Entrypoints.h"
+#include "core/AnalysisConfig.h"
 #include "persist/Cache.h"
-#include "report/ReportGenerator.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include "server/Service.h"
 #include "supervise/Supervisor.h"
 #include "support/Trace.h"
 
-#include <cerrno>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -104,13 +126,12 @@
 #include <sstream>
 #include <string>
 
-#include <sys/stat.h>
+#include <csignal>
 
 using namespace taj;
+using namespace taj::server;
 
 namespace {
-
-enum ExitCode { ExitClean = 0, ExitError = 1, ExitTruncated = 2 };
 
 void usage() {
   std::fprintf(
@@ -123,354 +144,20 @@ void usage() {
       "               [--cache-grace-ms=N] [--jobs=N] [--retry=N]\n"
       "               [--journal=PATH] [--resume] [--stats-json=PATH]\n"
       "               [--trace=PATH] [--raw] [--dump-ir] [--stats]\n"
-      "               (file.taj [more.taj ...] | --batch=LISTFILE)\n");
+      "               [--pool-size=N] [--queue-depth=N] [--hot-max-mb=N]\n"
+      "               (file.taj [more.taj ...] | --batch=LISTFILE\n"
+      "                | --serve=SOCKET | --connect=SOCKET file.taj ...)\n");
 }
 
-bool readFile(const char *Path, std::string &Out, std::string &Err) {
-  struct stat St;
-  if (::stat(Path, &St) != 0) {
-    Err = std::strerror(errno);
-    return false;
-  }
-  if (S_ISDIR(St.st_mode)) {
-    Err = "is a directory";
-    return false;
-  }
-  std::ifstream In(Path);
-  if (!In) {
-    Err = std::strerror(errno);
-    return false;
-  }
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  if (In.bad()) {
-    Err = "read failed";
-    return false;
-  }
-  Out = SS.str();
-  return true;
-}
-
-/// Strict numeric flag parsing: "--fail-at=abc" or "--deadline-ms=" must be
-/// a usage error, not a silently ignored limit.
-bool parseNum(const char *Flag, const char *Text, double &Out) {
-  char *End = nullptr;
-  Out = std::strtod(Text, &End);
-  if (*Text == '\0' || *End != '\0' || Out < 0) {
-    std::fprintf(stderr, "error: %s requires a non-negative number, got '%s'\n",
-                 Flag, Text);
-    return false;
-  }
-  return true;
-}
-
-/// Integer flags additionally range-check before the narrowing cast:
-/// "--budget=5e9" must be a usage error, not a silent uint32_t wrap.
-bool parseUInt(const char *Flag, const char *Text, uint64_t Max,
-               uint64_t &Out) {
-  double V;
-  if (!parseNum(Flag, Text, V))
-    return false;
-  if (V != std::floor(V) || V > static_cast<double>(Max)) {
-    std::fprintf(stderr,
-                 "error: %s value '%s' is out of range (integer 0..%llu)\n",
-                 Flag, Text, static_cast<unsigned long long>(Max));
-    return false;
-  }
-  Out = static_cast<uint64_t>(V);
-  return true;
-}
-
-bool parseU32(const char *Flag, const char *Text, uint32_t &Out) {
-  uint64_t V;
-  if (!parseUInt(Flag, Text, UINT32_MAX, V))
-    return false;
-  Out = static_cast<uint32_t>(V);
-  return true;
-}
-
-/// Counter-like uint64 flags stay within double's exact-integer range so
-/// the strtod round-trip cannot quietly lose precision.
-constexpr uint64_t MaxExactU64 = 1ull << 53;
-
-/// Everything one analysis run needs besides its input files.
-struct CliOptions {
-  std::string ConfigName = "hybrid";
-  uint32_t Budget = 0, MaxLen = 0, NestedDepth = 32;
-  uint32_t Threads = 0; // 0 = auto (TAJ_THREADS, then hardware concurrency)
-  double DeadlineMs = 0;
-  uint64_t MaxMemoryMb = 0, FailAt = 0, CrashAt = 0, HangAt = 0;
-  StringAnalysisMode StringAnalysis = StringAnalysisMode::Ipa;
-  bool Raw = false, DumpIr = false, ShowStats = false;
-};
-
-bool buildConfig(const CliOptions &O, AnalysisConfig &C) {
-  if (O.ConfigName == "hybrid")
-    C = AnalysisConfig::hybridUnbounded();
-  else if (O.ConfigName == "hybrid-prioritized")
-    C = AnalysisConfig::hybridPrioritized(O.Budget ? O.Budget : 20000);
-  else if (O.ConfigName == "hybrid-optimized")
-    C = AnalysisConfig::hybridOptimized(O.Budget ? O.Budget : 20000);
-  else if (O.ConfigName == "cs")
-    C = AnalysisConfig::cs();
-  else if (O.ConfigName == "ci")
-    C = AnalysisConfig::ci();
-  else {
-    std::fprintf(stderr, "error: unknown config '%s'\n", O.ConfigName.c_str());
-    return false;
-  }
-  if (O.Budget)
-    C.MaxCallGraphNodes = O.Budget;
-  if (O.MaxLen)
-    C.MaxFlowLength = O.MaxLen;
-  C.NestedTaintDepth = O.NestedDepth;
-  C.Threads = O.Threads; // 0 defers to TAJ_THREADS / hardware concurrency
-  // Explicit flags win over the TAJ_* environment (TaintAnalysis overlays
-  // the environment only onto unset limits, since flags default to 0 the
-  // overlay applies exactly when no flag was given).
-  if (O.DeadlineMs > 0)
-    C.DeadlineMs = O.DeadlineMs;
-  if (O.MaxMemoryMb)
-    C.MaxMemoryMb = O.MaxMemoryMb;
-  if (O.FailAt)
-    C.FailAtCheckpoint = O.FailAt;
-  if (O.CrashAt)
-    C.CrashAtCheckpoint = O.CrashAt;
-  if (O.HangAt)
-    C.HangAtCheckpoint = O.HangAt;
-  C.StringAnalysis = O.StringAnalysis;
-  return true;
-}
-
-struct RunOutcome {
-  int Exit = ExitError;
-  size_t NumIssues = 0;
-};
-
-/// Analyzes one app (a set of .taj files forming one program) end to end:
-/// frontend (IR cache aware), analysis (points-to/SDG cache aware via
-/// AnalysisConfig), report rendering. Batch mode calls this once per list
-/// line against a shared cache. \p MergedStats, when set, accumulates every
-/// counter for --stats-json.
-RunOutcome analyzeOne(const std::vector<std::string> &Files,
-                      const CliOptions &Opt, persist::ArtifactCache *Cache,
-                      Stats *MergedStats) {
-  RunOutcome Out;
-
-  // Per-app profile covering parse and report on top of the run-internal
-  // phases (handed to the analysis via ExternalProfile). Every return
-  // path below exports it, so a failed app still accounts its time.
-  PhaseProfile Prof;
-  // Unreadable/unparseable inputs must still leave a mark in the stats
-  // artifact: the counter tells a supervising parent the app failed on
-  // input, not inside the analysis.
-  auto FailInput = [&]() -> RunOutcome {
-    if (MergedStats) {
-      MergedStats->add("cli.input_errors");
-      Prof.exportStats(*MergedStats);
-    }
-    return Out; // Exit stays ExitError
-  };
-
-  // Read every input up front: the content fingerprint keys all cache
-  // entries, so it must cover exactly the bytes the frontend would parse.
-  std::vector<std::string> Sources(Files.size());
-  bool InputError = false;
-  for (size_t I = 0; I < Files.size(); ++I) {
-    std::string IoErr;
-    if (!readFile(Files[I].c_str(), Sources[I], IoErr)) {
-      std::fprintf(stderr, "error: cannot read '%s': %s\n", Files[I].c_str(),
-                   IoErr.c_str());
-      InputError = true;
-    }
-  }
-  if (InputError)
-    return FailInput();
-
-  uint64_t H = persist::fnv1a("taj-input", 9);
-  for (const std::string &S : Sources) {
-    H = persist::fnv1a(S.data(), S.size(), H);
-    H = persist::fnv1a("|", 1, H); // file boundaries matter
-  }
-  char Hex[17];
-  std::snprintf(Hex, sizeof(Hex), "%016llx", static_cast<unsigned long long>(H));
-  const std::string InputFp = Hex;
-
-  const bool CacheOn = Cache && Cache->enabled();
-  // IR-phase counter baseline: the analysis phases report their own deltas
-  // in RunStats, so only the frontend window needs accounting here.
-  uint64_t Hit0 = 0, Miss0 = 0, Store0 = 0, Evict0 = 0, Corrupt0 = 0;
-  if (CacheOn) {
-    Hit0 = Cache->hits();
-    Miss0 = Cache->misses();
-    Store0 = Cache->stores();
-    Evict0 = Cache->evictions();
-    Corrupt0 = Cache->corruptions();
-  }
-
-  // Frontend, warm path: a valid "ir" entry replaces builtin installation,
-  // parsing and verification wholesale (the stored program was verified
-  // before it was stored). Any restore failure falls back cold.
-  auto P = std::make_unique<Program>();
-  std::string IrKey;
-  bool IrWarm = false;
-  if (CacheOn) {
-    PhaseScope S(&Prof, "persist_load");
-    IrKey = persist::ArtifactCache::makeKey("ir", InputFp, "");
-    if (std::optional<persist::LoadedPayload> Payload =
-            Cache->load(IrKey, persist::ArtifactKind::Ir)) {
-      persist::Reader R(Payload->data(), Payload->size());
-      IrWarm = persist::Access::restoreProgram(*P, R);
-      if (!IrWarm) {
-        Cache->noteRestoreFailure(IrKey);
-        P = std::make_unique<Program>(); // restore may leave partial state
-      }
-    }
-  }
-  if (!IrWarm) {
-    PhaseScope S(&Prof, "parse");
-    // Frontend: every input file gets its own diagnostics; one bad file
-    // does not silently hide behind another, and none aborts the process.
-    installBuiltinLibrary(*P);
-    for (size_t I = 0; I < Files.size(); ++I) {
-      std::vector<std::string> Errors;
-      if (!parseTaj(*P, Sources[I], &Errors)) {
-        if (Errors.empty())
-          std::fprintf(stderr, "%s: parse failed\n", Files[I].c_str());
-        for (const std::string &E : Errors)
-          std::fprintf(stderr, "%s:%s\n", Files[I].c_str(), E.c_str());
-        InputError = true;
-      }
-    }
-    if (InputError)
-      return FailInput();
-    std::vector<std::string> VErrors = verifyProgram(*P);
-    if (!VErrors.empty()) {
-      for (const std::string &E : VErrors)
-        std::fprintf(stderr, "verifier: %s\n", E.c_str());
-      return FailInput();
-    }
-    if (CacheOn) {
-      PhaseScope SS(&Prof, "persist_store");
-      persist::Writer W;
-      persist::Access::serializeProgram(*P, W);
-      Cache->store(IrKey, persist::ArtifactKind::Ir, W.bytes());
-    }
-  }
-  // Frontend-window cache deltas, folded into the run's stats below so
-  // --stats and --stats-json see the full per-app persist.* picture.
-  uint64_t IrHit = 0, IrMiss = 0, IrStore = 0, IrEvict = 0, IrCorrupt = 0;
-  if (CacheOn) {
-    IrHit = Cache->hits() - Hit0;
-    IrMiss = Cache->misses() - Miss0;
-    IrStore = Cache->stores() - Store0;
-    IrEvict = Cache->evictions() - Evict0;
-    IrCorrupt = Cache->corruptions() - Corrupt0;
-  }
-  if (Opt.DumpIr) {
-    std::printf("%s", printProgram(*P).c_str());
-    if (MergedStats)
-      Prof.exportStats(*MergedStats);
-    Out.Exit = ExitClean;
-    return Out;
-  }
-
-  AnalysisConfig C;
-  if (!buildConfig(Opt, C))
-    return Out;
-  C.Cache = Cache;
-  C.InputFingerprint = InputFp;
-  C.ExternalProfile = &Prof;
-
-  MethodId Root = synthesizeEntrypointDriver(*P);
-  TaintAnalysis TA(*P, std::move(C));
-  AnalysisResult R = TA.run({Root});
-  if (CacheOn) {
-    R.RunStats.add("persist.hit", IrHit);
-    R.RunStats.add("persist.miss", IrMiss);
-    R.RunStats.add("persist.store", IrStore);
-    R.RunStats.add("persist.evict", IrEvict);
-    R.RunStats.add("persist.corrupt", IrCorrupt);
-  }
-
-  const bool FailedNoStatus = !R.Completed && !R.degraded();
-  if (!FailedNoStatus) {
-    if (Opt.Raw) {
-      for (const Issue &I : R.Issues)
-        std::printf("%s: %s -> %s (length %u)\n", rules::ruleName(I.Rule),
-                    describeStmt(*P, I.Source).c_str(),
-                    describeStmt(*P, I.Sink).c_str(), I.Length);
-    } else {
-      PhaseScope RS(&Prof, "report");
-      std::printf("%s",
-                  renderReports(*P, generateReports(*P, R.Issues), &R.Status)
-                      .c_str());
-    }
-  }
-
-  // The profile now covers parse, report and the run-internal phases;
-  // export it into this run's stats before folding them into the merged
-  // set (run() skipped the export because the profile is external).
-  Prof.exportStats(R.RunStats);
-  if (MergedStats)
-    MergedStats->merge(R.RunStats); // includes the solver counters
-
-  if (FailedNoStatus) {
-    // Legacy CS failure channel with no structured status (should not
-    // happen: TaintAnalysis reports it as a memory truncation).
-    std::fprintf(stderr, "analysis did not complete\n");
-    return Out;
-  }
-  if (R.degraded())
-    std::fprintf(stderr, "run-status: %s\n", R.Status.toString().c_str());
-  if (Opt.ShowStats) {
-    std::fprintf(stderr, "-- %zu raw flows, %.1f ms, %u call-graph nodes%s\n",
-                 R.Issues.size(), R.Millis, R.CgNodesProcessed,
-                 R.BudgetExhausted ? " (budget exhausted)" : "");
-    std::fprintf(stderr, "%s", R.RunStats.toString().c_str());
-  }
-  Out.NumIssues = R.Issues.size();
-  Out.Exit = R.degraded() ? ExitTruncated : ExitClean;
-  // The issue count rides the stats channel so a supervising parent can
-  // recover it from the worker's --stats-json file.
-  if (MergedStats)
-    MergedStats->add("cli.issues", Out.NumIssues);
-  return Out;
-}
-
-/// Re-encodes \p Opt as worker flags for a supervised self-exec; the
-/// worker must reproduce exactly the run analyzeOne() would perform
-/// in-process (--jobs=1 is byte-identical to --jobs=0 by construction).
-std::vector<std::string> encodeWorkerArgs(const CliOptions &O,
+/// Re-encodes the run options plus the cache flags as worker argv for a
+/// supervised self-exec; the worker must reproduce exactly the run
+/// analyzeApp() would perform in-process (--jobs=1 is byte-identical to
+/// --jobs=0 by construction).
+std::vector<std::string> encodeWorkerArgs(const RunOptions &O,
                                           const std::string &CacheDir,
                                           uint64_t CacheMaxMb,
                                           uint64_t CacheGraceMs) {
-  std::vector<std::string> A;
-  A.push_back("--config=" + O.ConfigName);
-  if (O.Budget)
-    A.push_back("--budget=" + std::to_string(O.Budget));
-  if (O.MaxLen)
-    A.push_back("--max-flow-length=" + std::to_string(O.MaxLen));
-  A.push_back("--nested-depth=" + std::to_string(O.NestedDepth));
-  A.push_back("--threads=" + std::to_string(O.Threads));
-  if (O.DeadlineMs > 0)
-    A.push_back("--deadline-ms=" + std::to_string(O.DeadlineMs));
-  if (O.MaxMemoryMb)
-    A.push_back("--max-memory-mb=" + std::to_string(O.MaxMemoryMb));
-  if (O.FailAt)
-    A.push_back("--fail-at=" + std::to_string(O.FailAt));
-  if (O.CrashAt)
-    A.push_back("--crash-at=" + std::to_string(O.CrashAt));
-  if (O.HangAt)
-    A.push_back("--hang-at=" + std::to_string(O.HangAt));
-  A.push_back(std::string("--string-analysis=") +
-              stringAnalysisModeName(O.StringAnalysis));
-  if (O.Raw)
-    A.push_back("--raw");
-  if (O.DumpIr)
-    A.push_back("--dump-ir");
-  if (O.ShowStats)
-    A.push_back("--stats");
+  std::vector<std::string> A = encodeRunOptions(O);
   if (!CacheDir.empty()) {
     A.push_back("--cache-dir=" + CacheDir);
     if (CacheMaxMb)
@@ -481,107 +168,96 @@ std::vector<std::string> encodeWorkerArgs(const CliOptions &O,
   return A;
 }
 
-/// Fingerprint of the result-relevant batch configuration, stamped into
-/// journal records so --resume never trusts records from a
-/// differently-configured run. Threads and --stats are excluded: they do
-/// not change per-app results.
-std::string batchConfigFingerprint(const CliOptions &O) {
-  std::string S = "cfg:" + O.ConfigName + ";b=" + std::to_string(O.Budget) +
-                  ";fl=" + std::to_string(O.MaxLen) +
-                  ";nd=" + std::to_string(O.NestedDepth) +
-                  ";dl=" + std::to_string(O.DeadlineMs) +
-                  ";mm=" + std::to_string(O.MaxMemoryMb) +
-                  ";fa=" + std::to_string(O.FailAt) +
-                  ";ca=" + std::to_string(O.CrashAt) +
-                  ";ha=" + std::to_string(O.HangAt) +
-                  ";sa=" + stringAnalysisModeName(O.StringAnalysis) +
-                  ";raw=" + std::to_string(O.Raw) +
-                  ";ir=" + std::to_string(O.DumpIr);
-  uint64_t H = persist::fnv1a(S.data(), S.size());
-  char Hex[17];
-  std::snprintf(Hex, sizeof(Hex), "%016llx",
-                static_cast<unsigned long long>(H));
-  return Hex;
-}
-
-/// The degraded flag set for supervised retry attempts, derived from the
-/// shared RunGuard degradation preset: halved effective call-graph
-/// budget, local-only string analysis, one slicing thread, and no fault
-/// injection (an injected fault is a first-attempt scenario).
-CliOptions degradeForRetry(const CliOptions &O) {
-  CliOptions R = O;
-  const DegradationPreset &D = degradationForAttempt(1);
-  AnalysisConfig C;
-  if (buildConfig(O, C) && C.MaxCallGraphNodes) {
-    uint32_t Scaled = static_cast<uint32_t>(
-        static_cast<double>(C.MaxCallGraphNodes) * D.CallGraphBudgetScale);
-    R.Budget = Scaled ? Scaled : 1;
+/// Client mode: read the apps locally, ship them inline with this command
+/// line's analysis flags, print the response report.
+int runConnect(const std::string &SocketPath,
+               const std::vector<std::string> &Files, const RunOptions &Opt,
+               const std::string &StatsJsonPath,
+               const std::string &TracePath) {
+  Request Req;
+  for (const std::string &F : Files) {
+    AppSource S;
+    S.Name = F;
+    S.Inline = true;
+    std::string IoErr;
+    if (!readFileText(F.c_str(), S.Content, IoErr)) {
+      std::fprintf(stderr, "error: cannot read '%s': %s\n", F.c_str(),
+                   IoErr.c_str());
+      return ExitError;
+    }
+    Req.Sources.push_back(std::move(S));
   }
-  if (D.ForceLocalStringAnalysis &&
-      R.StringAnalysis == StringAnalysisMode::Ipa)
-    R.StringAnalysis = StringAnalysisMode::Local;
-  if (D.ForceSingleThread)
-    R.Threads = 1;
-  if (D.StripFaultInjection)
-    R.FailAt = R.CrashAt = R.HangAt = 0;
-  return R;
+  Req.Overrides = encodeRunOptions(Opt);
+
+  Response Resp;
+  std::string Err;
+  if (!requestAnalysis(SocketPath, Req, Resp, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return ExitError;
+  }
+  if (!Resp.Report.empty() &&
+      std::fwrite(Resp.Report.data(), 1, Resp.Report.size(), stdout) !=
+          Resp.Report.size()) {
+    std::fprintf(stderr, "error: stdout write failed\n");
+    return ExitError;
+  }
+  if (Resp.St != Status::Ok && Resp.St != Status::Truncated)
+    std::fprintf(stderr, "server: %s%s%s\n", statusName(Resp.St),
+                 Resp.Message.empty() ? "" : ": ", Resp.Message.c_str());
+  if (!StatsJsonPath.empty()) {
+    std::ofstream JOut(StatsJsonPath, std::ios::trunc);
+    if (!JOut || !(JOut << Resp.StatsJson << "\n")) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   StatsJsonPath.c_str());
+      return ExitError;
+    }
+  }
+  if (!TracePath.empty()) {
+    std::vector<std::string> Blobs;
+    if (!Resp.TraceBlob.empty())
+      Blobs.push_back(Resp.TraceBlob);
+    if (!trace::writeJsonMerged(TracePath, Blobs)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", TracePath.c_str());
+      return ExitError;
+    }
+  }
+  return exitCodeForStatus(Resp.St);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // SIGPIPE is a process-wide hazard for anything that writes to peers
+  // that may vanish — a closed client socket, a `head`-truncated stdout.
+  // Ignore it everywhere (the disposition survives fork and exec into
+  // supervised workers) and surface write failures as error returns.
+  std::signal(SIGPIPE, SIG_IGN);
+
   // A supervised worker turns allocation failure under the parent's
   // RLIMIT_AS ceiling into a deterministic OOM exit code (see
   // supervise/Supervisor.h) before any allocation can happen.
   if (std::getenv("TAJ_SUPERVISED_WORKER"))
     supervise::installWorkerOomHandler();
 
-  CliOptions Opt;
+  RunOptions Opt;
   std::string CacheDir, BatchFile, StatsJsonPath, JournalPath, TracePath;
+  std::string ServePath, ConnectPath;
   uint64_t CacheMaxMb = 0, CacheGraceMs = 0, Jobs = 0, Retry = 1;
+  uint64_t PoolSize = 2, QueueDepth = 16, HotMaxMb = 256;
   bool CacheGraceSet = false, RetrySet = false, Resume = false;
+  bool PoolSizeSet = false, QueueDepthSet = false, HotMaxSet = false;
   std::vector<std::string> Files;
 
   for (int K = 1; K < Argc; ++K) {
     const char *A = Argv[K];
-    if (std::strncmp(A, "--config=", 9) == 0)
-      Opt.ConfigName = A + 9;
-    else if (std::strncmp(A, "--budget=", 9) == 0) {
-      if (!parseU32("--budget", A + 9, Opt.Budget))
-        return ExitError;
-    } else if (std::strncmp(A, "--max-flow-length=", 18) == 0) {
-      if (!parseU32("--max-flow-length", A + 18, Opt.MaxLen))
-        return ExitError;
-    } else if (std::strncmp(A, "--nested-depth=", 15) == 0) {
-      if (!parseU32("--nested-depth", A + 15, Opt.NestedDepth))
-        return ExitError;
-    } else if (std::strncmp(A, "--threads=", 10) == 0) {
-      if (!parseU32("--threads", A + 10, Opt.Threads))
-        return ExitError;
-    } else if (std::strncmp(A, "--deadline-ms=", 14) == 0) {
-      if (!parseNum("--deadline-ms", A + 14, Opt.DeadlineMs))
-        return ExitError;
-    } else if (std::strncmp(A, "--max-memory-mb=", 16) == 0) {
-      if (!parseUInt("--max-memory-mb", A + 16, MaxExactU64, Opt.MaxMemoryMb))
-        return ExitError;
-    } else if (std::strncmp(A, "--fail-at=", 10) == 0) {
-      if (!parseUInt("--fail-at", A + 10, MaxExactU64, Opt.FailAt))
-        return ExitError;
-    } else if (std::strncmp(A, "--crash-at=", 11) == 0) {
-      if (!parseUInt("--crash-at", A + 11, MaxExactU64, Opt.CrashAt))
-        return ExitError;
-    } else if (std::strncmp(A, "--hang-at=", 10) == 0) {
-      if (!parseUInt("--hang-at", A + 10, MaxExactU64, Opt.HangAt))
-        return ExitError;
-    } else if (std::strncmp(A, "--string-analysis=", 18) == 0) {
-      if (!parseStringAnalysisMode(A + 18, Opt.StringAnalysis)) {
-        std::fprintf(stderr,
-                     "error: --string-analysis requires off|local|ipa, "
-                     "got '%s'\n",
-                     A + 18);
-        return ExitError;
-      }
-    } else if (std::strncmp(A, "--cache-dir=", 12) == 0)
+    // The shared analysis options first (one parser for CLI, batch
+    // workers and server requests), then the driver-level flags.
+    OptionParse PR = parseRunOption(A, Opt);
+    if (PR == OptionParse::Bad)
+      return ExitError;
+    if (PR == OptionParse::Matched)
+      continue;
+    if (std::strncmp(A, "--cache-dir=", 12) == 0)
       CacheDir = A + 12;
     else if (std::strncmp(A, "--cache-max-mb=", 15) == 0) {
       if (!parseUInt("--cache-max-mb", A + 15, MaxExactU64, CacheMaxMb))
@@ -603,16 +279,26 @@ int main(int Argc, char **Argv) {
       Resume = true;
     else if (std::strncmp(A, "--batch=", 8) == 0)
       BatchFile = A + 8;
-    else if (std::strncmp(A, "--stats-json=", 13) == 0)
+    else if (std::strncmp(A, "--serve=", 8) == 0)
+      ServePath = A + 8;
+    else if (std::strncmp(A, "--connect=", 10) == 0)
+      ConnectPath = A + 10;
+    else if (std::strncmp(A, "--pool-size=", 12) == 0) {
+      if (!parseUInt("--pool-size", A + 12, 1024, PoolSize))
+        return ExitError;
+      PoolSizeSet = true;
+    } else if (std::strncmp(A, "--queue-depth=", 14) == 0) {
+      if (!parseUInt("--queue-depth", A + 14, 1u << 20, QueueDepth))
+        return ExitError;
+      QueueDepthSet = true;
+    } else if (std::strncmp(A, "--hot-max-mb=", 13) == 0) {
+      if (!parseUInt("--hot-max-mb", A + 13, MaxExactU64, HotMaxMb))
+        return ExitError;
+      HotMaxSet = true;
+    } else if (std::strncmp(A, "--stats-json=", 13) == 0)
       StatsJsonPath = A + 13;
     else if (std::strncmp(A, "--trace=", 8) == 0)
       TracePath = A + 8;
-    else if (std::strcmp(A, "--raw") == 0)
-      Opt.Raw = true;
-    else if (std::strcmp(A, "--dump-ir") == 0)
-      Opt.DumpIr = true;
-    else if (std::strcmp(A, "--stats") == 0)
-      Opt.ShowStats = true;
     else if (A[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", A);
       usage();
@@ -620,31 +306,75 @@ int main(int Argc, char **Argv) {
     } else
       Files.push_back(A);
   }
-  if (BatchFile.empty() ? Files.empty() : !Files.empty()) {
-    if (!BatchFile.empty())
-      std::fprintf(stderr,
-                   "error: --batch and positional files are exclusive\n");
+
+  // Mode resolution and the flag-dependency matrix. The four modes —
+  // local single-app, batch, serve, connect — are mutually exclusive,
+  // and every mode-scoped flag must name its mode.
+  const bool Serving = !ServePath.empty();
+  const bool Connecting = !ConnectPath.empty();
+  if (Serving && Connecting) {
+    std::fprintf(stderr, "error: --serve and --connect are exclusive\n");
+    return ExitError;
+  }
+  if (Serving && (!BatchFile.empty() || !Files.empty())) {
+    std::fprintf(stderr,
+                 "error: --serve is exclusive with --batch and positional "
+                 "files\n");
+    return ExitError;
+  }
+  if (Serving && (Jobs > 0 || Resume)) {
+    std::fprintf(stderr, "error: --jobs/--resume do not apply to --serve\n");
+    return ExitError;
+  }
+  if (Connecting && Files.empty()) {
+    std::fprintf(stderr, "error: --connect requires input files to send\n");
     usage();
     return ExitError;
   }
-  if (Jobs > 0 && BatchFile.empty()) {
-    std::fprintf(stderr, "error: --jobs requires --batch\n");
-    return ExitError;
-  }
-  if ((RetrySet || !JournalPath.empty() || Resume) && Jobs == 0) {
+  if (Connecting &&
+      (!BatchFile.empty() || Jobs > 0 || RetrySet || !JournalPath.empty() ||
+       Resume || !CacheDir.empty())) {
     std::fprintf(stderr,
-                 "error: --retry/--journal/--resume require --jobs>=1\n");
+                 "error: batch/cache flags do not apply to --connect (the "
+                 "server owns its cache and retry policy)\n");
     return ExitError;
   }
-  if (Resume && JournalPath.empty()) {
-    std::fprintf(stderr, "error: --resume requires --journal\n");
+  if ((PoolSizeSet || QueueDepthSet || HotMaxSet) && !Serving) {
+    std::fprintf(stderr,
+                 "error: --pool-size/--queue-depth/--hot-max-mb require "
+                 "--serve\n");
     return ExitError;
+  }
+  if (Serving && PoolSize == 0) {
+    std::fprintf(stderr, "error: --pool-size must be >= 1\n");
+    return ExitError;
+  }
+  if (!Serving && !Connecting) {
+    if (BatchFile.empty() ? Files.empty() : !Files.empty()) {
+      if (!BatchFile.empty())
+        std::fprintf(stderr,
+                     "error: --batch and positional files are exclusive\n");
+      usage();
+      return ExitError;
+    }
+    if (Jobs > 0 && BatchFile.empty()) {
+      std::fprintf(stderr, "error: --jobs requires --batch\n");
+      return ExitError;
+    }
+    if ((RetrySet || !JournalPath.empty() || Resume) && Jobs == 0) {
+      std::fprintf(stderr,
+                   "error: --retry/--journal/--resume require --jobs>=1\n");
+      return ExitError;
+    }
+    if (Resume && JournalPath.empty()) {
+      std::fprintf(stderr, "error: --resume requires --journal\n");
+      return ExitError;
+    }
   }
   {
     // Fail fast on a bad config name instead of once per batch line.
     AnalysisConfig Probe;
-    CliOptions ProbeOpt = Opt;
-    if (!buildConfig(ProbeOpt, Probe))
+    if (!buildConfig(Opt, Probe))
       return ExitError;
   }
 
@@ -652,6 +382,36 @@ int main(int Argc, char **Argv) {
   // above deliberately exit without producing an (empty) trace file.
   if (!TracePath.empty())
     trace::enable();
+
+  if (Serving) {
+    ServerOptions SO;
+    SO.SocketPath = ServePath;
+    SO.PoolSize = static_cast<unsigned>(PoolSize);
+    SO.QueueDepth = static_cast<unsigned>(QueueDepth);
+    SO.MaxRetries = static_cast<unsigned>(Retry);
+    SO.Base = Opt;
+    SO.CacheDir = CacheDir;
+    SO.CacheMaxMb = CacheMaxMb;
+    SO.CacheGraceMs = CacheGraceMs;
+    SO.CacheGraceSet = CacheGraceSet;
+    SO.HotMaxMb = HotMaxMb;
+    SO.JournalPath = JournalPath;
+    SO.StatsJsonPath = StatsJsonPath;
+    SO.TracePath = TracePath;
+    return runServer(SO);
+  }
+
+  int Exit;
+  if (Connecting) {
+    Exit = runConnect(ConnectPath, Files, Opt, StatsJsonPath, TracePath);
+    // The artifacts were written from the response; only the final
+    // stdout check below remains.
+    if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+      std::fprintf(stderr, "error: stdout write failed\n");
+      return ExitError;
+    }
+    return Exit;
+  }
 
   std::unique_ptr<persist::ArtifactCache> Cache;
   if (!CacheDir.empty() && Jobs == 0)
@@ -684,12 +444,19 @@ int main(int Argc, char **Argv) {
     return Ok;
   };
 
-  int Exit;
+  auto ToSources = [](const std::vector<std::string> &Paths) {
+    std::vector<AppSource> S;
+    S.reserve(Paths.size());
+    for (const std::string &P : Paths)
+      S.push_back({P, false, ""});
+    return S;
+  };
+
   if (BatchFile.empty()) {
-    Exit = analyzeOne(Files, Opt, Cache.get(), JsonStats).Exit;
+    Exit = analyzeApp(ToSources(Files), Opt, Cache.get(), JsonStats).Exit;
   } else {
     std::string List, IoErr;
-    if (!readFile(BatchFile.c_str(), List, IoErr)) {
+    if (!readFileText(BatchFile.c_str(), List, IoErr)) {
       std::fprintf(stderr, "error: cannot read '%s': %s\n", BatchFile.c_str(),
                    IoErr.c_str());
       if (JsonStats)
@@ -732,7 +499,8 @@ int main(int Argc, char **Argv) {
       Exit = ExitClean;
       for (const supervise::AppTask &App : Apps) {
         std::printf("=== %s\n", App.Name.c_str());
-        RunOutcome O = analyzeOne(App.Files, Opt, Cache.get(), JsonStats);
+        RunOutcome O =
+            analyzeApp(ToSources(App.Files), Opt, Cache.get(), JsonStats);
         // Deterministic per-app summary (no timings: batch output must be
         // byte-comparable against separate runs).
         std::printf("--- %s: exit=%d issues=%zu\n", App.Name.c_str(), O.Exit,
@@ -755,7 +523,7 @@ int main(int Argc, char **Argv) {
       SC.BaseArgs = encodeWorkerArgs(Opt, CacheDir, CacheMaxMb, WorkerGraceMs);
       SC.RetryArgs = encodeWorkerArgs(degradeForRetry(Opt), CacheDir,
                                       CacheMaxMb, WorkerGraceMs);
-      SC.ConfigFp = batchConfigFingerprint(Opt);
+      SC.ConfigFp = optionsFingerprint(Opt);
       SC.Jobs = static_cast<unsigned>(Jobs);
       SC.MaxRetries = static_cast<unsigned>(Retry);
       SC.JournalPath = JournalPath;
@@ -779,5 +547,11 @@ int main(int Argc, char **Argv) {
 
   if (!WriteArtifacts())
     return ExitError;
+  // A truncated stdout (closed pipe, full disk) must not masquerade as a
+  // clean run: SIGPIPE is ignored above, so the failure lands here.
+  if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+    std::fprintf(stderr, "error: stdout write failed\n");
+    return ExitError;
+  }
   return Exit;
 }
