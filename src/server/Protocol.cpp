@@ -236,19 +236,35 @@ bool server::readFull(int Fd, void *Data, size_t Len) {
   return true;
 }
 
-bool server::writeFrame(int Fd, const std::vector<uint8_t> &Payload) {
-  if (Payload.size() > MaxFrameBytes)
-    return false;
-  uint8_t Hdr[8];
+namespace {
+void encodeFrameHeader(uint8_t Hdr[8], uint32_t Len) {
   const uint32_t Magic = FrameMagic;
-  const uint32_t Len = static_cast<uint32_t>(Payload.size());
   std::memcpy(Hdr, &Magic, 4);
   Hdr[4] = static_cast<uint8_t>(Len);
   Hdr[5] = static_cast<uint8_t>(Len >> 8);
   Hdr[6] = static_cast<uint8_t>(Len >> 16);
   Hdr[7] = static_cast<uint8_t>(Len >> 24);
+}
+} // namespace
+
+bool server::writeFrame(int Fd, const std::vector<uint8_t> &Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return false;
+  uint8_t Hdr[8];
+  encodeFrameHeader(Hdr, static_cast<uint32_t>(Payload.size()));
   return writeFull(Fd, Hdr, sizeof(Hdr)) &&
          (Payload.empty() || writeFull(Fd, Payload.data(), Payload.size()));
+}
+
+bool server::appendFrame(std::string &Out, const std::vector<uint8_t> &Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return false;
+  uint8_t Hdr[8];
+  encodeFrameHeader(Hdr, static_cast<uint32_t>(Payload.size()));
+  Out.append(reinterpret_cast<const char *>(Hdr), sizeof(Hdr));
+  if (!Payload.empty())
+    Out.append(reinterpret_cast<const char *>(Payload.data()), Payload.size());
+  return true;
 }
 
 bool server::readFrame(int Fd, std::vector<uint8_t> &Payload) {

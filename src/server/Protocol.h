@@ -114,6 +114,11 @@ bool readFull(int Fd, void *Data, size_t Len);
 /// oversized payload.
 bool writeFrame(int Fd, const std::vector<uint8_t> &Payload);
 
+/// Appends one frame (header + payload) to \p Out, for senders that must
+/// buffer instead of blocking on the fd. False on an oversized payload
+/// (\p Out unchanged).
+bool appendFrame(std::string &Out, const std::vector<uint8_t> &Payload);
+
 /// Receives one frame payload. False on EOF, read error, bad magic or an
 /// oversized announced length.
 bool readFrame(int Fd, std::vector<uint8_t> &Payload);

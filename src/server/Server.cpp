@@ -35,7 +35,22 @@ namespace {
 
 volatile sig_atomic_t GDrain = 0;
 
-void drainHandler(int) { GDrain = 1; }
+/// Self-pipe: the drain handler writes a byte here and the daemon polls
+/// the read end, so a signal landing *between* the GDrain check and
+/// poll() still wakes the loop (EINTR alone only covers signals that
+/// land while poll() is blocked).
+int GWakeFds[2] = {-1, -1};
+
+void drainHandler(int) {
+  GDrain = 1;
+  if (GWakeFds[1] >= 0) {
+    const char B = 1;
+    // A full pipe means a wake is already pending; both write() and the
+    // EAGAIN it may return are async-signal-safe.
+    ssize_t N = ::write(GWakeFds[1], &B, 1);
+    (void)N;
+  }
+}
 
 /// Installs the drain handlers without SA_RESTART, so a signal interrupts
 /// poll() with EINTR and the loop notices immediately.
@@ -112,6 +127,39 @@ struct ClientConn {
   bool Admitted = false;
 };
 
+/// One response in flight to a client, owned by the send buffer: the fd
+/// is non-blocking and whatever write() cannot push immediately drains
+/// under POLLOUT, so a client that stops reading (hung, SIGSTOP'd) can
+/// never stall the daemon's event loop. DeadlineAt bounds how long a
+/// non-reading client may hold the buffered bytes.
+struct Outgoing {
+  int Fd = -1;
+  std::string Buf;
+  size_t Off = 0;
+  double DeadlineAt = 0; ///< daemon-clock ms after which the client is dropped
+};
+
+/// Pushes buffered response bytes. True while the entry still has bytes
+/// to drain (keep polling POLLOUT); false once it is finished — fully
+/// written, peer gone, or hard error — with the fd closed.
+bool flushOutgoing(Outgoing &Wr) {
+  while (Wr.Off < Wr.Buf.size()) {
+    ssize_t N = ::write(Wr.Fd, Wr.Buf.data() + Wr.Off, Wr.Buf.size() - Wr.Off);
+    if (N > 0) {
+      Wr.Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true;
+    break; // EPIPE and friends: the response is undeliverable
+  }
+  ::close(Wr.Fd);
+  Wr.Fd = -1;
+  return false;
+}
+
 /// The pool worker's request loop: long-lived caches (disk tier shared
 /// with every other worker through the filesystem, hot tier private),
 /// one spool file for stdout capture, one analysis per request frame.
@@ -174,6 +222,24 @@ struct ClientConn {
       continue;
     }
 
+    // Capture stdout onto the spool so the response report is exactly
+    // the bytes a batch run would have printed. Without the capture the
+    // report would leak to the daemon's inherited stdout and the client
+    // would get a hollow Ok — refuse the request instead of running it.
+    std::fflush(stdout);
+    const bool Spooled = Spool >= 0 && OrigOut >= 0 &&
+                         ::lseek(Spool, 0, SEEK_SET) == 0 &&
+                         ::ftruncate(Spool, 0) == 0 &&
+                         ::dup2(Spool, STDOUT_FILENO) == STDOUT_FILENO;
+    if (!Spooled) {
+      Resp.St = Status::Error;
+      Resp.Exit = exitCodeForStatus(Status::Error);
+      Resp.Message = "worker cannot capture analysis output";
+      if (!writeFrame(Fd, serializeResponse(Resp)))
+        break;
+      continue;
+    }
+
     // Fresh ring per request: the response carries only this request's
     // events, on this worker's pid.
     const bool Tracing = !O.TracePath.empty();
@@ -184,26 +250,17 @@ struct ClientConn {
     const uint64_t MemStore0 = Cache.memStores();
     Stats ReqStats;
 
-    // Capture stdout onto the spool so the response report is exactly
-    // the bytes a batch run would have printed.
-    std::fflush(stdout);
-    const bool Spooled = Spool >= 0 && OrigOut >= 0 &&
-                         ::lseek(Spool, 0, SEEK_SET) == 0 &&
-                         ::ftruncate(Spool, 0) == 0 &&
-                         ::dup2(Spool, STDOUT_FILENO) == STDOUT_FILENO;
     RunOutcome Out = analyzeApp(Req.Sources, Opt, &Cache, &ReqStats);
     std::fflush(stdout);
-    if (Spooled) {
-      ::dup2(OrigOut, STDOUT_FILENO);
-      std::clearerr(stdout); // a spool write error must not outlive the swap
-      off_t End = ::lseek(Spool, 0, SEEK_END);
-      if (End > 0) {
-        Resp.Report.resize(static_cast<size_t>(End));
-        if (::lseek(Spool, 0, SEEK_SET) != 0 ||
-            !readFull(Spool, &Resp.Report[0], Resp.Report.size())) {
-          Resp.Report.clear();
-          Out.Exit = ExitError; // report lost: do not claim a clean run
-        }
+    ::dup2(OrigOut, STDOUT_FILENO);
+    std::clearerr(stdout); // a spool write error must not outlive the swap
+    off_t End = ::lseek(Spool, 0, SEEK_END);
+    if (End > 0) {
+      Resp.Report.resize(static_cast<size_t>(End));
+      if (::lseek(Spool, 0, SEEK_SET) != 0 ||
+          !readFull(Spool, &Resp.Report[0], Resp.Report.size())) {
+        Resp.Report.clear();
+        Out.Exit = ExitError; // report lost: do not claim a clean run
       }
     }
 
@@ -226,9 +283,11 @@ struct ClientConn {
   std::_Exit(0);
 }
 
-/// The daemon proper. Single-threaded poll() loop; all fds stay blocking
-/// (one read per readiness event; writes always target a peer actively
-/// draining its end).
+/// The daemon proper. Single-threaded poll() loop. Reads stay blocking
+/// (one read per readiness event) and worker-bound writes may block (a
+/// dispatched worker is always draining its pair); client-bound writes
+/// go through the non-blocking Outgoing buffers above, because a client
+/// is under no obligation to read its response promptly.
 class Daemon {
 public:
   explicit Daemon(const ServerOptions &O)
@@ -242,6 +301,7 @@ private:
   void dispatch();
   void admit(ClientConn &C, std::vector<uint8_t> &Payload);
   void refuse(int Fd, Status St, const std::string &Msg);
+  void queueResponse(int Fd, const Response &R);
   void respond(PendingReq &R, Response &Resp, bool WorkerRan);
   void onWorkerFrame(size_t Idx, std::vector<uint8_t> &Payload);
   void onWorkerDeath(size_t Idx);
@@ -258,7 +318,10 @@ private:
   int ListenFd = -1;
   std::vector<PoolWorker> Workers;
   std::vector<ClientConn> Clients;
+  std::vector<Outgoing> Writes; ///< responses still draining to clients
   std::deque<PendingReq> Queue;
+  /// How long a client gets to read its response before it is dropped.
+  static constexpr double ClientWriteTimeoutMs = 30000;
   uint64_t NextLine = 0;
   bool Draining = false;
   Stats Merged; ///< every served request's counters, for --stats-json
@@ -349,6 +412,19 @@ bool Daemon::spawnWorker(PoolWorker &W) {
     for (const ClientConn &C : Clients)
       if (C.Fd >= 0)
         ::close(C.Fd);
+    for (const PendingReq &R : Queue)
+      if (R.ClientFd >= 0)
+        ::close(R.ClientFd);
+    for (const PoolWorker &Other : Workers)
+      if (Other.Busy && Other.Cur.ClientFd >= 0)
+        ::close(Other.Cur.ClientFd);
+    for (const Outgoing &Wr : Writes)
+      if (Wr.Fd >= 0)
+        ::close(Wr.Fd);
+    if (GWakeFds[0] >= 0)
+      ::close(GWakeFds[0]);
+    if (GWakeFds[1] >= 0)
+      ::close(GWakeFds[1]);
     workerMain(O, SP[1]);
   }
   ::close(SP[1]);
@@ -361,13 +437,31 @@ bool Daemon::spawnWorker(PoolWorker &W) {
   return true;
 }
 
+/// Takes ownership of \p Fd and sends one response frame without ever
+/// blocking the daemon: the fd is switched non-blocking, as much as the
+/// socket buffer takes is written immediately, and the remainder (if
+/// any) drains under POLLOUT with a drop deadline.
+void Daemon::queueResponse(int Fd, const Response &R) {
+  Outgoing Wr;
+  if (!appendFrame(Wr.Buf, serializeResponse(R))) {
+    ::close(Fd); // oversized payload: the peer would reject it anyway
+    return;
+  }
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  Wr.Fd = Fd;
+  Wr.DeadlineAt = nowMs() + ClientWriteTimeoutMs;
+  if (flushOutgoing(Wr))
+    Writes.push_back(std::move(Wr));
+}
+
 void Daemon::refuse(int Fd, Status St, const std::string &Msg) {
   Response R;
   R.St = St;
   R.Exit = exitCodeForStatus(St);
   R.Message = Msg;
-  writeFrame(Fd, serializeResponse(R)); // best effort: peer may be gone
-  ::close(Fd);
+  queueResponse(Fd, R); // best effort: peer may be gone
 }
 
 void Daemon::admit(ClientConn &C, std::vector<uint8_t> &Payload) {
@@ -419,7 +513,10 @@ void Daemon::admit(ClientConn &C, std::vector<uint8_t> &Payload) {
   P.Line = NextLine++;
   ++N.Accepted;
   Queue.push_back(std::move(P));
-  C.Admitted = true; // fd ownership moved to the request
+  // Fd ownership moved to the request: clear the slot so compaction can
+  // reclaim it and forked children never close a recycled fd number.
+  C.Admitted = true;
+  C.Fd = -1;
 }
 
 void Daemon::dispatch() {
@@ -494,8 +591,7 @@ void Daemon::respond(PendingReq &R, Response &Resp, bool WorkerRan) {
     Resp.StatsJson = ReqStats.toJson();
   }
   if (R.ClientFd >= 0) {
-    writeFrame(R.ClientFd, serializeResponse(Resp)); // best effort
-    ::close(R.ClientFd);
+    queueResponse(R.ClientFd, Resp);
     R.ClientFd = -1;
   }
 }
@@ -659,6 +755,18 @@ bool Daemon::writeArtifacts() {
 int Daemon::run() {
   if (!setupSocket())
     return ExitError;
+  // Wake pipe before the pool: forked children must know both ends to
+  // close them. Non-blocking on both ends — the handler must never
+  // block, and draining reads until EAGAIN.
+  if (::pipe(GWakeFds) == 0) {
+    for (int End = 0; End < 2; ++End) {
+      int Flags = ::fcntl(GWakeFds[End], F_GETFL, 0);
+      if (Flags >= 0)
+        ::fcntl(GWakeFds[End], F_SETFL, Flags | O_NONBLOCK);
+    }
+  } else {
+    GWakeFds[0] = GWakeFds[1] = -1; // EINTR-on-poll remains the fallback
+  }
   Workers.resize(O.PoolSize);
   for (PoolWorker &W : Workers)
     if (!spawnWorker(W)) {
@@ -686,7 +794,11 @@ int Daemon::run() {
                                   [](const PoolWorker &W) {
                                     return W.Pid >= 0;
                                   });
-      if (!AnyAlive)
+      bool AnyWrite = std::any_of(Writes.begin(), Writes.end(),
+                                  [](const Outgoing &Wr) {
+                                    return Wr.Fd >= 0;
+                                  });
+      if (!AnyAlive && !AnyWrite)
         break;
     } else {
       dispatch();
@@ -719,10 +831,23 @@ int Daemon::run() {
         }
       }
     }
+    // Buffered-response deadlines: a client that has not drained its
+    // response by DeadlineAt is dropped.
+    for (Outgoing &Wr : Writes) {
+      if (Wr.Fd < 0)
+        continue;
+      if (Now >= Wr.DeadlineAt) {
+        ::close(Wr.Fd);
+        Wr.Fd = -1;
+        continue;
+      }
+      if (NextWake < 0 || Wr.DeadlineAt - Now < NextWake)
+        NextWake = Wr.DeadlineAt - Now;
+    }
 
     Pfds.clear();
     // Index map: Pfds[i] corresponds to Kind[i]/Which[i].
-    std::vector<int> Kind;  // 0=listen, 1=client, 2=worker
+    std::vector<int> Kind;  // 0=listen, 1=client, 2=worker, 3=wake, 4=write
     std::vector<size_t> Which;
     if (ListenFd >= 0) {
       Pfds.push_back({ListenFd, POLLIN, 0});
@@ -741,8 +866,24 @@ int Daemon::run() {
         Kind.push_back(2);
         Which.push_back(I);
       }
+    if (GWakeFds[0] >= 0) {
+      Pfds.push_back({GWakeFds[0], POLLIN, 0});
+      Kind.push_back(3);
+      Which.push_back(0);
+    }
+    for (size_t I = 0; I < Writes.size(); ++I)
+      if (Writes[I].Fd >= 0) {
+        Pfds.push_back({Writes[I].Fd, POLLOUT, 0});
+        Kind.push_back(4);
+        Which.push_back(I);
+      }
 
-    int Timeout = NextWake < 0 ? -1 : static_cast<int>(NextWake) + 1;
+    // Clamp before the int cast: a deadline far in the future (poll's
+    // timeout caps near INT_MAX ms, ~24.8 days) must not overflow into
+    // UB or a negative (infinite) timeout; the loop simply re-arms after
+    // an early wake.
+    int Timeout =
+        NextWake < 0 ? -1 : static_cast<int>(std::min(NextWake, 6.0e7)) + 1;
     int RC = ::poll(Pfds.data(), Pfds.size(), Timeout);
     if (RC < 0) {
       if (errno == EINTR)
@@ -783,18 +924,23 @@ int Daemon::run() {
         C.Buf.append(RdBuf, static_cast<size_t>(Got));
         bool Bad = false;
         if (takeFrame(C.Buf, Payload, Bad)) {
-          admit(C, Payload);
           // One request per connection: whatever trails the frame is
-          // noise; the fd now belongs to the pending request.
+          // noise. admit() takes the fd on every path — admitted or
+          // refused, C.Fd comes back cleared.
+          admit(C, Payload);
           C.Buf.clear();
-          if (!C.Admitted)
-            C.Fd = -1; // refuse() closed it
         } else if (Bad || C.Buf.size() > 8 + static_cast<size_t>(
                                                  MaxFrameBytes)) {
           refuse(C.Fd, Status::ProtocolError, "bad frame");
           C.Fd = -1;
           C.Buf.clear();
         }
+      } else if (Kind[I] == 3) {
+        // Self-pipe tick: drain it; the wake itself is the payload.
+        while (::read(GWakeFds[0], RdBuf, sizeof(RdBuf)) > 0) {
+        }
+      } else if (Kind[I] == 4) {
+        flushOutgoing(Writes[Which[I]]);
       } else {
         PoolWorker &W = Workers[Which[I]];
         ssize_t Got = ::read(W.Fd, RdBuf, sizeof(RdBuf));
@@ -814,13 +960,25 @@ int Daemon::run() {
         }
       }
     }
-    // Compact dead client slots opportunistically.
+    // Compact dead client slots and finished writes opportunistically.
     Clients.erase(std::remove_if(Clients.begin(), Clients.end(),
                                  [](const ClientConn &C) {
-                                   return C.Fd < 0 && C.Admitted;
+                                   return C.Fd < 0;
                                  }),
                   Clients.end());
+    Writes.erase(std::remove_if(Writes.begin(), Writes.end(),
+                                [](const Outgoing &Wr) { return Wr.Fd < 0; }),
+                 Writes.end());
   }
+
+  // Detach the self-pipe from the handler before closing it, so a late
+  // signal sees -1 and skips the write instead of hitting a closed fd.
+  const int WakeR = GWakeFds[0], WakeW = GWakeFds[1];
+  GWakeFds[0] = GWakeFds[1] = -1;
+  if (WakeR >= 0)
+    ::close(WakeR);
+  if (WakeW >= 0)
+    ::close(WakeW);
 
   const bool Ok = writeArtifacts();
   std::fprintf(stderr, "taj-serve: drained (%llu served, %llu busy-rejected, "

@@ -220,6 +220,40 @@ struct ServerHandle {
   }
 };
 
+/// Bare connected socket to \p Path, for clients that misbehave on
+/// purpose (-1 on failure).
+int rawConnect(const std::string &Path) {
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// One wire-ready request frame shipping \p AppPath inline, the way a
+/// real client sends it.
+std::string requestFrameFor(const std::string &AppPath) {
+  Request Req;
+  AppSource S;
+  S.Name = AppPath;
+  S.Inline = true;
+  S.Content = readWhole(AppPath);
+  Req.Sources.push_back(std::move(S));
+  std::string Frame;
+  EXPECT_TRUE(appendFrame(Frame, serializeRequest(Req)));
+  return Frame;
+}
+
 //===----------------------------------------------------------------------===//
 // Wire protocol
 //===----------------------------------------------------------------------===//
@@ -313,6 +347,36 @@ TEST(Protocol, FramesRoundTripAndRejectCorruption) {
   ::close(P[1]);
   EXPECT_FALSE(readFrame(P[0], Back));
   ::close(P[0]);
+}
+
+TEST(Protocol, AppendFrameMatchesTheWireFormat) {
+  // The daemon's buffered sender builds frames in memory; the bytes must
+  // be exactly what writeFrame puts on the wire.
+  int P[2];
+  ASSERT_EQ(::pipe(P), 0);
+  std::vector<uint8_t> Payload = {42, 0, 7};
+  std::string Buf = "pre"; // appended, not overwritten
+  ASSERT_TRUE(appendFrame(Buf, Payload));
+  ASSERT_TRUE(writeFull(P[1], Buf.data() + 3, Buf.size() - 3));
+  std::vector<uint8_t> Back;
+  ASSERT_TRUE(readFrame(P[0], Back));
+  EXPECT_EQ(Back, Payload);
+
+  // Empty payloads frame as a bare header.
+  std::string Empty;
+  ASSERT_TRUE(appendFrame(Empty, {}));
+  EXPECT_EQ(Empty.size(), 8u);
+  ASSERT_TRUE(writeFull(P[1], Empty.data(), Empty.size()));
+  ASSERT_TRUE(readFrame(P[0], Back));
+  EXPECT_TRUE(Back.empty());
+  ::close(P[0]);
+  ::close(P[1]);
+
+  // Oversized payloads are refused with the buffer untouched.
+  std::vector<uint8_t> Huge(MaxFrameBytes + 1);
+  std::string Out = "x";
+  EXPECT_FALSE(appendFrame(Out, Huge));
+  EXPECT_EQ(Out, "x");
 }
 
 //===----------------------------------------------------------------------===//
@@ -688,6 +752,100 @@ TEST(Serve, CrashedRequestRecoversThroughTheRetryLadder) {
   }
   EXPECT_TRUE(SawCrash);
   EXPECT_TRUE(SawRecovery);
+}
+
+TEST(Serve, ServedRequestsBeforeARespawnDoNotPoisonTheNewWorker) {
+  // Regression: admitted requests used to leak their ClientConn slot
+  // with a stale fd number; a respawned worker's child closed those
+  // numbers, which could hit its own freshly-allocated socketpair end
+  // and turn one crash into an endless respawn storm.
+  TempDir T;
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T, {"--pool-size=1", "--retry=0",
+                          "--stats-json=" + T.Path + "/server-stats.json"}));
+
+  int Exit;
+  for (int I = 0; I < 3; ++I) {
+    runCli("--connect=" + S.Sock + " " + TAJ_EXAMPLE_TAJ, Exit);
+    ASSERT_EQ(Exit, 0) << "warm-up request " << I;
+  }
+  // A terminal crash (retries off) kills the worker; the daemon respawns.
+  std::string Out = runCli("--connect=" + S.Sock + " --crash-at=3 " +
+                               TAJ_EXAMPLE_TAJ,
+                           Exit);
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("crashed"), std::string::npos) << Out;
+  // The respawned worker serves normally...
+  for (int I = 0; I < 3; ++I) {
+    runCli("--connect=" + S.Sock + " " + TAJ_EXAMPLE_TAJ, Exit);
+    ASSERT_EQ(Exit, 0) << "post-respawn request " << I;
+  }
+  ASSERT_EQ(S.stop(), 0);
+  // ...and exactly one respawn happened: a storm shows up right here.
+  EXPECT_EQ(statOf(T.Path + "/server-stats.json", "server.respawned"), 1);
+  EXPECT_EQ(statOf(T.Path + "/server-stats.json", "server.served"), 7);
+}
+
+TEST(Serve, UncooperativeClientsDoNotStallTheDaemon) {
+  // Responses to clients are buffered non-blocking writes: a client that
+  // vanishes before reading (EPIPE) or never reads at all must not stall
+  // the event loop or the drain.
+  TempDir T;
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T, {"--pool-size=1",
+                          "--stats-json=" + T.Path + "/server-stats.json"}));
+
+  const std::string Frame = requestFrameFor(TAJ_EXAMPLE_TAJ);
+
+  // Client 1 sends a request and vanishes before its response exists.
+  int Gone = rawConnect(S.Sock);
+  ASSERT_GE(Gone, 0);
+  ASSERT_TRUE(writeFull(Gone, Frame.data(), Frame.size()));
+  ::close(Gone);
+
+  // Client 2 sends a request and then just sits on the open socket.
+  int Mute = rawConnect(S.Sock);
+  ASSERT_GE(Mute, 0);
+  ASSERT_TRUE(writeFull(Mute, Frame.data(), Frame.size()));
+
+  // Well-behaved clients keep being served past both of them.
+  int Exit;
+  for (int I = 0; I < 2; ++I) {
+    runCli("--connect=" + S.Sock + " " + TAJ_EXAMPLE_TAJ, Exit);
+    EXPECT_EQ(Exit, 0) << "request " << I;
+  }
+  EXPECT_EQ(S.stop(), 0);
+  ::close(Mute);
+  EXPECT_EQ(statOf(T.Path + "/server-stats.json", "server.served"), 4);
+}
+
+TEST(Serve, UnspoolableWorkerFailsRequestsLoudly) {
+  // When stdout capture cannot be established (here: TMPDIR points into
+  // the void, so the worker's spool mkstemp fails), a request must come
+  // back as an error — not as a hollow Ok with an empty report while the
+  // report bytes leak to the daemon's stdout.
+  TempDir T;
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T, {"--pool-size=1"},
+                      {{"TMPDIR", T.Path + "/does-not-exist"}}));
+  std::string Out = T.Path + "/c.out";
+  pid_t C = spawnCli({"--connect=" + S.Sock, TAJ_EXAMPLE_TAJ}, Out,
+                     T.Path + "/c.err");
+  EXPECT_EQ(waitExit(C), 1);
+  EXPECT_NE(readWhole(T.Path + "/c.err").find("cannot capture"),
+            std::string::npos);
+  EXPECT_TRUE(readWhole(Out).empty());
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(Serve, IdleServerDrainsPromptlyOnSigterm) {
+  // An entirely idle daemon waits in poll() with an infinite timeout, so
+  // this drain hinges on the signal actually waking the loop (self-pipe)
+  // rather than on fd traffic happening to arrive.
+  TempDir T;
+  ServerHandle S;
+  ASSERT_TRUE(S.start(T, {"--pool-size=2"}));
+  EXPECT_EQ(S.stop(), 0);
 }
 
 TEST(Serve, CooperativeDeadlineTruncatesWithExitTwo) {
