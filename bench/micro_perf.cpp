@@ -32,6 +32,17 @@ using namespace taj;
 
 namespace {
 
+/// A/B knob for the --verify overhead acceptance runs: TAJ_BENCH_VERIFY
+/// ({off,fast,full}) selects the self-verification mode the governed
+/// benchmarks run under, defaulting to off so the headline numbers stay
+/// the analysis alone.
+verify::VerifyMode benchVerifyMode() {
+  verify::VerifyMode M = verify::VerifyMode::Off;
+  if (const char *E = std::getenv("TAJ_BENCH_VERIFY"))
+    verify::parseVerifyMode(E, M);
+  return M;
+}
+
 /// Picks suite apps by size class.
 const AppSpec &appByIndex(int64_t Idx) {
   static std::vector<AppSpec> Suite = benchmarkSuite();
@@ -81,10 +92,16 @@ void BM_HybridSlicingThreads(benchmark::State &State) {
   Solver.solve({App.Root});
   SlicerOptions Opts;
   Opts.Threads = static_cast<uint32_t>(State.range(0));
+  verify::Violations Vio;
+  Opts.Verify = benchVerifyMode();
+  if (Opts.Verify != verify::VerifyMode::Off)
+    Opts.Violations = &Vio;
   for (auto _ : State) {
     SliceRunResult R = runHybridSlicer(*App.P, CHA, Solver, Opts);
     benchmark::DoNotOptimize(R.Issues.size());
   }
+  if (Vio.total() != 0)
+    State.SkipWithError("verify violations in clean benchmark run");
   State.SetLabel(Spec.Name + "/threads=" + std::to_string(State.range(0)));
 }
 BENCHMARK(BM_HybridSlicingThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
@@ -210,8 +227,11 @@ void BM_ServerWarmRequest(benchmark::State &State) {
       std::ofstream List(ListPath);
       List << TAJ_EXAMPLE_TAJ << "\n";
     }
-    const std::vector<std::string> Args = {"--batch=" + ListPath, "--jobs=1",
-                                           "--cache-dir=" + CacheDir};
+    std::vector<std::string> Args = {"--batch=" + ListPath, "--jobs=1",
+                                     "--cache-dir=" + CacheDir};
+    if (benchVerifyMode() != verify::VerifyMode::Off)
+      Args.push_back(std::string("--verify=") +
+                     verify::verifyModeName(benchVerifyMode()));
     if (Wait(Spawn(Args, true)) != 0) // prefill: the timed runs are warm
       State.SkipWithError("batch prefill failed");
     for (auto _ : State) {
@@ -223,9 +243,12 @@ void BM_ServerWarmRequest(benchmark::State &State) {
     State.SetLabel("fork-per-request");
   } else {
     const std::string Sock = Dir + "/srv.sock";
-    pid_t Daemon = Spawn({"--serve=" + Sock, "--pool-size=1",
-                          "--cache-dir=" + CacheDir},
-                         true);
+    std::vector<std::string> ServeArgs = {"--serve=" + Sock, "--pool-size=1",
+                                          "--cache-dir=" + CacheDir};
+    if (benchVerifyMode() != verify::VerifyMode::Off)
+      ServeArgs.push_back(std::string("--verify=") +
+                          verify::verifyModeName(benchVerifyMode()));
+    pid_t Daemon = Spawn(ServeArgs, true);
     struct sockaddr_un Addr;
     std::memset(&Addr, 0, sizeof(Addr));
     Addr.sun_family = AF_UNIX;

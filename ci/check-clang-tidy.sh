@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# clang-tidy gate: runs the checks configured in .clang-tidy over every
+# translation unit in src/ and tools/, normalizes the findings to
+# "<repo-relative-file>:<check>" lines, and fails when any finding is not
+# covered by the checked-in suppression baseline.
+#
+#   ci/check-clang-tidy.sh <build-dir>            # gate (CI)
+#   ci/check-clang-tidy.sh <build-dir> --update   # regenerate the baseline
+#
+# The build dir must carry compile_commands.json (configure with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). Baseline lines deliberately drop
+# line/column so the gate is stable under unrelated edits to the same
+# file; a fixed finding leaves a stale baseline line behind, which
+# --update prunes.
+set -euo pipefail
+
+BUILD=${1:?usage: check-clang-tidy.sh <build-dir> [--update]}
+MODE=${2:-gate}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BASELINE="$ROOT/ci/clang-tidy-baseline.txt"
+TIDY=${CLANG_TIDY:-clang-tidy}
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "error: $BUILD/compile_commands.json not found" \
+       "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 2
+fi
+
+mapfile -t FILES < <(find "$ROOT/src" "$ROOT/tools" -name '*.cpp' | sort)
+
+RAW=$(mktemp)
+CURRENT=$(mktemp)
+KNOWN=$(mktemp)
+trap 'rm -f "$RAW" "$CURRENT" "$KNOWN"' EXIT
+
+# clang-tidy exits non-zero when it reports warnings; the gate decision
+# belongs to the baseline comparison below, not to the tool's exit code.
+"$TIDY" -p "$BUILD" --quiet "${FILES[@]}" >"$RAW" 2>/dev/null || true
+
+sed -E -n "s|^$ROOT/||; s|^([^ :]+):[0-9]+:[0-9]+: warning: .* \[([A-Za-z0-9.,-]+)\]\$|\1:\2|p" \
+  "$RAW" | sort -u >"$CURRENT"
+
+if [ "$MODE" = "--update" ]; then
+  {
+    echo "# clang-tidy suppression baseline: known findings, one"
+    echo "# '<file>:<check>' per line. Regenerate after deliberate changes:"
+    echo "#   ci/check-clang-tidy.sh <build-dir> --update"
+    cat "$CURRENT"
+  } >"$BASELINE"
+  echo "baseline updated: $(wc -l <"$CURRENT") finding(s)"
+  exit 0
+fi
+
+grep -v -e '^#' -e '^$' "$BASELINE" | sort -u >"$KNOWN"
+NEW=$(comm -13 "$KNOWN" "$CURRENT" || true)
+if [ -n "$NEW" ]; then
+  echo "new clang-tidy findings (absent from ci/clang-tidy-baseline.txt):"
+  echo "$NEW"
+  echo
+  echo "Details (grep the finding's file in the raw output below):"
+  grep -F "warning:" "$RAW" | head -100
+  exit 1
+fi
+echo "clang-tidy clean vs baseline ($(wc -l <"$CURRENT") known finding(s))."

@@ -96,6 +96,9 @@ public:
   std::string toDot(const Program &P) const;
 
 private:
+  /// Test-only corruption hooks (tests/verify_test.cpp): the self-
+  /// verification tests must be able to plant phantom edges in place.
+  friend class CallGraphTestPeer;
   /// Serialization (persist/Serialize.cpp) snapshots and restores the
   /// post-solve state, including the per-site callee insertion order.
   friend struct persist::Access;

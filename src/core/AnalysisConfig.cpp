@@ -66,6 +66,7 @@ SlicerOptions AnalysisConfig::slicerOptions() const {
   O.NestedTaintDepth = NestedTaintDepth;
   O.ModelExceptionSources = ModelExceptionSources;
   O.CsChanBudget = CsChanBudget;
+  O.Verify = Verify;
   return O;
 }
 

@@ -61,6 +61,15 @@ struct AnalysisConfig {
   /// Part of pointsToFingerprint(), so persist artifacts key correctly.
   StringAnalysisMode StringAnalysis = StringAnalysisMode::Ipa;
 
+  /// Self-verification mode (taj-cli --verify). Deliberately excluded
+  /// from the artifact fingerprints: verification never changes what is
+  /// computed, only whether it is independently re-checked.
+  verify::VerifyMode Verify = verify::defaultMode();
+  /// Optional externally-owned violation sink. When set, run() reports
+  /// into it (so a driver can fold frontend and analysis violations into
+  /// one exit decision); when null, run() uses a private sink. Not owned.
+  verify::Violations *Violations = nullptr;
+
   /// Worker threads for the per-source slicing loops (1 = sequential,
   /// 0 = auto: TAJ_THREADS env var, then hardware concurrency). Output is
   /// byte-identical at every thread count.

@@ -4,6 +4,7 @@
 
 #include "persist/Cache.h"
 #include "support/Trace.h"
+#include "verify/Verify.h"
 
 #include <cmath>
 
@@ -36,6 +37,16 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   // Delta base: an external profile may already carry persist_load time
   // (taj-cli's IR cache load); this run only owns what it adds.
   const double PersistLoadBaseUs = Prof.wallUsOf("persist_load");
+
+  // Self-verification sink: the caller's (so a driver folds frontend and
+  // analysis violations into one exit decision) or a private one. Checkers
+  // run only over completed phases, so degraded runs never spuriously
+  // fail.
+  verify::Violations OwnViolations;
+  verify::Violations &Vio =
+      Config.Violations ? *Config.Violations : OwnViolations;
+  const uint64_t Vio0 = Vio.total();
+  const verify::VerifyMode VMode = Config.Verify;
 
   auto report = [&](RunPhase Ph, PhaseOutcome O, CutoffReason R) {
     PhaseReport PR;
@@ -150,6 +161,23 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
     report(RunPhase::PointerAnalysis, PhaseOutcome::Completed,
            CutoffReason::None);
 
+  // GraphVerifier (--verify=full): a complete, unbudgeted solve must be a
+  // fixpoint with a fully justified call graph. On a warm restore this is
+  // the structural defense behind the record checksum — a hot-tier hit
+  // skips checksum re-verification entirely — so a violating restored
+  // solution is additionally counted as persist.verify_rejected and the
+  // poisoned cache entry dropped for later runs.
+  if (VMode == verify::VerifyMode::Full && !G.stopped() &&
+      !Solver->budgetExhausted()) {
+    PhaseScope S(&Prof, "verify");
+    const uint64_t Before = Vio.total();
+    verify::verifyGraphs(P, CHA, *Solver, &ConstStrings, Vio);
+    if (PtsWarm && Vio.total() != Before) {
+      Vio.noteRestoreRejected();
+      Cache->noteRestoreFailure(PtsKey);
+    }
+  }
+
   // Phase 2: thin slicing from sources (§3.2). Once the run is stopped
   // there is no envelope left, so the remaining phases are skipped; a
   // node-budget truncation (above) is phase-local and slicing proceeds
@@ -161,6 +189,7 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
     SlicerOptions SLO = Config.slicerOptions();
     SLO.Guard = &G;
     SLO.Profile = &Prof;
+    SLO.Violations = &Vio;
     if (CacheOn) {
       SLO.Cache = Cache;
       SLO.CacheKey = SdgKey;
@@ -204,6 +233,11 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
       report(RunPhase::Slicing, PhaseOutcome::Completed, CutoffReason::None);
     }
   }
+
+  Out.VerifyViolations = Vio.total() - Vio0;
+  // Exported totals include frontend violations an external sink already
+  // carries: this run's RunStats is the one stats outlet either way.
+  Vio.exportStats(Out.RunStats);
 
   G.exportStats(Out.RunStats);
   Out.RunStats.merge(ConstStrings.stats());

@@ -61,6 +61,13 @@ struct AnalysisResult {
   RunStatus Status;
   /// Governance counters (guard.checkpoints, guard.cutoff.<reason>, ...).
   Stats RunStats;
+  /// Self-verification violations detected during the run (taj-cli
+  /// --verify). Non-zero means the run's artifacts are inconsistent and
+  /// drivers must fail with exit 1; the per-checker breakdown is in
+  /// RunStats (verify.*). Covers only this run() — when the caller
+  /// supplied AnalysisConfig::Violations it already sees the full total
+  /// (frontend violations included) in its own sink.
+  uint64_t VerifyViolations = 0;
 
   /// True when any phase was cut short: issues are still valid flows, but
   /// the list may be incomplete.

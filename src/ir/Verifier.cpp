@@ -130,8 +130,61 @@ void taj::verifyMethod(const Program &P, MethodId MId,
   }
 }
 
+/// Table-reference validity: every class/field/method cross-reference in
+/// the tables and in instruction operands names a live table entry. These
+/// checks catch structurally stale programs (e.g. a cache restore whose
+/// payload mutated under an intact checksum) that the per-method SSA
+/// checks cannot see.
+static void verifyTables(const Program &P, std::vector<std::string> &Errors) {
+  const uint32_t NumClasses = static_cast<uint32_t>(P.Classes.size());
+  const uint32_t NumFields = static_cast<uint32_t>(P.Fields.size());
+  const uint32_t NumMethods = static_cast<uint32_t>(P.Methods.size());
+  for (ClassId C = 0; C < NumClasses; ++C) {
+    const Class &Cls = P.Classes[C];
+    if (Cls.Id != C)
+      Errors.push_back("class table entry " + std::to_string(C) +
+                       " carries id " + std::to_string(Cls.Id));
+    if (Cls.Super != InvalidId && Cls.Super >= NumClasses)
+      Errors.push_back("class " + std::to_string(C) +
+                       " has an out-of-range superclass");
+    for (FieldId F : Cls.Fields)
+      if (F >= NumFields || P.Fields[F].Owner != C)
+        Errors.push_back("class " + std::to_string(C) +
+                         " lists a field it does not own");
+    for (MethodId M : Cls.Methods)
+      if (M >= NumMethods || P.Methods[M].Owner != C)
+        Errors.push_back("class " + std::to_string(C) +
+                         " lists a method it does not own");
+  }
+  for (MethodId M = 0; M < NumMethods; ++M) {
+    const Method &Mth = P.Methods[M];
+    if (Mth.Owner >= NumClasses) {
+      Errors.push_back(P.methodName(M) + ": owner class out of range");
+      continue;
+    }
+    for (const BasicBlock &BB : Mth.Blocks) {
+      for (const Instruction &I : BB.Insts) {
+        const bool UsesField = I.Op == Opcode::Load || I.Op == Opcode::Store ||
+                               I.Op == Opcode::StaticLoad ||
+                               I.Op == Opcode::StaticStore;
+        if (UsesField && I.Field >= NumFields)
+          Errors.push_back(P.methodName(M) +
+                           ": instruction references field id out of range");
+        const bool UsesClass = I.Op == Opcode::New ||
+                               I.Op == Opcode::NewArray ||
+                               (I.Op == Opcode::Call &&
+                                I.CKind != CallKind::Virtual);
+        if (UsesClass && I.Cls != InvalidId && I.Cls >= NumClasses)
+          Errors.push_back(P.methodName(M) +
+                           ": instruction references class id out of range");
+      }
+    }
+  }
+}
+
 std::vector<std::string> taj::verifyProgram(const Program &P) {
   std::vector<std::string> Errors;
+  verifyTables(P, Errors);
   for (MethodId M = 0; M < P.Methods.size(); ++M)
     if (P.Methods[M].hasBody())
       verifyMethod(P, M, Errors);

@@ -180,6 +180,9 @@ public:
 
 private:
   friend class SdgBuilder;
+  /// Test-only corruption hooks (tests/verify_test.cpp): the self-
+  /// verification tests must be able to break a built graph in place.
+  friend class SdgTestPeer;
   /// Serialization (persist/Serialize.cpp) snapshots and restores the
   /// post-build state through the tag constructor below.
   friend struct persist::Access;

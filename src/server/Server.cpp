@@ -753,6 +753,12 @@ bool Daemon::writeArtifacts() {
 }
 
 int Daemon::run() {
+  // Handlers before the socket goes live: a client that sees the socket
+  // may SIGTERM us immediately, and with the default disposition still in
+  // place that kills the daemon instead of starting a drain. The handler
+  // tolerates the wake pipe not existing yet (GDrain alone suffices — the
+  // loop checks it before its first poll()).
+  installDrainHandlers();
   if (!setupSocket())
     return ExitError;
   // Wake pipe before the pool: forked children must know both ends to
@@ -779,7 +785,6 @@ int Daemon::run() {
         return ExitError;
       }
     }
-  installDrainHandlers();
   std::fprintf(stderr, "taj-serve: listening on %s (pool=%u queue=%u)\n",
                O.SocketPath.c_str(), O.PoolSize, O.QueueDepth);
 

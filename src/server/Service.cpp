@@ -94,6 +94,14 @@ OptionParse server::parseRunOption(const char *A, RunOptions &O) {
     }
     return OptionParse::Matched;
   }
+  if (std::strncmp(A, "--verify=", 9) == 0) {
+    if (!verify::parseVerifyMode(A + 9, O.Verify)) {
+      std::fprintf(stderr, "error: --verify requires off|fast|full, got '%s'\n",
+                   A + 9);
+      return OptionParse::Bad;
+    }
+    return OptionParse::Matched;
+  }
   if (std::strcmp(A, "--raw") == 0) {
     O.Raw = true;
     return OptionParse::Matched;
@@ -144,6 +152,7 @@ bool server::buildConfig(const RunOptions &O, AnalysisConfig &C) {
   if (O.HangAt)
     C.HangAtCheckpoint = O.HangAt;
   C.StringAnalysis = O.StringAnalysis;
+  C.Verify = O.Verify;
   return true;
 }
 
@@ -168,6 +177,9 @@ std::vector<std::string> server::encodeRunOptions(const RunOptions &O) {
     A.push_back("--hang-at=" + std::to_string(O.HangAt));
   A.push_back(std::string("--string-analysis=") +
               stringAnalysisModeName(O.StringAnalysis));
+  // Always explicit: the built-in default is build-type dependent (fast in
+  // debug/sanitizer builds), so worker argv must pin what the parent chose.
+  A.push_back(std::string("--verify=") + verify::verifyModeName(O.Verify));
   if (O.Raw)
     A.push_back("--raw");
   if (O.DumpIr)
@@ -187,6 +199,7 @@ std::string server::optionsFingerprint(const RunOptions &O) {
                   ";ca=" + std::to_string(O.CrashAt) +
                   ";ha=" + std::to_string(O.HangAt) +
                   ";sa=" + stringAnalysisModeName(O.StringAnalysis) +
+                  ";vf=" + verify::verifyModeName(O.Verify) +
                   ";raw=" + std::to_string(O.Raw) +
                   ";ir=" + std::to_string(O.DumpIr);
   uint64_t H = persist::fnv1a(S.data(), S.size());
@@ -303,6 +316,11 @@ RunOutcome server::analyzeApp(const std::vector<AppSource> &Sources,
     Corrupt0 = Cache->corruptions();
   }
 
+  // One violation sink for the whole app: frontend checks below and the
+  // analysis-internal checkers (via AnalysisConfig::Violations) fold into
+  // it, and any violation fails the run with exit 1 at the bottom.
+  verify::Violations Vio;
+
   // Frontend, warm path: a valid "ir" entry replaces builtin installation,
   // parsing and verification wholesale (the stored program was verified
   // before it was stored). Any restore failure falls back cold.
@@ -320,6 +338,25 @@ RunOutcome server::analyzeApp(const std::vector<AppSource> &Sources,
         Cache->noteRestoreFailure(IrKey);
         P = std::make_unique<Program>(); // restore may leave partial state
       }
+    }
+  }
+  // IRVerifier over a warm restore (--verify=full): the cold path verifies
+  // before storing, so a violating restored program means the artifact —
+  // not the input — is bad. Count it as a rejected persisted artifact,
+  // drop the poisoned entry, and fail the run rather than analyze a
+  // structurally broken program.
+  if (IrWarm && Opt.Verify == verify::VerifyMode::Full) {
+    PhaseScope S(&Prof, "verify");
+    const uint64_t Before = Vio.total();
+    verify::verifyIr(*P, Vio);
+    if (Vio.total() != Before) {
+      Vio.noteRestoreRejected();
+      Cache->noteRestoreFailure(IrKey);
+      if (MergedStats) {
+        Vio.exportStats(*MergedStats);
+        Prof.exportStats(*MergedStats);
+      }
+      return Out; // Exit stays ExitError
     }
   }
   if (!IrWarm) {
@@ -376,6 +413,7 @@ RunOutcome server::analyzeApp(const std::vector<AppSource> &Sources,
   C.Cache = Cache;
   C.InputFingerprint = InputFp;
   C.ExternalProfile = &Prof;
+  C.Violations = &Vio;
 
   MethodId Root = synthesizeEntrypointDriver(*P);
   TaintAnalysis TA(*P, std::move(C));
@@ -426,6 +464,13 @@ RunOutcome server::analyzeApp(const std::vector<AppSource> &Sources,
   }
   Out.NumIssues = R.Issues.size();
   Out.Exit = R.degraded() ? ExitTruncated : ExitClean;
+  // Self-verification trumps the clean/truncated contract: an artifact
+  // inconsistency means nothing about this run can be trusted.
+  if (Vio.total()) {
+    std::fprintf(stderr, "verify: %llu violation(s), failing run\n",
+                 static_cast<unsigned long long>(Vio.total()));
+    Out.Exit = ExitError;
+  }
   // The issue count rides the stats channel so a supervising parent can
   // recover it from the worker's --stats-json file.
   if (MergedStats)

@@ -27,6 +27,7 @@
 #define TAJ_SERVER_SERVICE_H
 
 #include "dataflow/ConstString.h"
+#include "verify/Verify.h"
 
 #include <cstdint>
 #include <string>
@@ -70,6 +71,9 @@ struct RunOptions {
   double DeadlineMs = 0;
   uint64_t MaxMemoryMb = 0, FailAt = 0, CrashAt = 0, HangAt = 0;
   StringAnalysisMode StringAnalysis = StringAnalysisMode::Ipa;
+  /// Self-verification over the run's own artifacts (--verify): any
+  /// violation fails the run with exit 1, in every driver mode.
+  verify::VerifyMode Verify = verify::defaultMode();
   bool Raw = false, DumpIr = false, ShowStats = false;
 };
 

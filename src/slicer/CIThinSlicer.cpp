@@ -132,6 +132,7 @@ SliceRunResult taj::runCiSlicer(const Program &P, const ClassHierarchy &CHA,
   }
   const SDG &G = *A->G;
   const HeapEdges &HE = *A->HE;
+  slicer_detail::verifySdgPhase(P, G, &HE, Solver, Opts, A->FromCache);
 
   SliceRunResult Out;
   if (Guard)
@@ -143,5 +144,6 @@ SliceRunResult taj::runCiSlicer(const Program &P, const ClassHierarchy &CHA,
       Opts.Threads, Items, Guard, Out, [] { return CiWorkerState(); },
       [&](CiWorkerState &, const SliceItem &It, std::vector<Issue> &Buf,
           uint64_t &Edges) { sliceOneCi(G, HE, It, Opts, Guard, Buf, Edges); });
+  slicer_detail::verifyWitnessPhase(G, &HE, Out, Opts);
   return Out;
 }

@@ -105,6 +105,7 @@ SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
   }
 
   const HeapEdges &HE = *A->HE;
+  slicer_detail::verifySdgPhase(P, G, &HE, Solver, Opts, A->FromCache);
 
   if (Guard)
     Guard->beginPhase(RunPhase::Slicing);
@@ -119,5 +120,6 @@ SliceRunResult taj::runCsSlicer(const Program &P, const ClassHierarchy &CHA,
         sliceOneCs(G, HE, Tab, It, Opts, Buf);
         PathEdges += Tab.pathEdgeCount() - Before;
       });
+  slicer_detail::verifyWitnessPhase(G, &HE, Out, Opts);
   return Out;
 }

@@ -54,6 +54,8 @@ public:
   const std::vector<SDGNodeId> &carrierSinksFor(SDGNodeId Store) const;
 
 private:
+  /// Test-only corruption hooks (tests/verify_test.cpp).
+  friend class HeapEdgesTestPeer;
   /// Serialization (persist/Serialize.cpp) snapshots and restores the
   /// materialized store adjacency through the tag constructor below.
   friend struct persist::Access;

@@ -135,6 +135,7 @@ SliceRunResult taj::runHybridSlicer(const Program &P,
   }
   const SDG &G = *A->G;
   const HeapEdges &HE = *A->HE;
+  slicer_detail::verifySdgPhase(P, G, &HE, Solver, Opts, A->FromCache);
 
   SliceRunResult Out;
   if (Guard)
@@ -150,5 +151,6 @@ SliceRunResult taj::runHybridSlicer(const Program &P,
         sliceOneHybrid(G, HE, Tab, It, Opts, Buf);
         PathEdges += Tab.pathEdgeCount() - Before;
       });
+  slicer_detail::verifyWitnessPhase(G, &HE, Out, Opts);
   return Out;
 }

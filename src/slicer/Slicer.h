@@ -22,6 +22,7 @@
 
 #include "pointsto/Solver.h"
 #include "slicer/Issue.h"
+#include "verify/Verify.h"
 
 namespace taj {
 
@@ -64,6 +65,15 @@ struct SlicerOptions {
   /// sdg / slicing phases and the persist load/store paths with it. Not
   /// owned; may be null.
   PhaseProfile *Profile = nullptr;
+  /// Self-verification (verify/Verify.h): Fast checks SDG endpoint
+  /// liveness and replays every reported issue as an HSDG witness path;
+  /// Full additionally justifies heap edges and re-verifies warm SDG
+  /// restores structurally. Checks run only when the phase completed
+  /// without a governance stop. Requires Violations when not Off.
+  verify::VerifyMode Verify = verify::VerifyMode::Off;
+  /// Violation sink for the verification above. Not owned; may be null
+  /// only when Verify is Off.
+  verify::Violations *Violations = nullptr;
 };
 
 /// Hybrid thin slicing over the HSDG.

@@ -15,8 +15,10 @@
 #ifndef TAJ_SLICER_SLICERCOMMON_H
 #define TAJ_SLICER_SLICERCOMMON_H
 
+#include "persist/Cache.h"
 #include "sdg/SDG.h"
 #include "slicer/Issue.h"
+#include "slicer/Slicer.h"
 #include "support/Parallel.h"
 #include "support/RunGuard.h"
 
@@ -27,6 +29,44 @@
 
 namespace taj {
 namespace slicer_detail {
+
+/// Runs the SDG/heap checkers right after the graph bundle is ready (cold
+/// build or warm restore). No-op unless verification is on and the build
+/// completed without a governance stop — a truncated graph is deliberately
+/// partial, not inconsistent. Under --verify=full a violating warm restore
+/// additionally counts as a rejected persisted artifact (the hot MemCache
+/// tier skips the record checksum, so this is the only guard it has) and
+/// the poisoned cache entry is dropped for later runs.
+inline void verifySdgPhase(const Program &P, const SDG &G,
+                           const HeapEdges *HE, const PointsToSolver &Solver,
+                           const SlicerOptions &Opts, bool FromCache) {
+  if (Opts.Verify == verify::VerifyMode::Off || !Opts.Violations)
+    return;
+  if (Opts.Guard && Opts.Guard->stopped())
+    return;
+  const uint64_t Before = Opts.Violations->total();
+  verify::verifySdg(P, G, HE, Solver, Opts.Verify, *Opts.Violations);
+  if (FromCache && Opts.Verify == verify::VerifyMode::Full &&
+      Opts.Violations->total() != Before) {
+    Opts.Violations->noteRestoreRejected();
+    if (Opts.Cache)
+      Opts.Cache->noteRestoreFailure(Opts.CacheKey);
+  }
+}
+
+/// Replays every reported issue as a connected HSDG witness path after the
+/// slicing loops finish. Skipped when slicing was cut short: the issue
+/// list is then a pure function of the completed items, but the distances
+/// a fresh replay finds need not match what a truncated traversal saw.
+inline void verifyWitnessPhase(const SDG &G, const HeapEdges *HE,
+                               const SliceRunResult &Out,
+                               const SlicerOptions &Opts) {
+  if (Opts.Verify == verify::VerifyMode::Off || !Opts.Violations)
+    return;
+  if (Opts.Guard && Opts.Guard->stopped())
+    return;
+  verify::verifyWitnesses(G, HE, Out.Issues, *Opts.Violations);
+}
 
 /// Walks discovery parents from \p From back to a seed, collecting the
 /// statement path in source-to-sink order; \p Sink is appended when the

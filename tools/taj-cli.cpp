@@ -19,6 +19,17 @@
 //   --nested-depth=<n>    taint-carrier field-dereference bound
 //   --threads=<n>         worker threads for slicing (0 = auto, default;
 //                         output is byte-identical at every thread count)
+//   --verify=<off|fast|full>
+//                         self-verification over the run's own artifacts:
+//                         fast re-checks SDG endpoint liveness and replays
+//                         every reported flow as an HSDG witness path;
+//                         full additionally justifies call-graph and heap
+//                         edges, re-checks the points-to fixpoint and
+//                         structurally re-verifies every warm cache
+//                         restore. Violations print `verify: ...`, land in
+//                         the verify.* counters and fail the run with exit
+//                         1. Default: fast in debug/sanitizer builds, off
+//                         in release.
 //   --deadline-ms=<n>     wall-clock deadline for the analysis run
 //   --max-memory-mb=<n>   resident-memory ceiling for the analysis run
 //   --fail-at=<n>         fault injection: trip the guard at checkpoint n
@@ -98,8 +109,9 @@
 //   0  clean: the analysis ran to completion (issues, if any, printed)
 //   2  completed with truncation: a deadline/memory/budget/fault cutoff
 //      degraded the run; partial results printed, run-status on stderr
-//   1  error: bad usage, unreadable input, parse/verify failure, or an
-//      internal error that prevented analysis
+//   1  error: bad usage, unreadable input, parse/verify failure, a
+//      self-verification violation (--verify), or an internal error that
+//      prevented analysis
 // In batch mode the process exit code is the worst across all apps
 // (error > truncated > clean); one failing app does not stop the batch.
 // Under --jobs>=1 a crashed, timed-out or OOM-killed worker counts as an
@@ -138,7 +150,8 @@ void usage() {
       stderr,
       "usage: taj-cli [--config=NAME] [--budget=N] [--max-flow-length=N]\n"
       "               [--string-analysis=off|local|ipa]\n"
-      "               [--nested-depth=N] [--threads=N] [--deadline-ms=N]\n"
+      "               [--nested-depth=N] [--threads=N] [--verify=MODE]\n"
+      "               [--deadline-ms=N]\n"
       "               [--max-memory-mb=N] [--fail-at=N] [--crash-at=N]\n"
       "               [--hang-at=N] [--cache-dir=PATH] [--cache-max-mb=N]\n"
       "               [--cache-grace-ms=N] [--jobs=N] [--retry=N]\n"
