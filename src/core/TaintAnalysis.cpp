@@ -78,7 +78,7 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
   // shared batch cache accumulates across runs; summing the deltas of N
   // runs then reproduces the lifetime totals).
   uint64_t Hit0 = 0, Miss0 = 0, Store0 = 0, Evict0 = 0, Skip0 = 0,
-           Corrupt0 = 0, Touch0 = 0;
+           Corrupt0 = 0, VerMiss0 = 0, Touch0 = 0;
   if (Cache) {
     Hit0 = Cache->hits();
     Miss0 = Cache->misses();
@@ -86,6 +86,7 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
     Evict0 = Cache->evictions();
     Skip0 = Cache->evictSkips();
     Corrupt0 = Cache->corruptions();
+    VerMiss0 = Cache->versionMisses();
     Touch0 = Cache->touchFailures();
   }
   if (CacheOn) {
@@ -249,6 +250,8 @@ AnalysisResult TaintAnalysis::run(const std::vector<MethodId> &Roots) {
     Out.RunStats.add("persist.evict", Cache->evictions() - Evict0);
     Out.RunStats.add("persist.evict_skipped", Cache->evictSkips() - Skip0);
     Out.RunStats.add("persist.corrupt", Cache->corruptions() - Corrupt0);
+    Out.RunStats.add("persist.version_miss",
+                     Cache->versionMisses() - VerMiss0);
     Out.RunStats.add("persist.touch_failed",
                      Cache->touchFailures() - Touch0);
   }

@@ -120,11 +120,28 @@ std::optional<LoadedPayload> ArtifactCache::load(const std::string &Key,
   const uint8_t *Payload = nullptr;
   size_t PayloadLen = 0;
   std::string Err;
-  if (!unwrapRecord(Record, Kind, Payload, PayloadLen, Err)) {
+  switch (unwrapRecordEx(Record, Kind, Payload, PayloadLen, Err)) {
+  case UnwrapStatus::Ok:
+    break;
+  case UnwrapStatus::VersionMismatch:
+    // A well-formed record from another format generation (e.g. a cache
+    // dir shared across binary versions): a clean miss, not corruption.
+    // The stale entry is removed so the slot is rebuilt at this version.
+    ++VersionMiss;
+    ++Misses;
+    diag("cache entry " + Key, Err);
+    {
+      std::error_code Ec;
+      fs::remove(Path, Ec);
+    }
+    return std::nullopt;
+  case UnwrapStatus::Corrupt:
     ++Corrupt;
     diag("cache entry " + Key, Err);
-    std::error_code Ec;
-    fs::remove(Path, Ec);
+    {
+      std::error_code Ec;
+      fs::remove(Path, Ec);
+    }
     return std::nullopt;
   }
   ++Hits;
@@ -280,6 +297,7 @@ void ArtifactCache::exportStats(Stats &S) const {
   S.add("persist.evict", Evictions);
   S.add("persist.evict_skipped", EvictSkipped);
   S.add("persist.corrupt", Corrupt);
+  S.add("persist.version_miss", VersionMiss);
   S.add("persist.touch_failed", TouchFailed);
   if (Mem)
     Mem->exportStats(S);

@@ -126,8 +126,8 @@ public:
   void noteRestoreFailure(const std::string &Key);
 
   /// Exports persist.hit / persist.miss / persist.store / persist.evict /
-  /// persist.evict_skipped / persist.corrupt / persist.touch_failed
-  /// counters.
+  /// persist.evict_skipped / persist.corrupt / persist.version_miss /
+  /// persist.touch_failed counters.
   void exportStats(Stats &S) const;
 
   uint64_t hits() const { return Hits; }
@@ -136,6 +136,9 @@ public:
   uint64_t evictions() const { return Evictions; }
   uint64_t evictSkips() const { return EvictSkipped; }
   uint64_t corruptions() const { return Corrupt; }
+  /// Well-formed entries from another format generation: counted as a
+  /// clean miss (plus this), never as corruption.
+  uint64_t versionMisses() const { return VersionMiss; }
   /// Hits whose LRU mtime refresh failed (e.g. a read-only cache dir):
   /// the payload is still served, but eviction order is rotting.
   uint64_t touchFailures() const { return TouchFailed; }
@@ -156,7 +159,7 @@ private:
   MemCache *Mem = nullptr;
   mutable std::mutex Mu;
   uint64_t Hits = 0, Misses = 0, Stores = 0, Evictions = 0, EvictSkipped = 0,
-           Corrupt = 0, TouchFailed = 0;
+           Corrupt = 0, VersionMiss = 0, TouchFailed = 0;
 };
 
 /// The SDG phase bundle a slicer needs: the graph, the heap graph it was

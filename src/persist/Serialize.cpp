@@ -50,13 +50,14 @@ std::vector<uint8_t> persist::wrapRecord(ArtifactKind Kind,
   return Out;
 }
 
-bool persist::unwrapRecord(const std::vector<uint8_t> &Record,
-                           ArtifactKind Expect, const uint8_t *&Payload,
-                           size_t &PayloadLen, std::string &Err) {
+UnwrapStatus persist::unwrapRecordEx(const std::vector<uint8_t> &Record,
+                                     ArtifactKind Expect,
+                                     const uint8_t *&Payload,
+                                     size_t &PayloadLen, std::string &Err) {
   constexpr size_t HeaderLen = 4 * 4 + 2 * 8;
   if (Record.size() < HeaderLen) {
     Err = "record shorter than header";
-    return false;
+    return UnwrapStatus::Corrupt;
   }
   Reader R(Record.data(), Record.size());
   uint32_t Magic = R.u32();
@@ -67,29 +68,38 @@ bool persist::unwrapRecord(const std::vector<uint8_t> &Record,
   uint64_t Sum = R.u64();
   if (Magic != RecordMagic) {
     Err = "bad magic";
-    return false;
+    return UnwrapStatus::Corrupt;
   }
   if (Version != FormatVersion) {
+    // A well-formed record from another format generation: not damage,
+    // just unusable — the cache reports it as a version miss.
     Err = "format version " + std::to_string(Version) + " (expected " +
           std::to_string(FormatVersion) + ")";
-    return false;
+    return UnwrapStatus::VersionMismatch;
   }
   if (Kind != static_cast<uint32_t>(Expect)) {
     Err = "artifact kind " + std::to_string(Kind) + " (expected " +
           std::to_string(static_cast<uint32_t>(Expect)) + ")";
-    return false;
+    return UnwrapStatus::Corrupt;
   }
   if (Size != Record.size() - HeaderLen) {
     Err = "payload size mismatch";
-    return false;
+    return UnwrapStatus::Corrupt;
   }
   if (fnv1aWords(Record.data() + HeaderLen, Size) != Sum) {
     Err = "checksum mismatch";
-    return false;
+    return UnwrapStatus::Corrupt;
   }
   Payload = Record.data() + HeaderLen;
   PayloadLen = Size;
-  return true;
+  return UnwrapStatus::Ok;
+}
+
+bool persist::unwrapRecord(const std::vector<uint8_t> &Record,
+                           ArtifactKind Expect, const uint8_t *&Payload,
+                           size_t &PayloadLen, std::string &Err) {
+  return unwrapRecordEx(Record, Expect, Payload, PayloadLen, Err) ==
+         UnwrapStatus::Ok;
 }
 
 //===----------------------------------------------------------------------===//
@@ -473,10 +483,23 @@ void Access::serializeSolver(const PointsToSolver &S, Writer &W) {
     putU32Vec(W, Preds);
   putU32VecMap(W, CG.SiteCallees);
 
-  // Points-to sets (sorted vectors, serialized verbatim).
-  W.u32(static_cast<uint32_t>(S.Pts.size()));
-  for (const std::vector<IKId> &Set : S.Pts)
-    putU32Vec(W, Set);
+  // Points-to sets (v2): the fully compressed cycle-collapse
+  // representative column, then for each representative (ascending id)
+  // the sparse-bitmap chunks — word-index vector + bit-word vector.
+  // Non-representatives carry no set; queries resolve through the column.
+  // The per-PK tables are padded past PKs.size() (growTablesSlow); the
+  // padding slots are empty and self-representative, so only the slots
+  // backing real keys are written.
+  const uint32_t NumPts =
+      static_cast<uint32_t>(std::min(S.Pts.size(), S.PKs.size()));
+  W.u32(NumPts);
+  W.u32Array(S.RepParent.data(), NumPts);
+  for (PKId I = 0; I < NumPts; ++I) {
+    if (S.RepParent[I] != I)
+      continue;
+    putU32Vec(W, S.Pts[I].wordIndices());
+    putU64Vec(W, S.Pts[I].words());
+  }
 
   putU32VecMap(W, S.Channels);
   putU32VecMap(W, S.IntrinsicCallees);
@@ -652,10 +675,38 @@ bool Access::restoreSolver(PointsToSolver &S, Reader &R) {
   }
 
   uint32_t NumPts = R.count(4);
-  S.Pts.resize(NumPts);
-  for (std::vector<IKId> &Set : S.Pts)
-    if (!getU32Vec(R, Set) || !allBelow(Set, NumIKs))
+  if (NumPts > NumPKs)
+    return false;
+  S.RepParent.resize(NumPts);
+  if (!R.u32Array(S.RepParent.data(), NumPts))
+    return false;
+  // The column must be idempotent (fully compressed) and in range.
+  for (PKId I = 0; I < NumPts; ++I) {
+    PKId Rp = S.RepParent[I];
+    if (Rp >= NumPts || S.RepParent[Rp] != Rp)
       return false;
+  }
+  S.Pts.resize(NumPts);
+  for (PKId I = 0; I < NumPts; ++I) {
+    if (S.RepParent[I] != I)
+      continue;
+    std::vector<uint32_t> Idx;
+    std::vector<uint64_t> Words;
+    if (!getU32Vec(R, Idx) || !getU64Vec(R, Words))
+      return false;
+    // assign() rejects unsorted/duplicate chunk indices and zero words.
+    if (!S.Pts[I].assign(std::move(Idx), std::move(Words)))
+      return false;
+    if (!S.Pts[I].empty()) {
+      const std::vector<uint32_t> &WI = S.Pts[I].wordIndices();
+      const std::vector<uint64_t> &Wd = S.Pts[I].words();
+      uint32_t MaxBit =
+          (WI.back() << 6) + (63 - static_cast<uint32_t>(
+                                       std::countl_zero(Wd.back())));
+      if (MaxBit >= NumIKs)
+        return false;
+    }
+  }
 
   if (!getU32VecMap(R, S.Channels))
     return false;

@@ -48,7 +48,9 @@ namespace persist {
 
 /// Artifact format version; bump on any encoding change so stale cache
 /// entries are rejected (and recomputed) instead of misread.
-inline constexpr uint32_t FormatVersion = 1;
+/// v2: points-to sets are stored as sparse-bitmap chunks plus the cycle
+/// collapse representative column (was: one sorted u32 vector per key).
+inline constexpr uint32_t FormatVersion = 2;
 
 /// Record magic: "TAJP" little-endian.
 inline constexpr uint32_t RecordMagic = 0x504a4154u;
@@ -238,10 +240,25 @@ private:
 std::vector<uint8_t> wrapRecord(ArtifactKind Kind,
                                 const std::vector<uint8_t> &Payload);
 
-/// Validates the header of \p Record and locates the payload. Returns
-/// false — with a human-readable reason in \p Err — on any mismatch
-/// (magic, version, kind, size, checksum); no payload byte is interpreted
-/// before every check passes.
+/// Outcome of header validation: a version mismatch is an expected event
+/// after a format bump (the cache treats it as a clean miss), everything
+/// else that fails is corruption.
+enum class UnwrapStatus {
+  Ok,
+  VersionMismatch,
+  Corrupt,
+};
+
+/// Validates the header of \p Record and locates the payload. On any
+/// mismatch (magic, version, kind, size, checksum) returns the failure
+/// class with a human-readable reason in \p Err; no payload byte is
+/// interpreted before every check passes.
+UnwrapStatus unwrapRecordEx(const std::vector<uint8_t> &Record,
+                            ArtifactKind Expect, const uint8_t *&Payload,
+                            size_t &PayloadLen, std::string &Err);
+
+/// Boolean convenience wrapper over unwrapRecordEx for callers that do not
+/// distinguish version misses from corruption.
 bool unwrapRecord(const std::vector<uint8_t> &Record, ArtifactKind Expect,
                   const uint8_t *&Payload, size_t &PayloadLen,
                   std::string &Err);

@@ -1,0 +1,346 @@
+//===- pointsto/BitSet.h - Chunked sparse bitmap over IKIds ----*- C++ -*-===//
+//
+// Part of the TAJ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The points-to set representation used by the solver: a chunked sparse
+/// bitmap. Set members are dense small integers (IKIds), so each set is kept
+/// as a sorted array of (32-bit word index, 64-bit bit word) chunks. Zero
+/// words are never stored, which makes structural equality a plain chunk
+/// compare and keeps iteration proportional to the populated chunks.
+/// Iteration and \c unionWith always yield members in ascending order, so
+/// consumers that relied on the old sorted-vector representation (query
+/// surface, persist writer) observe identical order.
+///
+/// The chunk array lives in a small inline buffer until it outgrows it:
+/// the solver materializes one set per pointer key and most of them span
+/// one or two 64-bit chunks, so the common case performs no heap
+/// allocation at all (and no deallocation on teardown).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TAJ_POINTSTO_BITSET_H
+#define TAJ_POINTSTO_BITSET_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+namespace taj {
+
+/// A sparse bitmap over uint32_t values, chunked into 64-bit words.
+class SparseBitSet {
+public:
+  struct Chunk {
+    uint32_t Idx;  ///< Word index (value >> 6); no zero words stored.
+    uint64_t Word; ///< The 64 bits covering [Idx*64, Idx*64+63].
+  };
+
+  SparseBitSet() {}
+  SparseBitSet(const SparseBitSet &O) { copyFrom(O); }
+  SparseBitSet(SparseBitSet &&O) noexcept { moveFrom(O); }
+  SparseBitSet &operator=(const SparseBitSet &O) {
+    if (this != &O) {
+      Size = 0;
+      Cnt = 0;
+      copyFrom(O);
+    }
+    return *this;
+  }
+  SparseBitSet &operator=(SparseBitSet &&O) noexcept {
+    if (this != &O) {
+      if (Ptr != Inline)
+        delete[] Ptr;
+      moveFrom(O);
+    }
+    return *this;
+  }
+  ~SparseBitSet() {
+    if (Ptr != Inline)
+      delete[] Ptr;
+  }
+
+  bool empty() const { return Cnt == 0; }
+  uint32_t count() const { return Cnt; }
+
+  void clear() {
+    Size = 0;
+    Cnt = 0;
+  }
+
+  /// Inserts \p V; returns true iff it was not already present.
+  bool insert(uint32_t V) {
+    const uint32_t WI = V >> 6;
+    const uint64_t Bit = uint64_t(1) << (V & 63);
+    uint32_t Pos = lowerBound(WI);
+    if (Pos < Size && Ptr[Pos].Idx == WI) {
+      if (Ptr[Pos].Word & Bit)
+        return false;
+      Ptr[Pos].Word |= Bit;
+    } else {
+      if (Size == Cap)
+        grow(Size + 1);
+      std::memmove(Ptr + Pos + 1, Ptr + Pos, (Size - Pos) * sizeof(Chunk));
+      Ptr[Pos].Idx = WI;
+      Ptr[Pos].Word = Bit;
+      ++Size;
+    }
+    ++Cnt;
+    return true;
+  }
+
+  bool contains(uint32_t V) const {
+    const uint32_t WI = V >> 6;
+    uint32_t Pos = lowerBound(WI);
+    return Pos < Size && Ptr[Pos].Idx == WI &&
+           (Ptr[Pos].Word & (uint64_t(1) << (V & 63)));
+  }
+
+  /// Unions \p O into this set. Members newly added are appended to
+  /// \p NewBits in ascending order. Returns true iff anything changed.
+  /// \p O must not alias this set.
+  bool unionWith(const SparseBitSet &O, std::vector<uint32_t> &NewBits) {
+    if (O.Cnt == 0)
+      return false;
+    // Chunks present in O but absent here, gathered for one merge at the
+    // end; stays heap-free when O introduces no new chunks.
+    std::vector<Chunk> Fresh;
+    bool Changed = false;
+    uint32_t I = 0;
+    for (uint32_t J = 0; J < O.Size; ++J) {
+      const uint32_t WI = O.Ptr[J].Idx;
+      while (I < Size && Ptr[I].Idx < WI)
+        ++I;
+      if (I < Size && Ptr[I].Idx == WI) {
+        const uint64_t Add = O.Ptr[J].Word & ~Ptr[I].Word;
+        if (Add) {
+          Ptr[I].Word |= Add;
+          Cnt += uint32_t(std::popcount(Add));
+          appendBits(NewBits, WI, Add);
+          Changed = true;
+        }
+      } else {
+        Fresh.push_back(O.Ptr[J]);
+        Cnt += uint32_t(std::popcount(O.Ptr[J].Word));
+        appendBits(NewBits, WI, O.Ptr[J].Word);
+        Changed = true;
+      }
+    }
+    if (!Fresh.empty())
+      mergeFresh(Fresh);
+    return Changed;
+  }
+
+  /// True iff every member of \p O is a member of this set.
+  bool containsAll(const SparseBitSet &O) const {
+    if (O.Cnt > Cnt)
+      return false;
+    uint32_t I = 0;
+    for (uint32_t J = 0; J < O.Size; ++J) {
+      while (I < Size && Ptr[I].Idx < O.Ptr[J].Idx)
+        ++I;
+      if (I == Size || Ptr[I].Idx != O.Ptr[J].Idx ||
+          (O.Ptr[J].Word & ~Ptr[I].Word))
+        return false;
+    }
+    return true;
+  }
+
+  /// Structural equality; valid because zero words are never stored.
+  bool operator==(const SparseBitSet &O) const {
+    if (Cnt != O.Cnt || Size != O.Size)
+      return false;
+    for (uint32_t I = 0; I < Size; ++I)
+      if (Ptr[I].Idx != O.Ptr[I].Idx || Ptr[I].Word != O.Ptr[I].Word)
+        return false;
+    return true;
+  }
+  bool operator!=(const SparseBitSet &O) const { return !(*this == O); }
+
+  /// Appends all members to \p Out (any push_back container of uint32_t)
+  /// in ascending order.
+  template <typename Vec> void appendTo(Vec &Out) const {
+    for (uint32_t I = 0; I < Size; ++I)
+      appendBits(Out, Ptr[I].Idx, Ptr[I].Word);
+  }
+
+  /// Forward iterator yielding members in ascending order.
+  class const_iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const uint32_t *;
+    using reference = uint32_t;
+
+    const_iterator() = default;
+    const_iterator(const SparseBitSet *S, uint32_t WI)
+        : S(S), WI(WI), Rem(WI < S->Size ? S->Ptr[WI].Word : 0) {}
+
+    uint32_t operator*() const {
+      return (S->Ptr[WI].Idx << 6) + uint32_t(std::countr_zero(Rem));
+    }
+    const_iterator &operator++() {
+      Rem &= Rem - 1;
+      if (!Rem) {
+        ++WI;
+        Rem = WI < S->Size ? S->Ptr[WI].Word : 0;
+      }
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator Tmp = *this;
+      ++*this;
+      return Tmp;
+    }
+    bool operator==(const const_iterator &O) const {
+      return WI == O.WI && Rem == O.Rem;
+    }
+    bool operator!=(const const_iterator &O) const { return !(*this == O); }
+
+  private:
+    const SparseBitSet *S = nullptr;
+    uint32_t WI = 0;
+    uint64_t Rem = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, Size); }
+
+  /// Raw chunk access for the persist serializer (cold path: materialized
+  /// by value since chunks are stored interleaved).
+  std::vector<uint32_t> wordIndices() const {
+    std::vector<uint32_t> Out;
+    Out.reserve(Size);
+    for (uint32_t I = 0; I < Size; ++I)
+      Out.push_back(Ptr[I].Idx);
+    return Out;
+  }
+  std::vector<uint64_t> words() const {
+    std::vector<uint64_t> Out;
+    Out.reserve(Size);
+    for (uint32_t I = 0; I < Size; ++I)
+      Out.push_back(Ptr[I].Word);
+    return Out;
+  }
+
+  /// Rebuilds from raw chunks (persist restore). Returns false if the
+  /// encoding is invalid: unsorted/duplicate indices or a zero word.
+  bool assign(std::vector<uint32_t> RawIdx, std::vector<uint64_t> RawWords) {
+    if (RawIdx.size() != RawWords.size())
+      return false;
+    uint32_t N = 0;
+    for (size_t I = 0; I < RawIdx.size(); ++I) {
+      if (I > 0 && RawIdx[I] <= RawIdx[I - 1])
+        return false;
+      if (RawWords[I] == 0)
+        return false;
+      N += uint32_t(std::popcount(RawWords[I]));
+    }
+    Size = 0;
+    if (RawIdx.size() > Cap)
+      grow(uint32_t(RawIdx.size()));
+    for (size_t I = 0; I < RawIdx.size(); ++I)
+      Ptr[I] = {RawIdx[I], RawWords[I]};
+    Size = uint32_t(RawIdx.size());
+    Cnt = N;
+    return true;
+  }
+
+private:
+  static constexpr uint32_t InlineCap = 2;
+
+  uint32_t lowerBound(uint32_t WI) const {
+    uint32_t Lo = 0, Hi = Size;
+    while (Lo < Hi) {
+      uint32_t Mid = (Lo + Hi) / 2;
+      if (Ptr[Mid].Idx < WI)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo;
+  }
+
+  template <typename Vec>
+  static void appendBits(Vec &Out, uint32_t WI, uint64_t W) {
+    const uint32_t Base = WI << 6;
+    for (; W; W &= W - 1)
+      Out.push_back(Base + uint32_t(std::countr_zero(W)));
+  }
+
+  /// Backward in-place merge of new chunks; \p Fresh is sorted ascending
+  /// and disjoint from the stored indices.
+  void mergeFresh(const std::vector<Chunk> &Fresh) {
+    const uint32_t OldN = Size, Add = uint32_t(Fresh.size());
+    if (OldN + Add > Cap)
+      grow(OldN + Add);
+    uint32_t A = OldN, B = Add, W = OldN + Add;
+    while (B > 0) {
+      if (A > 0 && Ptr[A - 1].Idx > Fresh[B - 1].Idx) {
+        Ptr[W - 1] = Ptr[A - 1];
+        --A;
+      } else {
+        Ptr[W - 1] = Fresh[B - 1];
+        --B;
+      }
+      --W;
+    }
+    Size = OldN + Add;
+  }
+
+  void grow(uint32_t Need) {
+    uint32_t NewCap = Cap * 2;
+    if (NewCap < Need)
+      NewCap = Need;
+    Chunk *NewPtr = new Chunk[NewCap];
+    std::memcpy(NewPtr, Ptr, Size * sizeof(Chunk));
+    if (Ptr != Inline)
+      delete[] Ptr;
+    Ptr = NewPtr;
+    Cap = NewCap;
+  }
+
+  void copyFrom(const SparseBitSet &O) {
+    if (O.Size > Cap)
+      grow(O.Size);
+    std::memcpy(Ptr, O.Ptr, O.Size * sizeof(Chunk));
+    Size = O.Size;
+    Cnt = O.Cnt;
+  }
+
+  /// Steals O's storage (heap) or copies its chunks (inline); O is left
+  /// empty either way. Only called with this object's storage released.
+  void moveFrom(SparseBitSet &O) noexcept {
+    if (O.Ptr != O.Inline) {
+      Ptr = O.Ptr;
+      Cap = O.Cap;
+    } else {
+      Ptr = Inline;
+      Cap = InlineCap;
+      std::memcpy(Inline, O.Inline, O.Size * sizeof(Chunk));
+    }
+    Size = O.Size;
+    Cnt = O.Cnt;
+    O.Ptr = O.Inline;
+    O.Cap = InlineCap;
+    O.Size = 0;
+    O.Cnt = 0;
+  }
+
+  Chunk *Ptr = Inline;  ///< Chunk storage; Inline until it outgrows it.
+  uint32_t Size = 0;    ///< Populated chunks.
+  uint32_t Cap = InlineCap;
+  uint32_t Cnt = 0;     ///< Cached population count.
+  Chunk Inline[InlineCap];
+};
+
+} // namespace taj
+
+#endif // TAJ_POINTSTO_BITSET_H

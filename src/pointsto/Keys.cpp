@@ -4,22 +4,36 @@
 
 using namespace taj;
 
+// Both interns are on the constraint-generation hot path: one probe chain
+// over the open-addressed index resolves the hit and the miss, and a miss
+// appends to the key vector without any per-entry node allocation.
+
 IKId InstanceKeyTable::intern(const InstanceKeyData &D) {
-  auto It = Map.find(D);
-  if (It != Map.end())
-    return It->second;
+  if (Index.needsGrow())
+    Index.grow(Keys.size() + 1,
+               [this](uint32_t I) { return Hash{}(Keys[I]); });
+  size_t Slot;
+  uint32_t Found = Index.find(
+      Hash{}(D), [&](uint32_t I) { return Eq{}(Keys[I], D); }, Slot);
+  if (Found != InvalidId)
+    return Found;
+  IKId Id = static_cast<IKId>(Keys.size());
+  Index.insertAt(Slot, Id);
   Keys.push_back(D);
-  IKId Id = static_cast<IKId>(Keys.size() - 1);
-  Map.emplace(D, Id);
   return Id;
 }
 
 PKId PointerKeyTable::intern(const PointerKeyData &D) {
-  auto It = Map.find(D);
-  if (It != Map.end())
-    return It->second;
+  if (Index.needsGrow())
+    Index.grow(Keys.size() + 1,
+               [this](uint32_t I) { return Hash{}(Keys[I]); });
+  size_t Slot;
+  uint32_t Found = Index.find(
+      Hash{}(D), [&](uint32_t I) { return Eq{}(Keys[I], D); }, Slot);
+  if (Found != InvalidId)
+    return Found;
+  PKId Id = static_cast<PKId>(Keys.size());
+  Index.insertAt(Slot, Id);
   Keys.push_back(D);
-  PKId Id = static_cast<PKId>(Keys.size() - 1);
-  Map.emplace(D, Id);
   return Id;
 }

@@ -16,8 +16,8 @@
 
 #include "ir/Program.h"
 #include "pointsto/Context.h"
+#include "pointsto/SmallVec.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace taj {
@@ -72,6 +72,63 @@ struct PointerKeyData {
   uint32_t B = 0;
 };
 
+/// Open-addressed slot index over an external key vector: each slot holds
+/// id + 1 (0 = empty), probing linearly over a power-of-two table. Interning
+/// a key costs one probe chain and zero allocations (the node-per-entry
+/// malloc of unordered_map was a measurable share of solver time).
+class InternIndex {
+public:
+  /// Probes for the slot of the key hashing to \p H that satisfies
+  /// \p IsMatch; returns the existing id, or InvalidId with \p Slot set to
+  /// the insertion position.
+  template <typename Pred>
+  uint32_t find(uint64_t H, Pred IsMatch, size_t &Slot) const {
+    size_t I = static_cast<size_t>(H) & Mask;
+    while (true) {
+      uint32_t S = Slots[I];
+      if (S == 0) {
+        Slot = I;
+        return InvalidId;
+      }
+      if (IsMatch(S - 1))
+        return S - 1;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  /// True if an insert must call grow() (and re-probe) first.
+  bool needsGrow() const { return (Filled + 1) * 3 >= Slots.size() * 2; }
+
+  void insertAt(size_t Slot, uint32_t Id) {
+    Slots[Slot] = Id + 1;
+    ++Filled;
+  }
+
+  /// Rebuilds with at least \p MinIds capacity; \p HashOf maps an id to
+  /// its hash.
+  template <typename HashFn> void grow(size_t MinIds, HashFn HashOf) {
+    size_t NewCap = Slots.size() * 2;
+    while (NewCap * 2 < MinIds * 3 + 16)
+      NewCap *= 2;
+    std::vector<uint32_t> Old = std::move(Slots);
+    Slots.assign(NewCap, 0);
+    Mask = NewCap - 1;
+    for (uint32_t S : Old) {
+      if (S == 0)
+        continue;
+      size_t I = static_cast<size_t>(HashOf(S - 1)) & Mask;
+      while (Slots[I] != 0)
+        I = (I + 1) & Mask;
+      Slots[I] = S;
+    }
+  }
+
+private:
+  std::vector<uint32_t> Slots = std::vector<uint32_t>(16, 0);
+  size_t Mask = 15;
+  size_t Filled = 0;
+};
+
 /// Interning table for instance keys.
 class InstanceKeyTable {
 public:
@@ -80,7 +137,8 @@ public:
   size_t size() const { return Keys.size(); }
   void reserve(size_t N) {
     Keys.reserve(N);
-    Map.reserve(N);
+    if (N > Keys.size())
+      Index.grow(N, [this](uint32_t I) { return Hash{}(Keys[I]); });
   }
 
 private:
@@ -101,7 +159,7 @@ private:
     }
   };
   std::vector<InstanceKeyData> Keys;
-  std::unordered_map<InstanceKeyData, IKId, Hash, Eq> Map;
+  InternIndex Index;
 };
 
 /// Interning table for pointer keys.
@@ -112,24 +170,56 @@ public:
   size_t size() const { return Keys.size(); }
   void reserve(size_t N) {
     Keys.reserve(N);
-    Map.reserve(N);
+    if (N > Keys.size())
+      Index.grow(N, [this](uint32_t I) { return Hash{}(Keys[I]); });
   }
 
   /// Read-only lookup: the id of \p D if it was ever interned, InvalidId
   /// otherwise. Never mutates the table, so it is safe on post-solve read
   /// paths (and from concurrent slicing workers).
   PKId lookup(const PointerKeyData &D) const {
-    auto It = Map.find(D);
-    return It == Map.end() ? InvalidId : It->second;
+    size_t Slot;
+    return Index.find(Hash{}(D),
+                      [&](uint32_t I) { return Eq{}(Keys[I], D); }, Slot);
   }
   PKId localLookup(CGNodeId N, ValueId V) const {
+    if (N < LocalFast.size()) {
+      const SmallVec<PKId, 8> &Row = LocalFast[N];
+      if (static_cast<uint32_t>(V) < Row.size() && Row[V] != InvalidId)
+        return Row[V];
+    }
     return lookup({PKKind::Local, N, static_cast<uint32_t>(V)});
   }
 
+  /// local() and ret() dominate interning on the constraint-generation hot
+  /// path, so both are answered from dense direct-mapped caches when the
+  /// key has been seen; the hashed intern runs only on first touch. Keys
+  /// interned without going through these helpers (the persist restore
+  /// path) simply miss the cache and fall back to the hash map.
   PKId local(CGNodeId N, ValueId V) {
-    return intern({PKKind::Local, N, static_cast<uint32_t>(V)});
+    if (N < LocalFast.size()) {
+      const SmallVec<PKId, 8> &Row = LocalFast[N];
+      if (static_cast<uint32_t>(V) < Row.size() && Row[V] != InvalidId)
+        return Row[V];
+    }
+    PKId Id = intern({PKKind::Local, N, static_cast<uint32_t>(V)});
+    if (N >= LocalFast.size())
+      LocalFast.resize(N + 1);
+    SmallVec<PKId, 8> &Row = LocalFast[N];
+    while (Row.size() <= static_cast<uint32_t>(V))
+      Row.push_back(InvalidId);
+    Row[V] = Id;
+    return Id;
   }
-  PKId ret(CGNodeId N) { return intern({PKKind::Ret, N, 0}); }
+  PKId ret(CGNodeId N) {
+    if (N < RetFast.size() && RetFast[N] != InvalidId)
+      return RetFast[N];
+    PKId Id = intern({PKKind::Ret, N, 0});
+    if (N >= RetFast.size())
+      RetFast.resize(N + 1, InvalidId);
+    RetFast[N] = Id;
+    return Id;
+  }
   PKId field(IKId I, FieldId F) { return intern({PKKind::Field, I, F}); }
   PKId arrayElem(IKId I) { return intern({PKKind::ArrayElem, I, 0}); }
   PKId staticField(FieldId F) { return intern({PKKind::Static, F, 0}); }
@@ -152,7 +242,12 @@ private:
     }
   };
   std::vector<PointerKeyData> Keys;
-  std::unordered_map<PointerKeyData, PKId, Hash, Eq> Map;
+  InternIndex Index;
+  /// Direct-mapped caches for the two hottest key shapes; InvalidId marks
+  /// an empty slot. Purely an accelerator over the index — never
+  /// authoritative for absence.
+  std::vector<SmallVec<PKId, 8>> LocalFast;
+  std::vector<PKId> RetFast;
 };
 
 } // namespace taj

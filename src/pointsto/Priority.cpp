@@ -81,6 +81,12 @@ PriorityManager::fieldSets(MethodId M) const {
   return FieldCache.emplace(M, std::move(FS)).first->second;
 }
 
+uint64_t PriorityManager::keyOf(CGNodeId N) const {
+  // Chaotic iteration processes pending nodes in no particular order;
+  // a deterministic scramble of the creation sequence models that.
+  return Prioritized ? Prio[N] : (Seq[N] * 0x9e3779b97f4a7c15ull) >> 32;
+}
+
 void PriorityManager::onNodeCreated(CGNodeId N) {
   assert(N == Prio.size() && "nodes must be registered in creation order");
   const FieldSets &FS = fieldSets(CG.node(N).M);
@@ -88,21 +94,26 @@ void PriorityManager::onNodeCreated(CGNodeId N) {
   Prio.push_back(P0);
   Seq.push_back(NextSeq++);
   Pending.push_back(true);
+  ++NumPending;
   for (uint64_t Sig : FS.Loads)
     Loaders[Sig].push_back(N);
-  // Chaotic iteration processes pending nodes in no particular order;
-  // a deterministic scramble of the creation sequence models that.
-  uint64_t Key = Prioritized ? P0 : (Seq[N] * 0x9e3779b97f4a7c15ull) >> 32;
-  Queue.insert({Key, Seq[N], N});
+  Queue.push({keyOf(N), Seq[N], N});
 }
 
 CGNodeId PriorityManager::pop() {
-  assert(!Queue.empty() && "pop on empty queue");
-  auto It = Queue.begin();
-  CGNodeId N = std::get<2>(*It);
-  Queue.erase(It);
-  Pending[N] = false;
-  return N;
+  assert(NumPending > 0 && "pop on empty queue");
+  while (true) {
+    assert(!Queue.empty() && "pending node missing from heap");
+    HeapEntry E = Queue.top();
+    Queue.pop();
+    // Live entry: the node is still pending and this entry carries its
+    // current key (not one superseded by a relaxation).
+    if (Pending[E.N] && E.Key == keyOf(E.N)) {
+      Pending[E.N] = false;
+      --NumPending;
+      return E.N;
+    }
+  }
 }
 
 std::vector<CGNodeId> PriorityManager::nearby(CGNodeId N) const {
@@ -145,11 +156,11 @@ void PriorityManager::relax(CGNodeId N) {
     for (CGNodeId T : nearby(X)) {
       if (Prio[T] <= Cand)
         continue;
-      if (Pending[T])
-        Queue.erase({Prio[T], Seq[T], T});
       Prio[T] = Cand;
+      // Lazy decrease-key: the old entry stays in the heap and is
+      // discarded at pop() because its key no longer matches.
       if (Pending[T])
-        Queue.insert({Prio[T], Seq[T], T});
+        Queue.push({keyOf(T), Seq[T], T});
       Work.push_back(T);
     }
   }

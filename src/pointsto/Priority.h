@@ -25,7 +25,7 @@
 #include "callgraph/CallGraph.h"
 #include "ir/Program.h"
 
-#include <set>
+#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -42,7 +42,7 @@ public:
   void onNodeCreated(CGNodeId N);
 
   /// True if no node is pending.
-  bool empty() const { return Queue.empty(); }
+  bool empty() const { return NumPending == 0; }
 
   /// Pops the next node to process (lowest priority value first;
   /// creation order breaks ties and is the sole key in chaotic mode).
@@ -70,8 +70,30 @@ private:
   std::vector<uint64_t> Prio;
   std::vector<uint64_t> Seq; // creation sequence, for deterministic ties
   uint64_t NextSeq = 0;
-  // (priority, seq, node); erase/insert implements decrease-key.
-  std::set<std::tuple<uint64_t, uint64_t, CGNodeId>> Queue;
+  /// The effective queue key of \p N right now; heap entries carrying a
+  /// different key are stale.
+  uint64_t keyOf(CGNodeId N) const;
+  /// Binary min-heap over (key, seq, node) with lazy decrease-key: a
+  /// relaxation pushes a fresh entry and pop() discards entries whose key
+  /// no longer matches keyOf(). Keys only decrease, so the first live
+  /// entry popped is the same (key, seq)-minimum the old ordered-set
+  /// implementation produced — at O(log n) push instead of rebalancing an
+  /// RB-tree on every erase/insert pair.
+  struct HeapEntry {
+    uint64_t Key;
+    uint64_t Seq;
+    CGNodeId N;
+  };
+  struct HeapCmp {
+    bool operator()(const HeapEntry &A, const HeapEntry &B) const {
+      // std::priority_queue surfaces the "largest"; invert for a min-heap.
+      if (A.Key != B.Key)
+        return A.Key > B.Key;
+      return A.Seq > B.Seq;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> Queue;
+  size_t NumPending = 0;
   std::vector<bool> Pending;
 
   // Static per-method field footprints.

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 using namespace taj;
 
@@ -24,6 +25,19 @@ PointsToSolver::PointsToSolver(const Program &P, const ClassHierarchy &CHA,
   HCgProcessed = Counters.handle("cg.processed");
   HMapKeysResolved = Counters.handle("conststr.map_keys_resolved");
   HReflResolved = Counters.handle("conststr.reflective_resolved");
+  HReflUnresolved = Counters.handle("reflection.unresolved");
+  HCyclesCollapsed = Counters.handle("pts.cycles_collapsed");
+  HNodesMerged = Counters.handle("pts.nodes_merged");
+  HMergedCacheHits = Counters.handle("pts.merged_cache_hits");
+  CycleElim = this->Opts.CycleElim;
+  if (const char *E = std::getenv("TAJ_CYCLE_ELIM"))
+    CycleElim = !(E[0] == '0' && E[1] == '\0');
+  // Pre-size the interning tables from the program size: pointer keys run
+  // a small multiple of the statement count across contexts, and seeding
+  // the hash maps here avoids the rehash cascade through every power of
+  // two on the way up.
+  PKs.reserve(size_t(P.numStmts()) * 2 + 256);
+  IKs.reserve(size_t(P.numStmts()) / 2 + 64);
   StringClass = P.findClass("String");
   ExceptionClass = P.findClass("Exception");
   WildChan = internSym("@map:*");
@@ -48,76 +62,163 @@ Symbol PointsToSolver::internSym(std::string_view S) const {
   return const_cast<Program &>(P).Pool.intern(S);
 }
 
-std::vector<IKId> PointsToSolver::pointsToOfLocal(CGNodeId N,
-                                                  ValueId V) const {
-  // Read-only lookup: a key never interned during solving has an empty
-  // set, so nothing is created on this post-solve path.
-  return pointsTo(PKs.localLookup(N, V));
+//===----------------------------------------------------------------------===//
+// Representative mapping (cycle collapse)
+//===----------------------------------------------------------------------===//
+
+PKId PointsToSolver::find(PKId PK) {
+  if (PK >= RepParent.size())
+    growTables();
+  while (RepParent[PK] != PK) {
+    RepParent[PK] = RepParent[RepParent[PK]]; // path halving
+    PK = RepParent[PK];
+  }
+  return PK;
 }
 
-std::vector<IKId> PointsToSolver::pointsToMerged(MethodId M,
-                                                 ValueId V) const {
+PKId PointsToSolver::findConst(PKId PK) const {
+  // Post-solve the mapping is fully compressed (solve()'s epilogue), so
+  // this loop runs at most one step on the query surface.
+  while (PK < RepParent.size() && RepParent[PK] != PK)
+    PK = RepParent[PK];
+  return PK;
+}
+
+//===----------------------------------------------------------------------===//
+// Query surface
+//===----------------------------------------------------------------------===//
+
+const SparseBitSet &PointsToSolver::pointsTo(PKId PK) const {
+  static const SparseBitSet Empty;
+  if (PK >= Pts.size())
+    return Empty;
+  return Pts[findConst(PK)];
+}
+
+const std::vector<IKId> &PointsToSolver::pointsToOfLocal(CGNodeId N,
+                                                         ValueId V) const {
+  // Read-only lookup: a key never interned during solving has an empty
+  // set, so nothing is created on this post-solve path.
+  const uint64_t Key =
+      (static_cast<uint64_t>(N) << 32) | static_cast<uint32_t>(V);
+  std::lock_guard<std::mutex> Lock(CacheMu);
+  auto It = LocalCache.find(Key);
+  if (It != LocalCache.end())
+    return It->second;
+  std::vector<IKId> Out;
+  const SparseBitSet &Set = pointsTo(PKs.localLookup(N, V));
+  Out.reserve(Set.count());
+  Set.appendTo(Out);
+  return LocalCache.emplace(Key, std::move(Out)).first->second;
+}
+
+const std::vector<IKId> &PointsToSolver::pointsToMerged(MethodId M,
+                                                        ValueId V) const {
+  const uint64_t Key =
+      (static_cast<uint64_t>(M) << 32) | static_cast<uint32_t>(V);
+  std::lock_guard<std::mutex> Lock(CacheMu);
+  auto It = MergedCache.find(Key);
+  if (It != MergedCache.end()) {
+    Counters.addTo(HMergedCacheHits);
+    return It->second;
+  }
   std::vector<IKId> Out;
   for (CGNodeId N : CG.nodesOf(M))
-    for (IKId IK : pointsTo(PKs.localLookup(N, V)))
-      Out.push_back(IK);
+    pointsTo(PKs.localLookup(N, V)).appendTo(Out);
   std::sort(Out.begin(), Out.end());
   Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
-  return Out;
+  return MergedCache.emplace(Key, std::move(Out)).first->second;
 }
 
 //===----------------------------------------------------------------------===//
 // Basic lattice operations
 //===----------------------------------------------------------------------===//
 
-void PointsToSolver::growTables() {
-  size_t N = PKs.size();
-  if (Pts.size() >= N)
-    return;
+void PointsToSolver::growTablesSlow() {
+  // Keys intern one at a time, so pad the growth: the inline growTables()
+  // check stays false until the tables are genuinely outgrown, and this
+  // slow path (eight vector resizes) runs O(log N) times per solve
+  // instead of once per interned key. Slots beyond PKs.size() are empty
+  // and self-representative, which every consumer tolerates.
+  size_t N = PKs.size() + PKs.size() / 2 + 64;
+  if (Pts.capacity() == 0) {
+    // First growth: reserve to the same program-size estimate the key
+    // tables use, so the steady intern stream reallocates these eight
+    // tables a couple of times instead of once per doubling.
+    size_t Hint = size_t(P.numStmts()) * 2 + 256;
+    if (Hint > N) {
+      Pts.reserve(Hint);
+      CopySuccs.reserve(Hint);
+      SuccSet.reserve(Hint);
+      LoadUses.reserve(Hint);
+      StoreUses.reserve(Hint);
+      CallUses.reserve(Hint);
+      Delta.reserve(Hint);
+      OnWorklist.reserve(Hint);
+      RepParent.reserve(Hint);
+    }
+  }
   Pts.resize(N);
   CopySuccs.resize(N);
+  SuccSet.resize(N);
   LoadUses.resize(N);
   StoreUses.resize(N);
   CallUses.resize(N);
   Delta.resize(N);
   OnWorklist.resize(N, false);
+  size_t Old = RepParent.size();
+  RepParent.resize(N);
+  for (size_t I = Old; I < N; ++I)
+    RepParent[I] = static_cast<PKId>(I);
 }
 
-const std::vector<IKId> &PointsToSolver::pointsTo(PKId PK) const {
-  static const std::vector<IKId> Empty;
-  return PK < Pts.size() ? Pts[PK] : Empty;
-}
-
-bool PointsToSolver::insertPointsTo(PKId PK, IKId IK) {
-  growTables();
-  auto &Set = Pts[PK];
-  auto It = std::lower_bound(Set.begin(), Set.end(), IK);
-  if (It != Set.end() && *It == IK)
-    return false;
-  Set.insert(It, IK);
-  Counters.addTo(HPtsEntries);
-  Delta[PK].push_back(IK);
+void PointsToSolver::enqueue(PKId PK) {
   if (!OnWorklist[PK]) {
     OnWorklist[PK] = true;
     Worklist.push_back(PK);
   }
+}
+
+bool PointsToSolver::insertResolved(PKId PK, IKId IK) {
+  if (!Pts[PK].insert(IK))
+    return false;
+  Counters.addTo(HPtsEntries);
+  Delta[PK].push_back(IK);
+  enqueue(PK);
   return true;
 }
 
+bool PointsToSolver::insertPointsTo(PKId PK, IKId IK) {
+  growTables();
+  return insertResolved(find(PK), IK);
+}
+
+void PointsToSolver::unionInto(PKId From, PKId To) {
+  // NewBitsScratch is exclusively this function's: nothing downstream of
+  // the unionWith (counter bump, delta append, enqueue) can re-enter here.
+  NewBitsScratch.clear();
+  if (!Pts[To].unionWith(Pts[From], NewBitsScratch))
+    return;
+  Counters.addTo(HPtsEntries, NewBitsScratch.size());
+  // Ascending append — the same delta order the old engine produced by
+  // copying the sorted source set and inserting element-wise.
+  Delta[To].append(NewBitsScratch.data(),
+                   NewBitsScratch.data() + NewBitsScratch.size());
+  enqueue(To);
+}
+
 void PointsToSolver::addCopyEdge(PKId From, PKId To) {
+  growTables();
+  From = find(From);
+  To = find(To);
   if (From == To)
     return;
-  growTables();
-  uint64_t Key = (static_cast<uint64_t>(From) << 32) | To;
-  if (!EdgeDedup.insert(Key).second)
+  if (!SuccSet[From].insert(To))
     return;
   CopySuccs[From].push_back(To);
-  // Propagate the current set immediately.
-  // Copy to a temporary: insertPointsTo may not touch Pts[From] (From!=To),
-  // but be defensive about re-entrancy.
-  std::vector<IKId> Cur = Pts[From];
-  for (IKId IK : Cur)
-    insertPointsTo(To, IK);
+  // Propagate the current set immediately (in place; the union never
+  // touches Pts[From] since From != To).
+  unionInto(From, To);
 }
 
 PKId PointsToSolver::channelKey(IKId Base, Symbol Chan) {
@@ -176,10 +277,21 @@ Symbol PointsToSolver::mapChannel(CGNodeId Caller, const Instruction &I,
 /// aggregate reflection.unresolved counter and as a per-site key
 /// ("reflection.unresolved_site.<Class.method>#<stmt>") surfaced through
 /// --stats-json, so users can see which sites the analysis gave up on.
+/// The aggregate goes through a pre-resolved handle and the per-site key
+/// string is built only once per (method, stmt); repeat hits pay two
+/// array increments, not two string-keyed map lookups.
 void PointsToSolver::noteUnresolvedReflection(CGNodeId Caller, StmtId Site) {
-  Counters.add("reflection.unresolved");
-  Counters.add("reflection.unresolved_site." +
-               P.methodName(CG.node(Caller).M) + "#" + std::to_string(Site));
+  Counters.addTo(HReflUnresolved);
+  const MethodId M = CG.node(Caller).M;
+  const uint64_t Key = (static_cast<uint64_t>(M) << 32) | Site;
+  auto It = ReflSiteHandles.find(Key);
+  if (It == ReflSiteHandles.end()) {
+    Stats::Handle H =
+        Counters.handle("reflection.unresolved_site." + P.methodName(M) +
+                        "#" + std::to_string(Site));
+    It = ReflSiteHandles.emplace(Key, H).first;
+  }
+  Counters.addTo(It->second);
 }
 
 //===----------------------------------------------------------------------===//
@@ -245,6 +357,10 @@ void PointsToSolver::solve(const std::vector<MethodId> &Entries) {
     Prio->onNodeProcessed(N);
   }
   propagate();
+  // Fully compress the representative mapping so the (possibly concurrent)
+  // post-solve query surface resolves any PKId in one read.
+  for (PKId I = 0; I < RepParent.size(); ++I)
+    RepParent[I] = find(static_cast<PKId>(I));
 }
 
 void PointsToSolver::propagate() {
@@ -259,13 +375,125 @@ void PointsToSolver::propagate() {
     PKId PK = Worklist.back();
     Worklist.pop_back();
     OnWorklist[PK] = false;
-    std::vector<IKId> Moved = std::move(Delta[PK]);
-    Delta[PK].clear();
-    for (IKId IK : Moved) {
-      for (size_t E = 0; E < CopySuccs[PK].size(); ++E)
-        insertPointsTo(CopySuccs[PK][E], IK);
+    if (RepParent[PK] != PK)
+      continue; // absorbed into a cycle while queued; delta moved with it
+    // Swap the pending delta into a recycled buffer: Delta[PK] inherits
+    // the scratch's spent capacity, so the pop loop stops allocating once
+    // the buffers have warmed up.
+    MovedScratch.clear();
+    MovedScratch.swap(Delta[PK]);
+    for (IKId IK : MovedScratch) {
+      // Indexed loop: a cycle collapse onto PK appends the absorbed
+      // nodes' successors, and this member must flow along them too.
+      for (size_t E = 0; E < CopySuccs[PK].size(); ++E) {
+        PKId T = find(CopySuccs[PK][E]);
+        if (T == PK)
+          continue; // intra-cycle edge left behind by a collapse
+        if (!insertResolved(T, IK) && CycleElim)
+          maybeCollapse(PK, T);
+      }
       handleNewPointsTo(PK, IK);
     }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Online cycle elimination (lazy cycle detection + union-find collapse)
+//===----------------------------------------------------------------------===//
+
+void PointsToSolver::maybeCollapse(PKId Rep, PKId T) {
+  // Cheap gates first: identical cardinality, then a one-shot probe per
+  // edge, then full set equality. Equal sets across a copy edge are the
+  // classic lazy-cycle-detection signal (Hardekopf & Lin).
+  if (Pts[T].count() != Pts[Rep].count())
+    return;
+  const uint64_t EKey = (static_cast<uint64_t>(Rep) << 32) | T;
+  if (!ProbedEdges.insert(EKey).second)
+    return;
+  if (!(Pts[T] == Pts[Rep]))
+    return;
+  // Bounded DFS from T looking for a path back to Rep; Rep -> T is a copy
+  // edge, so such a path closes a cycle containing every path node.
+  uint32_t Budget = 64;
+  std::vector<PKId> Path;
+  std::vector<PKId> Visited;
+  if (cycleDfs(T, Rep, Budget, Path, Visited))
+    collapseCycle(Rep, Path);
+}
+
+bool PointsToSolver::cycleDfs(PKId Cur, PKId Goal, uint32_t &Budget,
+                              std::vector<PKId> &Path,
+                              std::vector<PKId> &Visited) {
+  Path.push_back(Cur);
+  Visited.push_back(Cur);
+  for (size_t E = 0; E < CopySuccs[Cur].size(); ++E) {
+    PKId S = find(CopySuccs[Cur][E]);
+    if (S == Goal)
+      return true;
+    if (S == Cur)
+      continue;
+    if (std::find(Visited.begin(), Visited.end(), S) != Visited.end())
+      continue;
+    if (Budget == 0)
+      break;
+    --Budget;
+    if (cycleDfs(S, Goal, Budget, Path, Visited))
+      return true;
+  }
+  Path.pop_back();
+  return false;
+}
+
+void PointsToSolver::collapseCycle(PKId Rep, std::vector<PKId> &Members) {
+  for (PKId M : Members)
+    mergeInto(Rep, M);
+  Counters.addTo(HCyclesCollapsed);
+  // Re-establish every obligation of the merged node by re-queueing its
+  // full set as delta. All downstream actions are value-idempotent
+  // (insertions, deduplicated edge/target registration), so over-firing
+  // is safe; pending delta entries are subsumed by the full set.
+  Delta[Rep].clear();
+  Pts[Rep].appendTo(Delta[Rep]);
+  enqueue(Rep);
+}
+
+void PointsToSolver::mergeInto(PKId Rep, PKId M) {
+  RepParent[M] = Rep;
+  Counters.addTo(HNodesMerged);
+  // Points-to contents. The members are identical by the LCD gate for the
+  // probe edge, but DFS path nodes may lag; count any genuinely new bits.
+  NewBitsScratch.clear();
+  if (Pts[Rep].unionWith(Pts[M], NewBitsScratch))
+    Counters.addTo(HPtsEntries, NewBitsScratch.size());
+  Pts[M].clear();
+  Delta[M].clear();
+  // Successors, resolved and deduplicated against the representative's.
+  for (PKId S : CopySuccs[M]) {
+    PKId T = find(S);
+    if (T != Rep && SuccSet[Rep].insert(T))
+      CopySuccs[Rep].push_back(T);
+  }
+  CopySuccs[M].clear();
+  SuccSet[M].clear();
+  // Deferred uses transfer wholesale; collapseCycle's full re-delta will
+  // fire them against the representative's set.
+  LoadUses[Rep].append(LoadUses[M].begin(), LoadUses[M].end());
+  LoadUses[M].clear();
+  StoreUses[Rep].append(StoreUses[M].begin(), StoreUses[M].end());
+  StoreUses[M].clear();
+  CallUses[Rep].append(CallUses[M].begin(), CallUses[M].end());
+  CallUses[M].clear();
+  // Reflective-invoke registrations keyed by PK migrate to the rep.
+  for (auto *Map : {&InvokeByMethodPK, &InvokeByArrayPK}) {
+    auto It = Map->find(M);
+    if (It == Map->end())
+      continue;
+    std::vector<uint32_t> Moved = std::move(It->second);
+    Map->erase(It);
+    auto &Dst = (*Map)[Rep];
+    for (uint32_t Idx : Moved)
+      if (std::find(Dst.begin(), Dst.end(), Idx) == Dst.end())
+        Dst.push_back(Idx);
   }
 }
 
@@ -315,6 +543,10 @@ void PointsToSolver::handleNewPointsTo(PKId PK, IKId IK) {
     dispatchCall(CU, IK);
     growTables();
   }
+  // Most programs never register a reflective invoke, so skip the two hash
+  // probes this loop would otherwise pay per propagated member.
+  if (InvokeByMethodPK.empty() && InvokeByArrayPK.empty())
+    return;
   auto InvM = InvokeByMethodPK.find(PK);
   if (InvM != InvokeByMethodPK.end()) {
     const InstanceKeyData &D = IKs.data(IK);
@@ -357,11 +589,21 @@ PKId PointsToSolver::channelFieldOrPlain(IKId IK, const LoadUse &LU) {
 // Constraint generation
 //===----------------------------------------------------------------------===//
 
+// The register*Use functions snapshot the base set into the shared
+// SnapScratch buffer instead of copying it into a fresh vector. The
+// actions fired per member (addCopyEdge / dispatch / intrinsic models)
+// never re-enter a register*Use — they are called from addConstraints
+// only — so one buffer suffices and the hot path performs no allocation
+// once the buffer has grown.
+
 void PointsToSolver::registerLoadUse(PKId Base, LoadUse LU) {
   growTables();
+  Base = find(Base);
   LoadUses[Base].push_back(LU);
-  std::vector<IKId> Cur = Pts[Base];
-  for (IKId IK : Cur) {
+  SnapScratch.clear();
+  Pts[Base].appendTo(SnapScratch);
+  for (size_t C = 0; C < SnapScratch.size(); ++C) {
+    IKId IK = SnapScratch[C];
     switch (LU.K) {
     case LoadUse::Field:
       addCopyEdge(PKs.field(IK, LU.FieldOrChan), LU.Dst);
@@ -389,9 +631,12 @@ void PointsToSolver::registerLoadUse(PKId Base, LoadUse LU) {
 
 void PointsToSolver::registerStoreUse(PKId Base, StoreUse SU) {
   growTables();
+  Base = find(Base);
   StoreUses[Base].push_back(SU);
-  std::vector<IKId> Cur = Pts[Base];
-  for (IKId IK : Cur) {
+  SnapScratch.clear();
+  Pts[Base].appendTo(SnapScratch);
+  for (size_t C = 0; C < SnapScratch.size(); ++C) {
+    IKId IK = SnapScratch[C];
     switch (SU.K) {
     case StoreUse::Field:
       addCopyEdge(SU.Src, PKs.field(IK, SU.FieldOrChan));
@@ -409,10 +654,12 @@ void PointsToSolver::registerStoreUse(PKId Base, StoreUse SU) {
 
 void PointsToSolver::registerCallUse(PKId Recv, CallUse CU) {
   growTables();
+  Recv = find(Recv);
   CallUses[Recv].push_back(CU);
-  std::vector<IKId> Cur = Pts[Recv];
-  for (IKId IK : Cur) {
-    dispatchCall(CU, IK);
+  SnapScratch.clear();
+  Pts[Recv].appendTo(SnapScratch);
+  for (size_t C = 0; C < SnapScratch.size(); ++C) {
+    dispatchCall(CU, SnapScratch[C]);
     growTables();
   }
 }
@@ -730,11 +977,18 @@ void PointsToSolver::applyIntrinsic(CGNodeId Caller, StmtId Site,
       IS.I = &I;
       Invokes.push_back(IS);
       InvokeIndex.emplace(Key, Idx);
-      // Register interest in the args array (I.Args[2]).
+      // Register interest in the args array (I.Args[2]). Keyed by the
+      // representative; handleNewPointsTo looks the current rep up.
       if (I.Args.size() > 2) {
         PKId ArrPK = L(I.Args[2]);
-        InvokeByArrayPK[ArrPK].push_back(Idx);
-        std::vector<IKId> Cur = pointsTo(ArrPK);
+        growTables();
+        InvokeByArrayPK[find(ArrPK)].push_back(Idx);
+        // Local snapshot (not SnapScratch — this can run inside a
+        // registerCallUse iteration that owns that buffer).
+        std::vector<IKId> Cur;
+        const SparseBitSet &Set = pointsTo(ArrPK);
+        Cur.reserve(Set.count());
+        Set.appendTo(Cur);
         for (IKId AIK : Cur) {
           InvokeSite &IS2 = Invokes[Idx];
           if (std::find(IS2.ArgArrays.begin(), IS2.ArgArrays.end(), AIK) ==
@@ -743,7 +997,9 @@ void PointsToSolver::applyIntrinsic(CGNodeId Caller, StmtId Site,
         }
       }
       // Register interest in the Method object (the receiver PK).
-      InvokeByMethodPK[L(I.Args[0])].push_back(Idx);
+      PKId MethodPK = L(I.Args[0]);
+      growTables();
+      InvokeByMethodPK[find(MethodPK)].push_back(Idx);
     } else {
       Idx = It->second;
     }

@@ -17,6 +17,11 @@
 /// transfer functions cover string carriers, dictionaries with constant
 /// keys, reflection, Thread.start, JNDI/EJB lookups and taint APIs.
 ///
+/// Points-to sets are chunked sparse bitmaps (pointsto/BitSet.h); the copy
+/// graph runs online cycle elimination (lazy cycle detection + union-find
+/// collapse), so queries resolve original PKIds through a representative
+/// mapping. See DESIGN.md "Solver internals".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TAJ_POINTSTO_SOLVER_H
@@ -25,12 +30,15 @@
 #include "callgraph/CallGraph.h"
 #include "cha/ClassHierarchy.h"
 #include "ir/Program.h"
+#include "pointsto/BitSet.h"
 #include "pointsto/Context.h"
+#include "pointsto/SmallVec.h"
 #include "pointsto/ContextPolicy.h"
 #include "pointsto/Keys.h"
 #include "support/Stats.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -57,6 +65,10 @@ struct PointsToOptions {
   uint32_t MaxCallGraphNodes = 0;
   /// Exclude whitelisted (benign) classes entirely (§4.2.1 code reduction).
   bool ExcludeWhitelisted = false;
+  /// Online cycle elimination in the copy graph. Results are identical
+  /// either way; the toggle exists for A/B validation and as an escape
+  /// hatch (env TAJ_CYCLE_ELIM=0 overrides).
+  bool CycleElim = true;
   /// Context policy tunables.
   ContextPolicyOptions Policy;
   /// JNDI name -> bean class bindings from the deployment descriptor
@@ -94,15 +106,18 @@ public:
   PointerKeyTable &pointerKeys() { return PKs; }
   const PointerKeyTable &pointerKeys() const { return PKs; }
 
-  /// Points-to set of \p PK (sorted).
-  const std::vector<IKId> &pointsTo(PKId PK) const;
+  /// Points-to set of \p PK; iteration yields ascending IKIds. Resolves
+  /// \p PK through the cycle-collapse representative mapping.
+  const SparseBitSet &pointsTo(PKId PK) const;
 
   /// Union of pointsTo over every context of method \p M for value \p V —
-  /// the flow-insensitive projection used for HSDG direct edges.
-  std::vector<IKId> pointsToMerged(MethodId M, ValueId V) const;
+  /// the flow-insensitive projection used for HSDG direct edges. Memoized
+  /// per (method, value); safe for concurrent readers post-solve.
+  const std::vector<IKId> &pointsToMerged(MethodId M, ValueId V) const;
 
   /// Points-to set of value \p V in call-graph node \p N (context-precise).
-  std::vector<IKId> pointsToOfLocal(CGNodeId N, ValueId V) const;
+  /// Memoized per (node, value); safe for concurrent readers post-solve.
+  const std::vector<IKId> &pointsToOfLocal(CGNodeId N, ValueId V) const;
 
   /// True if any context of \p M had its constraints added (statements of
   /// unprocessed methods are invisible to the slicers).
@@ -167,9 +182,37 @@ private:
   void addConstraints(CGNodeId N);
   void propagate();
 
+  /// Union-find over pointer keys (cycle collapse). find() applies path
+  /// halving; findConst() is read-only for const queries (post-solve the
+  /// mapping is fully compressed, so it resolves in one step).
+  PKId find(PKId PK);
+  PKId findConst(PKId PK) const;
+
   bool insertPointsTo(PKId PK, IKId IK);
+  /// insertPointsTo for an already-resolved representative.
+  bool insertResolved(PKId PK, IKId IK);
+  void enqueue(PKId PK);
   void addCopyEdge(PKId From, PKId To);
-  void growTables();
+  /// Bulk-unions Pts[From] into Pts[To] (both representatives), queueing
+  /// the new members in ascending order.
+  void unionInto(PKId From, PKId To);
+  /// Brings every per-PK table up to PKs.size(). Called from the hot loops
+  /// after anything that may intern a key; the common no-op case must stay
+  /// a two-load inline check.
+  void growTables() {
+    if (Pts.size() < PKs.size())
+      growTablesSlow();
+  }
+  void growTablesSlow();
+
+  /// Lazy cycle detection: propagation along Rep->T produced no change.
+  /// Probes (once per edge) for a copy-graph cycle through \p T back to
+  /// \p Rep; on success collapses the cycle onto \p Rep.
+  void maybeCollapse(PKId Rep, PKId T);
+  bool cycleDfs(PKId Cur, PKId Goal, uint32_t &Budget,
+                std::vector<PKId> &Path, std::vector<PKId> &Visited);
+  void collapseCycle(PKId Rep, std::vector<PKId> &Members);
+  void mergeInto(PKId Rep, PKId M);
 
   PKId channelKey(IKId Base, Symbol Chan);
   PKId channelFieldOrPlain(IKId IK, const LoadUse &LU);
@@ -201,7 +244,8 @@ private:
   PointerKeyTable PKs;
   CallGraph CG;
   ContextPolicy Policy;
-  Stats Counters;
+  /// Mutable so the memoized const query surface can report cache hits.
+  mutable Stats Counters;
   /// Pre-resolved handles for per-tuple / per-node hot-loop counters, so
   /// the propagation loop never pays a string-keyed map lookup.
   Stats::Handle HPtsEntries = 0;
@@ -209,25 +253,54 @@ private:
   Stats::Handle HCgProcessed = 0;
   Stats::Handle HMapKeysResolved = 0;
   Stats::Handle HReflResolved = 0;
+  Stats::Handle HReflUnresolved = 0;
+  Stats::Handle HCyclesCollapsed = 0;
+  Stats::Handle HNodesMerged = 0;
+  Stats::Handle HMergedCacheHits = 0;
+  /// Per-site reflection counter handles, built once per (method, stmt).
+  std::unordered_map<uint64_t, Stats::Handle> ReflSiteHandles;
   bool BudgetHit = false;
   bool Solved = false;
+  /// Effective cycle-elimination switch (Opts.CycleElim after the
+  /// TAJ_CYCLE_ELIM env override).
+  bool CycleElim = true;
 
-  // Per-PK state (indexed by PKId; grown lazily).
-  std::vector<std::vector<IKId>> Pts;
-  std::vector<std::vector<PKId>> CopySuccs;
-  std::vector<std::vector<LoadUse>> LoadUses;
-  std::vector<std::vector<StoreUse>> StoreUses;
-  std::vector<std::vector<CallUse>> CallUses;
-  std::vector<std::vector<IKId>> Delta;
+  // Per-PK state (indexed by PKId; grown lazily). Pts/CopySuccs/uses are
+  // representative-indexed once cycles collapse; non-representative slots
+  // are drained empty by mergeInto.
+  std::vector<SparseBitSet> Pts;
+  std::vector<SmallVec<PKId, 4>> CopySuccs;
+  /// Per-source successor membership (replaces the old global EdgeDedup
+  /// hash set).
+  std::vector<SparseBitSet> SuccSet;
+  std::vector<SmallVec<LoadUse, 2>> LoadUses;
+  std::vector<SmallVec<StoreUse, 2>> StoreUses;
+  std::vector<SmallVec<CallUse, 1>> CallUses;
+  /// Pending new members per representative. Deliberately an arrival-order
+  /// list, not a bitmap: the event order downstream (first dispatch of a
+  /// call site, SiteCallees order) must match the historical engine so CLI
+  /// output stays byte-identical.
+  std::vector<SmallVec<IKId, 4>> Delta;
   std::vector<bool> OnWorklist;
   std::vector<PKId> Worklist;
-  std::unordered_set<uint64_t> EdgeDedup;
+  /// Union-find parent; RepParent[PK] == PK for representatives.
+  std::vector<PKId> RepParent;
+  /// Copy edges already probed by lazy cycle detection (one probe each).
+  std::unordered_set<uint64_t> ProbedEdges;
+  /// Reused buffers: bulk-union output and register*Use snapshots. Not
+  /// re-entrant; see the comments at their uses.
+  std::vector<IKId> NewBitsScratch;
+  std::vector<IKId> SnapScratch;
+  /// propagate()'s pop buffer, swapped with Delta[PK] so buffer capacity
+  /// recycles across pops instead of being freed per worklist entry.
+  SmallVec<IKId, 4> MovedScratch;
 
   // Model channel bookkeeping.
   std::unordered_map<IKId, std::vector<PKId>> Channels;
   std::unordered_map<IKId, std::vector<PKId>> WildcardReaders;
 
-  // Reflective invoke state; (PK role) registrations point here.
+  // Reflective invoke state; (PK role) registrations point here. Keys are
+  // representatives; mergeInto migrates them on collapse.
   std::vector<InvokeSite> Invokes;
   std::unordered_map<uint64_t, uint32_t> InvokeIndex; // (caller,site) -> idx
   std::unordered_map<PKId, std::vector<uint32_t>> InvokeByMethodPK;
@@ -244,6 +317,13 @@ private:
   /// Fallback string-constant facts, computed in the constructor when
   /// PointsToOptions::ConstStrings is absent.
   std::unique_ptr<ConstStringResult> OwnedConstStr;
+
+  /// Memoized query-surface materializations (tentpole change 3): SDG and
+  /// heap-edge construction ask for the same (method, value) / (node,
+  /// value) sets once per referencing statement.
+  mutable std::mutex CacheMu;
+  mutable std::unordered_map<uint64_t, std::vector<IKId>> MergedCache;
+  mutable std::unordered_map<uint64_t, std::vector<IKId>> LocalCache;
 
   class PriorityManager *Prio = nullptr; // owned
 };

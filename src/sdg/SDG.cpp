@@ -130,27 +130,29 @@ std::vector<SDGNodeId> SDG::sourceNodes(RuleMask Rule) const {
   return Out;
 }
 
-std::vector<IKId> SDG::valuePointsTo(SDGNodeId N, ValueId V) const {
+const std::vector<IKId> &SDG::valuePointsTo(SDGNodeId N, ValueId V) const {
   const OwnerInfo &OI = Owners[Nodes[N].Owner];
   if (OI.CgNode != InvalidId)
     return Solver.pointsToOfLocal(OI.CgNode, V);
   return Solver.pointsToMerged(OI.M, V);
 }
 
-std::vector<IKId> SDG::basePointsTo(SDGNodeId N) const {
+const std::vector<IKId> &SDG::basePointsTo(SDGNodeId N) const {
+  static const std::vector<IKId> Empty;
   const SDGNode &Node = Nodes[N];
   const Instruction &I = P.stmt(Node.S);
   ValueId Base = heapBaseValue(I, Node.Access);
   if (Base == NoValue)
-    return {};
+    return Empty;
   return valuePointsTo(N, Base);
 }
 
-std::vector<IKId> SDG::argPointsTo(SDGNodeId N, uint32_t ArgIdx) const {
+const std::vector<IKId> &SDG::argPointsTo(SDGNodeId N, uint32_t ArgIdx) const {
+  static const std::vector<IKId> Empty;
   const SDGNode &Node = Nodes[N];
   const Instruction &I = P.stmt(Node.S);
   if (ArgIdx >= I.Args.size())
-    return {};
+    return Empty;
   return valuePointsTo(N, I.Args[ArgIdx]);
 }
 
@@ -562,11 +564,12 @@ const ChanAccess &SdgBuilder::chanAccessOf(SDGNodeId N) {
   ChanAccess CA;
   const SDGNode &Node = G.Nodes[N];
   const Instruction &I = P.stmt(Node.S);
-  std::vector<IKId> Bases;
-  if (Node.Access != HeapAccess::None &&
-      Node.Access != HeapAccess::StaticStore &&
-      Node.Access != HeapAccess::StaticLoad)
-    Bases = G.basePointsTo(N);
+  static const std::vector<IKId> EmptyIKs;
+  const std::vector<IKId> &Bases = (Node.Access != HeapAccess::None &&
+                                    Node.Access != HeapAccess::StaticStore &&
+                                    Node.Access != HeapAccess::StaticLoad)
+                                       ? G.basePointsTo(N)
+                                       : EmptyIKs;
   switch (Node.Access) {
   case HeapAccess::FieldStore:
     for (IKId IK : Bases)

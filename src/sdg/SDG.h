@@ -160,10 +160,11 @@ public:
 
   /// Points-to set of the base pointer of store/load-like statement node
   /// \p N (context-precise in expanded scope, merged otherwise; sorted).
-  std::vector<IKId> basePointsTo(SDGNodeId N) const;
+  /// References the solver's memoized materialization — no per-call copy.
+  const std::vector<IKId> &basePointsTo(SDGNodeId N) const;
 
   /// Points-to set of argument \p ArgIdx of call statement node \p N.
-  std::vector<IKId> argPointsTo(SDGNodeId N, uint32_t ArgIdx) const;
+  const std::vector<IKId> &argPointsTo(SDGNodeId N, uint32_t ArgIdx) const;
 
   /// Constant map key of a MapPut/MapGet statement node (~0u if unknown).
   /// Answered from the run's ConstStringResult via the solver, so keys
@@ -194,7 +195,7 @@ private:
       RestoreTag)
       : P(P), Solver(Solver), Opts(std::move(Opts)) {}
 
-  std::vector<IKId> valuePointsTo(SDGNodeId N, ValueId V) const;
+  const std::vector<IKId> &valuePointsTo(SDGNodeId N, ValueId V) const;
 
   const Program &P;
   const PointsToSolver &Solver;

@@ -307,13 +307,15 @@ RunOutcome server::analyzeApp(const std::vector<AppSource> &Sources,
   const bool CacheOn = Cache && Cache->enabled();
   // IR-phase counter baseline: the analysis phases report their own deltas
   // in RunStats, so only the frontend window needs accounting here.
-  uint64_t Hit0 = 0, Miss0 = 0, Store0 = 0, Evict0 = 0, Corrupt0 = 0;
+  uint64_t Hit0 = 0, Miss0 = 0, Store0 = 0, Evict0 = 0, Corrupt0 = 0,
+           VerMiss0 = 0;
   if (CacheOn) {
     Hit0 = Cache->hits();
     Miss0 = Cache->misses();
     Store0 = Cache->stores();
     Evict0 = Cache->evictions();
     Corrupt0 = Cache->corruptions();
+    VerMiss0 = Cache->versionMisses();
   }
 
   // One violation sink for the whole app: frontend checks below and the
@@ -391,13 +393,15 @@ RunOutcome server::analyzeApp(const std::vector<AppSource> &Sources,
   }
   // Frontend-window cache deltas, folded into the run's stats below so
   // --stats and --stats-json see the full per-app persist.* picture.
-  uint64_t IrHit = 0, IrMiss = 0, IrStore = 0, IrEvict = 0, IrCorrupt = 0;
+  uint64_t IrHit = 0, IrMiss = 0, IrStore = 0, IrEvict = 0, IrCorrupt = 0,
+           IrVerMiss = 0;
   if (CacheOn) {
     IrHit = Cache->hits() - Hit0;
     IrMiss = Cache->misses() - Miss0;
     IrStore = Cache->stores() - Store0;
     IrEvict = Cache->evictions() - Evict0;
     IrCorrupt = Cache->corruptions() - Corrupt0;
+    IrVerMiss = Cache->versionMisses() - VerMiss0;
   }
   if (Opt.DumpIr) {
     std::printf("%s", printProgram(*P).c_str());
@@ -424,6 +428,7 @@ RunOutcome server::analyzeApp(const std::vector<AppSource> &Sources,
     R.RunStats.add("persist.store", IrStore);
     R.RunStats.add("persist.evict", IrEvict);
     R.RunStats.add("persist.corrupt", IrCorrupt);
+    R.RunStats.add("persist.version_miss", IrVerMiss);
   }
 
   const bool FailedNoStatus = !R.Completed && !R.degraded();

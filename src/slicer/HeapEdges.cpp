@@ -21,7 +21,7 @@ static bool intersects(const std::vector<IKId> &A,
   return false;
 }
 
-std::vector<IKId> HeapEdges::baseIKs(SDGNodeId Node) const {
+const std::vector<IKId> &HeapEdges::baseIKs(SDGNodeId Node) const {
   return G.basePointsTo(Node);
 }
 
@@ -126,7 +126,7 @@ void HeapEdges::computeStore(SDGNodeId Store, RunGuard *Guard) {
     return; // statics have no base object: no carrier edges
   }
   case HeapAccess::FieldStore: {
-    std::vector<IKId> Base = baseIKs(Store);
+    const std::vector<IKId> &Base = baseIKs(Store);
     for (const LoadInfo &L : FieldLoads)
       if (L.Field == I.Field && intersects(Base, L.BaseIKs))
         SI.Loads.push_back(L.Node);
@@ -134,7 +134,7 @@ void HeapEdges::computeStore(SDGNodeId Store, RunGuard *Guard) {
     break;
   }
   case HeapAccess::ArrayStore: {
-    std::vector<IKId> Base = baseIKs(Store);
+    const std::vector<IKId> &Base = baseIKs(Store);
     for (const LoadInfo &L : ArrayLoads)
       if (intersects(Base, L.BaseIKs))
         SI.Loads.push_back(L.Node);
@@ -142,7 +142,7 @@ void HeapEdges::computeStore(SDGNodeId Store, RunGuard *Guard) {
     break;
   }
   case HeapAccess::MapPut: {
-    std::vector<IKId> Base = baseIKs(Store);
+    const std::vector<IKId> &Base = baseIKs(Store);
     Symbol PutKey = mapKeyOf(Store);
     for (const LoadInfo &L : MapGets) {
       bool KeyCompat =
@@ -154,7 +154,7 @@ void HeapEdges::computeStore(SDGNodeId Store, RunGuard *Guard) {
     break;
   }
   case HeapAccess::CollAdd: {
-    std::vector<IKId> Base = baseIKs(Store);
+    const std::vector<IKId> &Base = baseIKs(Store);
     for (const LoadInfo &L : CollGets)
       if (intersects(Base, L.BaseIKs))
         SI.Loads.push_back(L.Node);

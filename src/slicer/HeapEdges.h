@@ -76,7 +76,7 @@ private:
   /// Build-time only: materializes the adjacency of one store.
   void computeStore(SDGNodeId Store, RunGuard *Guard);
 
-  std::vector<IKId> baseIKs(SDGNodeId Node) const;
+  const std::vector<IKId> &baseIKs(SDGNodeId Node) const;
   /// Constant key of a map access (SDG::constKeyOf): channels with
   /// distinct resolved keys never connect, so dictionary precision here
   /// follows the --string-analysis mode.

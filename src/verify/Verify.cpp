@@ -110,26 +110,22 @@ void verify::verifyIr(const Program &P, Violations &V) {
 
 namespace {
 
-const std::vector<IKId> &ptsOf(const PointsToSolver &S, PKId PK) {
-  static const std::vector<IKId> Empty;
+const SparseBitSet &ptsOf(const PointsToSolver &S, PKId PK) {
+  static const SparseBitSet Empty;
   return PK == InvalidId ? Empty : S.pointsTo(PK);
 }
 
-/// Subset over the solver's sorted points-to vectors. A pointer key that
-/// was never interned reads as the empty set on either side — exactly the
-/// solver's own semantics for an untouched key.
-bool ptsSubset(const std::vector<IKId> &Sub, const std::vector<IKId> &Super) {
-  return std::includes(Super.begin(), Super.end(), Sub.begin(), Sub.end());
-}
-
-/// One re-applied constraint: Sub must already be folded into Super.
+/// One re-applied constraint: Sub must already be folded into Super. The
+/// subset test runs word-parallel over the solver's sparse bitmaps; a
+/// pointer key that was never interned reads as the empty set on either
+/// side — exactly the solver's own semantics for an untouched key.
 void checkSubset(const PointsToSolver &S, PKId Sub, PKId Super,
                  const Program &P, MethodId M, const char *What,
                  Violations &V) {
-  const std::vector<IKId> &A = ptsOf(S, Sub);
+  const SparseBitSet &A = ptsOf(S, Sub);
   if (A.empty())
     return;
-  if (!ptsSubset(A, ptsOf(S, Super)))
+  if (!ptsOf(S, Super).containsAll(A))
     V.report(Checker::PointsTo,
              "not a fixpoint: " + std::string(What) + " constraint in " +
                  P.methodName(M) + " would add points-to facts");
@@ -254,7 +250,7 @@ bool justifyCallEdge(const Program &P, const ClassHierarchy &CHA,
 
   if (I.Args.empty())
     return Flag("virtual call without a receiver");
-  const std::vector<IKId> Recv = S.pointsToOfLocal(Caller, I.Args[0]);
+  const std::vector<IKId> &Recv = S.pointsToOfLocal(Caller, I.Args[0]);
   const Symbol RunSym = P.Pool.lookup("run");
   const MethodId Exact = I.CKind == CallKind::Special
                              ? CHA.resolveVirtual(I.Cls, I.CalleeName)

@@ -70,7 +70,8 @@ const AppSpec &specByName(const char *Name) {
 struct RunOut {
   std::set<std::tuple<StmtId, StmtId, RuleMask>> Set;
   std::string Report;
-  uint64_t Hits = 0, Misses = 0, Stores = 0, Evicts = 0, Corrupt = 0;
+  uint64_t Hits = 0, Misses = 0, Stores = 0, Evicts = 0, Corrupt = 0,
+           VersionMiss = 0;
 };
 
 RunOut runApp(const char *Name, AnalysisConfig C,
@@ -91,6 +92,7 @@ RunOut runApp(const char *Name, AnalysisConfig C,
   O.Stores = R.RunStats.get("persist.store");
   O.Evicts = R.RunStats.get("persist.evict");
   O.Corrupt = R.RunStats.get("persist.corrupt");
+  O.VersionMiss = R.RunStats.get("persist.version_miss");
   return O;
 }
 
@@ -174,11 +176,18 @@ TEST(RecordFraming, RoundTripsAndRejectsEveryMutation) {
   EXPECT_FALSE(persist::unwrapRecord(Flip, persist::ArtifactKind::PointsTo, P,
                                      N, Err));
 
-  // A bumped format version is a mismatch even with a valid checksum.
+  // A bumped format version is a mismatch even with a valid checksum, and
+  // the extended API tells it apart from corruption.
   std::vector<uint8_t> Ver = Rec;
   Ver[4] ^= 1;
   EXPECT_FALSE(persist::unwrapRecord(Ver, persist::ArtifactKind::PointsTo, P,
                                      N, Err));
+  EXPECT_EQ(persist::unwrapRecordEx(Ver, persist::ArtifactKind::PointsTo, P,
+                                    N, Err),
+            persist::UnwrapStatus::VersionMismatch);
+  EXPECT_EQ(persist::unwrapRecordEx(Flip, persist::ArtifactKind::PointsTo, P,
+                                    N, Err),
+            persist::UnwrapStatus::Corrupt);
 
   // Bad magic.
   std::vector<uint8_t> Magic = Rec;
@@ -320,9 +329,12 @@ TEST(Corruption, DamagedEntriesFallBackColdWithIdenticalResults) {
   EXPECT_EQ(Cold.Report, W1.Report);
   EXPECT_EQ(W1.Hits, 0u);
   EXPECT_EQ(W1.Corrupt, 2u);
+  EXPECT_EQ(W1.VersionMiss, 0u) << "damage is corruption, not staleness";
   EXPECT_EQ(W1.Stores, 2u) << "fallback cold run must refill the cache";
 
-  // Round 2: bump the format-version byte of every (refilled) entry.
+  // Round 2: bump the format-version byte of every (refilled) entry. A
+  // record written by a different format generation is expected churn, so
+  // it must fall back as a clean version miss — not count as corruption.
   for (const fs::path &E : cacheEntries(D.Path)) {
     std::vector<uint8_t> B = readAll(E);
     ASSERT_GT(B.size(), 4u);
@@ -332,7 +344,10 @@ TEST(Corruption, DamagedEntriesFallBackColdWithIdenticalResults) {
   RunOut W2 = runApp("BlueBlog", AnalysisConfig::hybridUnbounded(), &Cache);
   EXPECT_EQ(Cold.Set, W2.Set);
   EXPECT_EQ(Cold.Report, W2.Report);
-  EXPECT_EQ(W2.Corrupt, 2u);
+  EXPECT_EQ(W2.Hits, 0u);
+  EXPECT_EQ(W2.Corrupt, 0u) << "a stale format generation is not corruption";
+  EXPECT_EQ(W2.VersionMiss, 2u);
+  EXPECT_EQ(W2.Stores, 2u) << "fallback cold run must refill the cache";
 
   // Round 3: untouched entries finally serve a clean warm start.
   RunOut W3 = runApp("BlueBlog", AnalysisConfig::hybridUnbounded(), &Cache);
@@ -340,6 +355,7 @@ TEST(Corruption, DamagedEntriesFallBackColdWithIdenticalResults) {
   EXPECT_EQ(Cold.Report, W3.Report);
   EXPECT_EQ(W3.Hits, 2u);
   EXPECT_EQ(W3.Corrupt, 0u);
+  EXPECT_EQ(W3.VersionMiss, 0u);
 }
 
 TEST(Corruption, StructurallyInvalidPayloadFailsRestoreNotResults) {

@@ -12,8 +12,16 @@
 #include "frontend/Parser.h"
 #include "model/BuiltinLibrary.h"
 #include "model/Entrypoints.h"
+#include "pointsto/BitSet.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <tuple>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace taj;
 
@@ -377,6 +385,216 @@ class App extends Servlet {
         Checked = true;
       }
   EXPECT_TRUE(Checked);
+}
+
+//===----------------------------------------------------------------------===//
+// SparseBitSet representation
+//===----------------------------------------------------------------------===//
+
+TEST(SparseBitSet, InsertContainsAndAscendingIteration) {
+  SparseBitSet S;
+  EXPECT_TRUE(S.empty());
+  const std::vector<uint32_t> Vals = {900, 3, 65, 3, 200, 0, 900, 64};
+  uint32_t Inserted = 0;
+  for (uint32_t V : Vals)
+    Inserted += S.insert(V) ? 1 : 0;
+  EXPECT_EQ(Inserted, 6u) << "duplicates must report no change";
+  EXPECT_EQ(S.count(), 6u);
+  for (uint32_t V : Vals)
+    EXPECT_TRUE(S.contains(V));
+  EXPECT_FALSE(S.contains(1));
+  EXPECT_FALSE(S.contains(901));
+  std::vector<uint32_t> Got(S.begin(), S.end());
+  EXPECT_EQ(Got, (std::vector<uint32_t>{0, 3, 64, 65, 200, 900}));
+  std::vector<uint32_t> Appended;
+  S.appendTo(Appended);
+  EXPECT_EQ(Appended, Got);
+}
+
+TEST(SparseBitSet, WordBoundariesKeepChunksSeparate) {
+  // 63/64 and 127/128 straddle the 64-bit chunk boundaries: adjacent
+  // values in distinct words must land in distinct chunks and still
+  // iterate in order.
+  SparseBitSet S;
+  for (uint32_t V : {128u, 63u, 127u, 64u})
+    EXPECT_TRUE(S.insert(V));
+  EXPECT_EQ(S.wordIndices(), (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(std::vector<uint32_t>(S.begin(), S.end()),
+            (std::vector<uint32_t>{63, 64, 127, 128}));
+
+  SparseBitSet T;
+  EXPECT_TRUE(T.insert(64));
+  EXPECT_FALSE(S == T);
+  EXPECT_TRUE(S.containsAll(T));
+  EXPECT_FALSE(T.containsAll(S));
+  std::vector<uint32_t> NewBits;
+  EXPECT_TRUE(T.unionWith(S, NewBits));
+  EXPECT_EQ(NewBits, (std::vector<uint32_t>{63, 127, 128}));
+  EXPECT_TRUE(S == T);
+}
+
+TEST(SparseBitSet, UnionEmitsNewBitsAscendingOnce) {
+  SparseBitSet A, B;
+  for (uint32_t V : {5u, 70u, 300u})
+    A.insert(V);
+  for (uint32_t V : {5u, 6u, 130u, 300u, 301u})
+    B.insert(V);
+  std::vector<uint32_t> NewBits;
+  EXPECT_TRUE(A.unionWith(B, NewBits));
+  EXPECT_EQ(NewBits, (std::vector<uint32_t>{6, 130, 301}));
+  EXPECT_EQ(A.count(), 6u);
+  // A second union is a no-op and must not touch the scratch vector.
+  NewBits.clear();
+  EXPECT_FALSE(A.unionWith(B, NewBits));
+  EXPECT_TRUE(NewBits.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Online cycle elimination
+//===----------------------------------------------------------------------===//
+
+/// Context-insensitive points-to of (method, value), keyed by stable
+/// allocation-site signatures instead of raw IKIds so two independently
+/// solved instances compare meaningfully.
+std::multiset<std::tuple<uint32_t, StmtId, ClassId>>
+mergedSigs(const Solved &S, MethodId M, ValueId V) {
+  std::multiset<std::tuple<uint32_t, StmtId, ClassId>> Out;
+  for (IKId IK : S.Solver->pointsToMerged(M, V)) {
+    const InstanceKeyData &D = S.Solver->instanceKeys().data(IK);
+    Out.insert({static_cast<uint32_t>(D.Kind), D.Site, D.Cls});
+  }
+  return Out;
+}
+
+TEST(PointsTo, CycleCollapsePreservesTheSolution) {
+  // Mutual recursion threads each parameter back and forth, creating copy
+  // cycles among the parameter and return-value keys.
+  const char *Src = R"(
+class Payload extends Object {}
+class App extends Servlet {
+  method ping(this: App, o: Object, d: Object): Object {
+    r = this.pong(o, d);
+    return r;
+  }
+  method pong(this: App, o: Object, d: Object): Object {
+    r = this.ping(d, o);
+    return r;
+  }
+  method doGet(this: App, req: Request): void [entry] {
+    x = new Payload;
+    y = new Object;
+    z = this.ping(x, y);
+  }
+}
+)";
+  Solved On(Src); // cycle elimination defaults on
+  PointsToOptions OffOpts;
+  OffOpts.CycleElim = false;
+  Solved Off(Src, std::move(OffOpts));
+
+  EXPECT_GE(On.Solver->stats().get("pts.cycles_collapsed"), 1u);
+  EXPECT_GE(On.Solver->stats().get("pts.nodes_merged"), 1u);
+  EXPECT_EQ(Off.Solver->stats().get("pts.cycles_collapsed"), 0u);
+  EXPECT_EQ(Off.Solver->stats().get("pts.nodes_merged"), 0u);
+
+  // The collapsed solution must be exactly the reference solution, for
+  // every method and every SSA value either engine knows about.
+  for (MethodId M = 0; M < On.P.Methods.size(); ++M)
+    for (ValueId V = 0; V < 12; ++V)
+      EXPECT_EQ(mergedSigs(On, M, V), mergedSigs(Off, M, V))
+          << On.P.methodName(M) << " value " << V;
+}
+
+TEST(PointsTo, MergedQueriesAreMemoized) {
+  Solved S(R"(
+class App extends Servlet {
+  method doGet(this: App, req: Request): void [entry] {
+    x = new Object;
+  }
+}
+)");
+  MethodId DoGet = S.P.findMethod(S.P.findClass("App"), "doGet");
+  const std::vector<IKId> &A = S.Solver->pointsToMerged(DoGet, 0);
+  const std::vector<IKId> &B = S.Solver->pointsToMerged(DoGet, 0);
+  EXPECT_EQ(&A, &B) << "repeat queries must return the cached vector";
+  EXPECT_GE(S.Solver->stats().get("pts.merged_cache_hits"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// CLI byte-identity with and without cycle elimination
+//===----------------------------------------------------------------------===//
+
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/taj-pts-XXXXXX";
+    const char *D = ::mkdtemp(Buf);
+    EXPECT_NE(D, nullptr);
+    Path = D ? D : "";
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::error_code Ec;
+      std::filesystem::remove_all(Path, Ec);
+    }
+  }
+};
+
+/// Runs taj-cli capturing stdout only; \p EnvPrefix may carry "VAR=x "
+/// assignments spliced in front of the binary.
+std::string runCli(const std::string &EnvPrefix, const std::string &Args,
+                   int &ExitCode) {
+  std::string Cmd =
+      EnvPrefix + std::string(TAJ_CLI_PATH) + " " + Args + " 2>/dev/null";
+  FILE *P = ::popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr);
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int St = ::pclose(P);
+  ExitCode = WIFEXITED(St) ? WEXITSTATUS(St) : -1;
+  return Out;
+}
+
+TEST(PointsTo, CliByteIdenticalWithAndWithoutCycleElim) {
+  // Cycle elimination must be output-invisible: for each preset and thread
+  // count, cold and warm runs with TAJ_CYCLE_ELIM=0 produce byte-identical
+  // stdout (under --verify=full) to the default engine. The off run also
+  // warm-restores artifacts the collapsing engine persisted.
+  for (const char *Config : {"hybrid", "ci"}) {
+    for (int Threads : {1, 8}) {
+      TempDir DOn, DOff;
+      const std::string Base = std::string("--config=") + Config +
+                               " --threads=" + std::to_string(Threads) +
+                               " --verify=full \"" + TAJ_EXAMPLE_TAJ + "\"";
+      int EcOn = 0, EcOff = 0;
+      const std::string ColdOn =
+          runCli("", "--cache-dir=\"" + DOn.Path + "\" " + Base, EcOn);
+      const std::string ColdOff = runCli(
+          "TAJ_CYCLE_ELIM=0 ", "--cache-dir=\"" + DOff.Path + "\" " + Base,
+          EcOff);
+      EXPECT_EQ(EcOn, EcOff) << Config << " t=" << Threads;
+      EXPECT_EQ(ColdOn, ColdOff) << Config << " t=" << Threads << " (cold)";
+
+      const std::string WarmOn =
+          runCli("", "--cache-dir=\"" + DOn.Path + "\" " + Base, EcOn);
+      const std::string WarmOff = runCli(
+          "TAJ_CYCLE_ELIM=0 ", "--cache-dir=\"" + DOff.Path + "\" " + Base,
+          EcOff);
+      EXPECT_EQ(WarmOn, ColdOn) << Config << " t=" << Threads << " (warm on)";
+      EXPECT_EQ(WarmOff, ColdOn)
+          << Config << " t=" << Threads << " (warm off)";
+
+      // Cross-restore: the collapsing engine's artifact read back with
+      // cycle elimination disabled.
+      const std::string Cross = runCli(
+          "TAJ_CYCLE_ELIM=0 ", "--cache-dir=\"" + DOn.Path + "\" " + Base,
+          EcOff);
+      EXPECT_EQ(Cross, ColdOn) << Config << " t=" << Threads << " (cross)";
+    }
+  }
 }
 
 TEST(PointsTo, CallGraphDotExport) {

@@ -55,9 +55,13 @@ namespace taj {
 class SolverTestPeer {
 public:
   static void clearPointsTo(const PointsToSolver &S, PKId PK) {
-    auto &Pts = const_cast<PointsToSolver &>(S).Pts;
-    if (PK < Pts.size())
-      Pts[PK].clear();
+    auto &Mut = const_cast<PointsToSolver &>(S);
+    if (PK >= Mut.Pts.size())
+      return;
+    // A collapsed key stores its set at the cycle representative.
+    while (Mut.RepParent[PK] != PK)
+      PK = Mut.RepParent[PK];
+    Mut.Pts[PK].clear();
   }
 };
 

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+#===- tools/bench_ab.sh - Interleaved A/B micro-benchmark compare --------===#
+#
+# Compares the micro_perf suite between two build trees, interleaving the
+# runs (A B A B ...) so CPU frequency drift and cache warmth bias neither
+# side, then reports per-benchmark medians and speedups.
+#
+#   tools/bench_ab.sh <buildA> <buildB> [rounds] [out.json]
+#
+#   buildA    baseline build tree (e.g. a checkout of the previous HEAD)
+#   buildB    candidate build tree
+#   rounds    interleaved rounds per side (default 5)
+#   out.json  report path (default BENCH_10.json in the repo root)
+#
+# Only the benchmarks the solver rework can move are measured:
+# BM_PointerAnalysis (the hot path itself), BM_SdgConstruction (its
+# biggest query-surface consumer) and BM_ServerWarmRequest (the warm
+# restore path over the new artifact format). The speedup column is
+# medianA / medianB, so values above 1 mean the candidate is faster.
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 <buildA> <buildB> [rounds] [out.json]" >&2
+  exit 2
+fi
+
+BUILD_A=$1
+BUILD_B=$2
+ROUNDS=${3:-5}
+OUT=${4:-$(cd "$(dirname "$0")/.." && pwd)/BENCH_10.json}
+FILTER='BM_PointerAnalysis|BM_SdgConstruction|BM_ServerWarmRequest'
+
+for D in "$BUILD_A" "$BUILD_B"; do
+  if [ ! -x "$D/bench/micro_perf" ]; then
+    echo "error: $D/bench/micro_perf not found (build the tree first)" >&2
+    exit 2
+  fi
+done
+
+WORK=$(mktemp -d /tmp/taj-bench-ab-XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+for R in $(seq 1 "$ROUNDS"); do
+  for SIDE in A B; do
+    if [ "$SIDE" = A ]; then D=$BUILD_A; else D=$BUILD_B; fi
+    echo "round $R/$ROUNDS side $SIDE ($D)" >&2
+    "$D/bench/micro_perf" \
+      --benchmark_filter="$FILTER" \
+      --benchmark_format=json \
+      --benchmark_out="$WORK/$SIDE.$R.json" \
+      --benchmark_out_format=json > /dev/null
+  done
+done
+
+python3 - "$WORK" "$ROUNDS" "$BUILD_A" "$BUILD_B" "$OUT" <<'PY'
+import json, statistics, sys
+
+work, rounds, build_a, build_b, out = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4], sys.argv[5])
+
+def collect(side):
+    times = {}
+    for r in range(1, rounds + 1):
+        with open(f"{work}/{side}.{r}.json") as f:
+            doc = json.load(f)
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            times.setdefault(b["name"], []).append(b["real_time"])
+    return times
+
+a, b = collect("A"), collect("B")
+report = {
+    "baseline": build_a,
+    "candidate": build_b,
+    "rounds": rounds,
+    "time_unit": "ns",
+    "benchmarks": [],
+}
+for name in sorted(set(a) & set(b)):
+    ma, mb = statistics.median(a[name]), statistics.median(b[name])
+    report["benchmarks"].append({
+        "name": name,
+        "median_a": ma,
+        "median_b": mb,
+        "speedup": ma / mb if mb else None,
+    })
+    print(f"{name:45s} A={ma:14.0f}  B={mb:14.0f}  speedup={ma / mb:5.2f}x")
+missing = sorted(set(a) ^ set(b))
+if missing:
+    print(f"note: only one side ran: {', '.join(missing)}", file=sys.stderr)
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+PY
